@@ -1,0 +1,149 @@
+// table1 regenerates Table 1 of the paper: one row per specification
+// formalism with its satisfiability complexity, and the DjC/FD/DF/AccOr
+// expressibility columns re-derived by classifying the canonical
+// restriction specs through each fragment's classifier. With -measure it
+// additionally runs each decidable row's solver on a scaled workload and
+// reports wall-clock growth, the empirical counterpart of the complexity
+// column.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"accltl/internal/accltl"
+	"accltl/internal/autom"
+	"accltl/internal/workload"
+)
+
+type row struct {
+	name       string
+	complexity string
+	decidable  bool
+	// accepts reports whether a formula with the given features fits the
+	// fragment.
+	accepts func(info accltl.Info) bool
+}
+
+var rows = []row{
+	{"AccLTL(FO∃+,≠_Acc)", "undecidable", false, func(i accltl.Info) bool {
+		return i.EmbeddedPositive && !i.HasPast
+	}},
+	{"AccLTL(FO∃+_Acc)", "undecidable", false, func(i accltl.Info) bool {
+		return i.EmbeddedPositive && !i.HasInequality && !i.HasPast
+	}},
+	{"AccLTL+", "in 3EXPTIME", true, func(i accltl.Info) bool {
+		return i.EmbeddedPositive && !i.HasInequality && i.BindingPositive && !i.HasPast
+	}},
+	{"A-automata", "2EXPTIME-compl.", true, func(i accltl.Info) bool {
+		// Everything AccLTL+ compiles into A-automata (Lemma 4.5).
+		return i.EmbeddedPositive && !i.HasInequality && i.BindingPositive && !i.HasPast
+	}},
+	{"AccLTL(FO∃+_0-Acc)", "PSPACE-compl.", true, func(i accltl.Info) bool {
+		return i.EmbeddedPositive && !i.HasInequality && i.ZeroAcc && !i.HasPast
+	}},
+	{"AccLTL(FO∃+,≠_0-Acc)", "PSPACE-compl.", true, func(i accltl.Info) bool {
+		return i.EmbeddedPositive && i.ZeroAcc && !i.HasPast
+	}},
+	{"AccLTL(X)(FO∃+,≠_0-Acc)", "ΣP2-compl.", true, func(i accltl.Info) bool {
+		return i.EmbeddedPositive && i.ZeroAcc && i.OnlyNext && !i.HasPast
+	}},
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "Yes"
+	}
+	return "No"
+}
+
+func main() {
+	measure := flag.Bool("measure", false, "run scaled workloads per decidable row and report timings")
+	flag.Parse()
+
+	phone := workload.MustPhone()
+	// Each restriction class has encoding variants for different
+	// fragments: the direct G-form, the binding-positive rewriting of
+	// Section 6 (negated IsBind as a disjunction over the other methods),
+	// and the bounded X-unrolling. A class is expressible in a row when
+	// some variant classifies into the row's fragment.
+	specs := map[string][]accltl.Formula{
+		"DjC":   {phone.DisjointnessConstraint(), phone.DisjointnessConstraintX(3)},
+		"FD":    {phone.FDConstraint(), phone.FDConstraintX(3)},
+		"DF":    {phone.DataflowRestriction(), phone.DataflowRestrictionPlus()},
+		"AccOr": {phone.AccessOrderRestriction(), phone.AccessOrderRestrictionPlus()},
+	}
+	infos := map[string][]accltl.Info{}
+	for k, fs := range specs {
+		for _, f := range fs {
+			infos[k] = append(infos[k], accltl.Classify(f))
+		}
+	}
+	expressible := func(r row, class string) bool {
+		for _, info := range infos[class] {
+			if r.accepts(info) {
+				return true
+			}
+		}
+		return false
+	}
+
+	fmt.Println("Table 1: Complexity and application examples for path specifications.")
+	fmt.Printf("%-26s %-18s %-5s %-5s %-5s %-6s\n", "Language", "Complexity", "DjC", "FD", "DF", "AccOr")
+	for _, r := range rows {
+		fmt.Printf("%-26s %-18s %-5s %-5s %-5s %-6s\n",
+			r.name, r.complexity,
+			yesNo(expressible(r, "DjC")),
+			yesNo(expressible(r, "FD")),
+			yesNo(expressible(r, "DF")),
+			yesNo(expressible(r, "AccOr")),
+		)
+	}
+
+	if !*measure {
+		return
+	}
+
+	fmt.Println("\nEmpirical shape check (satisfiability wall-clock on scaled chains):")
+	fmt.Printf("%-26s %-8s %-14s %-10s\n", "Row", "n", "time", "verdict")
+	for _, n := range []int{1, 2, 3} {
+		chain := workload.MustChain(n + 1)
+		// PSPACE row: nested-eventually family. One revealing access per
+		// chain level bounds the witness; the formula-derived default
+		// bound is far looser and only inflates the exhaustive search.
+		timeRow("AccLTL(FO∃+_0-Acc)", n, func() (bool, error) {
+			res, err := accltl.SolveZeroAcc(chain.NestedEventually(n),
+				accltl.SolveOptions{Schema: chain.Schema, MaxDepth: n + 2})
+			return res.Satisfiable, err
+		})
+		// ΣP2 row: X-tower family (its bound is tight by construction).
+		timeRow("AccLTL(X)(FO∃+,≠_0-Acc)", n, func() (bool, error) {
+			res, err := accltl.SolveX(chain.XTower(n), accltl.SolveOptions{Schema: chain.Schema})
+			return res.Satisfiable, err
+		})
+		// AccLTL+ row: reach-last through the automaton pipeline. One
+		// revealing access per level bounds the witness. This row pays an
+		// exponential in sentence count over the full Sch_Acc vocabulary
+		// (guard valuations × binding enumeration) that the 0-Acc rows
+		// don't — which is exactly the Table 1 complexity gap.
+		timeRow("AccLTL+ (via A-automata)", n, func() (bool, error) {
+			a, err := autom.CompileAccLTLPlus(chain.Schema, chain.NestedEventually(n))
+			if err != nil {
+				return false, err
+			}
+			res, err := a.IsEmpty(autom.EmptinessOptions{MaxDepth: n + 2})
+			return !res.Empty, err
+		})
+	}
+}
+
+func timeRow(name string, n int, f func() (bool, error)) {
+	start := time.Now()
+	sat, err := f()
+	if err != nil {
+		log.Fatalf("%s n=%d: %v", name, n, err)
+	}
+	fmt.Printf("%-26s %-8d %-14s sat=%v\n", name, n, time.Since(start).Round(time.Microsecond), sat)
+}

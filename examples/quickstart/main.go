@@ -1,0 +1,70 @@
+// Quickstart: the paper's running phone-directory example end to end —
+// build a schema with access restrictions, write the introduction's AccLTL
+// path query, evaluate it on a concrete access path, and ask the solver
+// whether any path at all satisfies it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accltl/internal/access"
+	"accltl/internal/accltl"
+	"accltl/internal/instance"
+	"accltl/internal/workload"
+)
+
+func main() {
+	// Mobile#(name, postcode, street, phoneno) with AcM1 binding name;
+	// Address(street, postcode, name, houseno) with AcM2 binding street
+	// and postcode.
+	phone := workload.MustPhone()
+	fmt.Println("schema:", phone.Schema)
+
+	// A concrete access path: look up Smith's mobile entry, then enter the
+	// revealed street and postcode into the Address form (Figure 1).
+	p := access.NewPath(phone.Schema)
+	p.MustAppend(access.MustAccess(phone.AcM1, instance.Str("Smith")),
+		instance.Tuple{instance.Str("Smith"), instance.Str("OX13QD"), instance.Str("Parks Rd"), instance.Int(5551212)})
+	p.MustAppend(access.MustAccess(phone.AcM2, instance.Str("Parks Rd"), instance.Str("OX13QD")),
+		instance.Tuple{instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Smith"), instance.Int(13)},
+		instance.Tuple{instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Jones"), instance.Int(16)})
+	fmt.Println("\naccess path:")
+	fmt.Println(" ", p)
+	conf, err := p.FinalConfig(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final configuration:", conf)
+	fmt.Println("grounded from empty I0:", p.IsGrounded(nil))
+
+	// The introduction's AccLTL query: "no Mobile# facts are known until an
+	// AcM1 access is made with a name that already appears in Address".
+	f := phone.IntroFormula()
+	fmt.Println("\nAccLTL query:")
+	fmt.Println(" ", f)
+
+	ts, err := p.Transitions(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := accltl.Satisfied(f, ts, accltl.FullAcc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("holds on the Smith-first path:", ok)
+
+	// Satisfiability: is there ANY access path of this schema on which the
+	// query holds? (There is: query Address first, then feed a revealed
+	// name into AcM1.)
+	res, err := accltl.SolvePlusDirect(f, accltl.SolveOptions{Schema: phone.Schema})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsatisfiable:", res.Satisfiable)
+	if res.Satisfiable {
+		fmt.Println("witness path:")
+		fmt.Println(" ", res.Witness)
+	}
+	fmt.Printf("(explored %d path prefixes, depth bound %d)\n", res.PathsExplored, res.Depth)
+}

@@ -1,0 +1,75 @@
+// Webforms: the restriction classes of Table 1 on a web-form workflow —
+// access-order restrictions (AccOr), dataflow restrictions (DF), and data
+// integrity constraints (DjC), each specified as an AccLTL formula and
+// checked for consistency with a target goal, the way a query processor
+// would vet an access plan against site policies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accltl/internal/accltl"
+	"accltl/internal/fo"
+	"accltl/internal/workload"
+)
+
+func main() {
+	phone := workload.MustPhone()
+
+	// Goal: eventually reveal some Mobile# tuple.
+	goal := accltl.F(accltl.Atom{Sentence: phone.MobileNonEmptyPost()})
+
+	// Policy 1 (AccOr): the site requires at least one Address-form access
+	// before any Mobile#-form access.
+	accOr := phone.AccessOrderRestriction()
+
+	// Policy 2 (DF): names entered into the Mobile# form must have been
+	// returned by an earlier Address query.
+	dataflow := phone.DataflowRestriction()
+
+	// Policy 3 (DjC): customer names never collide with street names.
+	disjoint := phone.DisjointnessConstraint()
+
+	fmt.Println("goal:   ", goal)
+	fmt.Println("AccOr:  ", accOr)
+	fmt.Println("DF:     ", dataflow)
+	fmt.Println("DjC:    ", disjoint)
+
+	check := func(label string, f accltl.Formula) {
+		info := accltl.Classify(f)
+		frag, _ := info.Fragment()
+		res, err := accltl.SolveBounded(f, accltl.SolveOptions{Schema: phone.Schema, MaxDepth: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n[%s]\n  fragment:    %s\n  satisfiable: %v\n", label, frag, res.Satisfiable)
+		if res.Satisfiable {
+			fmt.Println("  plan:       ", res.Witness)
+		}
+	}
+
+	// Is the goal achievable at all? Under each policy? Under all three?
+	check("goal alone", goal)
+	check("goal + AccOr", accltl.Conj(goal, accOr))
+	check("goal + AccOr + DF", accltl.Conj(goal, accOr, dataflow))
+	check("goal + AccOr + DF + DjC", accltl.Conj(goal, accOr, dataflow, disjoint))
+
+	// An inconsistent policy set: the goal plus "never reveal Mobile#".
+	never := accltl.G(accltl.Not{F: accltl.Atom{Sentence: phone.MobileNonEmptyPost()}})
+	check("goal + never-Mobile#", accltl.Conj(goal, never))
+
+	// Bonus: a dataflow-restricted plan must route through Address first;
+	// inspect the witness to see the ordering emerge.
+	res, err := accltl.SolveBounded(accltl.Conj(goal, dataflow,
+		accltl.F(accltl.Atom{Sentence: fo.Ex([]string{"n"},
+			fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("n")}})})),
+		accltl.SolveOptions{Schema: phone.Schema, MaxDepth: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Satisfiable {
+		fmt.Println("\ndataflow-compliant plan that does use the Mobile# form:")
+		fmt.Println("  ", res.Witness)
+	}
+}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"accltl/internal/access"
+	"accltl/internal/accltl"
+	"accltl/internal/autom"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/lts"
+	"accltl/internal/relevance"
+	"accltl/internal/workload"
+)
+
+// End-to-end integration tests across modules: parse → classify → solve →
+// verify, the full pipeline a downstream user runs.
+
+func TestIntegrationParseClassifySolveVerify(t *testing.T) {
+	phone := workload.MustPhone()
+	src := `(![exists n,p,s,ph. pre Mobile#(n,p,s,ph)]) U [exists n,s,pc,h. bind AcM1(n) & pre Address(s,pc,n,h)]`
+	f, err := accltl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := accltl.Classify(f)
+	frag, ok := info.Fragment()
+	if !ok || frag != accltl.FragPlus {
+		t.Fatalf("fragment = %v", frag)
+	}
+	res, err := accltl.SolvePlusDirect(f, accltl.SolveOptions{Schema: phone.Schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatal("intro formula unsatisfiable")
+	}
+	// Verify the witness against the direct semantics once more, from
+	// outside the solver.
+	ts, err := res.Witness.Transitions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds, err := accltl.Satisfied(f, ts, accltl.FullAcc)
+	if err != nil || !holds {
+		t.Fatalf("witness verification: %v, %v", holds, err)
+	}
+	// The witness must order Address access before the AcM1 access that
+	// uses a revealed name.
+	if res.Witness.Len() < 2 {
+		t.Fatalf("witness too short: %s", res.Witness)
+	}
+}
+
+func TestIntegrationSolverAutomatonOracleAgree(t *testing.T) {
+	// Three engines on one battery over the phone schema: the direct
+	// AccLTL+ solver, the compiled A-automaton, and the exhaustive oracle.
+	phone := workload.MustPhone()
+	mobilePost := accltl.Atom{Sentence: phone.MobileNonEmptyPost()}
+	addrPre := accltl.Atom{Sentence: fo.Ex([]string{"a", "b", "c", "d"},
+		fo.Atom{Pred: fo.PrePred("Address"), Args: []fo.Term{fo.Var("a"), fo.Var("b"), fo.Var("c"), fo.Var("d")}})}
+	formulas := []accltl.Formula{
+		accltl.F(mobilePost),
+		accltl.Conj(accltl.F(mobilePost), accltl.G(accltl.Not{F: mobilePost})),
+		accltl.Until{L: accltl.Not{F: addrPre}, R: mobilePost},
+	}
+	for _, f := range formulas {
+		direct, err := accltl.SolvePlusDirect(f, accltl.SolveOptions{Schema: phone.Schema, MaxDepth: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		a, err := autom.CompileAccLTLPlus(phone.Schema, f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		viaAutomaton, err := a.IsEmpty(autom.EmptinessOptions{MaxDepth: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if direct.Satisfiable == viaAutomaton.Empty {
+			t.Errorf("%s: direct=%v automaton-empty=%v", f, direct.Satisfiable, viaAutomaton.Empty)
+		}
+	}
+}
+
+func TestIntegrationFigure1OracleSatisfiability(t *testing.T) {
+	// The Figure 1 universe: a formula is satisfiable over it iff some
+	// enumerated path satisfies it — cross-check solver and enumeration
+	// with an explicit shared universe.
+	phone := workload.MustPhone()
+	u := phone.SmithJonesUniverse()
+	jonesRevealed := accltl.F(accltl.Atom{Sentence: fo.Ex([]string{"s", "p", "h"}, fo.Atom{
+		Pred: fo.PostPred("Address"),
+		Args: []fo.Term{fo.Var("s"), fo.Var("p"), fo.Const(instance.Str("Jones")), fo.Var("h")},
+	})})
+	res, err := accltl.SolveZeroAcc(jonesRevealed, accltl.SolveOptions{
+		Schema: phone.Schema, Universe: u, MaxDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := false
+	paths, err := lts.EnumeratePaths(phone.Schema, lts.Options{Universe: u, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if p.Len() == 0 {
+			continue
+		}
+		ts, err := p.Transitions(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := accltl.Satisfied(jonesRevealed, ts, accltl.ZeroAcc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			oracle = true
+			break
+		}
+	}
+	if res.Satisfiable != oracle {
+		t.Errorf("solver=%v oracle=%v", res.Satisfiable, oracle)
+	}
+	if !res.Satisfiable {
+		t.Error("Jones row unreachable in the Figure 1 universe")
+	}
+}
+
+func TestIntegrationRelevancePipeline(t *testing.T) {
+	// Accessible part and the LTR formula must agree on the Smith/Jones
+	// scenario: probing reachable data is relevant, probing data the
+	// accessible part already pins down... still relevant when Q can flip.
+	phone := workload.MustPhone()
+	hidden := phone.SmithJonesUniverse()
+	seed := instance.NewInstance(phone.Schema)
+	seed.MustAdd("Mobile#", instance.Str("Smith"), instance.Str("x"), instance.Str("y"), instance.Int(0))
+	acc, err := relevance.AccessiblePart(phone.Schema, hidden, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := relevance.MaximalAnswer(phone.Schema, phone.JonesQuery(), hidden, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans || acc.Count("Address") != 2 {
+		t.Errorf("accessible part wrong: ans=%v addresses=%d", ans, acc.Count("Address"))
+	}
+}
+
+func TestIntegrationGroundedWitnessIsGrounded(t *testing.T) {
+	// Any witness from a Grounded solve must satisfy access.IsGrounded.
+	chain := workload.MustChain(2)
+	i0 := instance.NewInstance(chain.Schema)
+	i0.MustAdd("R0", instance.Int(0))
+	f := chain.ReachLastFormula()
+	// Grounded search needs witness tuples keyed to already-known values,
+	// which the formula-derived universe cannot anticipate — supply the
+	// chain's linked universe explicitly (see the WitnessUniverse note).
+	res, err := accltl.SolveZeroAcc(f, accltl.SolveOptions{
+		Schema: chain.Schema, Grounded: true, Initial: i0, MaxDepth: 3,
+		Universe: chain.Universe(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatal("grounded reach unsatisfiable from seeded I0")
+	}
+	if !res.Witness.IsGrounded(i0) {
+		t.Errorf("grounded solve returned ungrounded witness %s", res.Witness)
+	}
+}
+
+func TestIntegrationExactWitnessIsExact(t *testing.T) {
+	chain := workload.MustChain(2)
+	u := chain.Universe()
+	f := chain.ReachLastFormula()
+	res, err := accltl.SolveZeroAcc(f, accltl.SolveOptions{
+		Schema: chain.Schema, Universe: u, AllExact: true, MaxDepth: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatal("exact reach unsatisfiable")
+	}
+	exact, err := res.Witness.IsExactFor(u, nil), error(nil)
+	if err != nil || !exact {
+		t.Errorf("exact solve returned non-exact witness %s", res.Witness)
+	}
+}
+
+func TestIntegrationPathTreeMatchesEnumeration(t *testing.T) {
+	phone := workload.MustPhone()
+	u := phone.SmithJonesUniverse()
+	opts := lts.Options{Universe: u, MaxDepth: 1}
+	tree, err := lts.BuildTree(phone.Schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := lts.EnumeratePaths(phone.Schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.CountNodes() != len(paths) {
+		t.Errorf("tree nodes %d != paths %d", tree.CountNodes(), len(paths))
+	}
+	var b strings.Builder
+	tree.Render(&b)
+	if !strings.Contains(b.String(), "Known Facts") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestIntegrationWitnessPathsAreWellFormed(t *testing.T) {
+	// Every solver witness must be a valid access path: well-formed
+	// responses and consistent transitions.
+	phone := workload.MustPhone()
+	res, err := accltl.SolvePlusDirect(phone.IntroFormula(), accltl.SolveOptions{Schema: phone.Schema})
+	if err != nil || !res.Satisfiable {
+		t.Fatal(err)
+	}
+	ts, err := res.Witness.Transitions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range ts {
+		if !tr.After.Contains(tr.Before) {
+			t.Errorf("transition %d shrinks the configuration", i)
+		}
+		var resp []instance.Tuple
+		resp = append(resp, res.Witness.Step(i).Response...)
+		if err := res.Witness.Step(i).Access.WellFormedResponse(resp); err != nil {
+			t.Errorf("step %d response ill-formed: %v", i, err)
+		}
+	}
+	_ = access.Transition{}
+}

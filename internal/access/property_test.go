@@ -1,0 +1,138 @@
+package access
+
+import (
+	"math/rand"
+	"testing"
+
+	"accltl/internal/instance"
+)
+
+// randomPath builds a random well-formed path over the phone schema: each
+// step picks a method, a binding from a small value pool, and a response of
+// tuples matching the binding.
+func randomPath(t *testing.T, r *rand.Rand, steps int) *Path {
+	t.Helper()
+	s := phoneSchema(t)
+	names := []string{"n0", "n1", "n2"}
+	streets := []string{"s0", "s1"}
+	pcs := []string{"p0", "p1"}
+	p := NewPath(s)
+	for i := 0; i < steps; i++ {
+		if r.Intn(2) == 0 {
+			m, _ := s.Method("AcM1")
+			name := names[r.Intn(len(names))]
+			a := MustAccess(m, instance.Str(name))
+			var resp []instance.Tuple
+			for j := 0; j < r.Intn(3); j++ {
+				resp = append(resp, instance.Tuple{
+					instance.Str(name),
+					instance.Str(pcs[r.Intn(len(pcs))]),
+					instance.Str(streets[r.Intn(len(streets))]),
+					instance.Int(int64(r.Intn(4))),
+				})
+			}
+			if err := p.Append(a, resp); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			m, _ := s.Method("AcM2")
+			st := streets[r.Intn(len(streets))]
+			pc := pcs[r.Intn(len(pcs))]
+			a := MustAccess(m, instance.Str(st), instance.Str(pc))
+			var resp []instance.Tuple
+			for j := 0; j < r.Intn(3); j++ {
+				resp = append(resp, instance.Tuple{
+					instance.Str(st), instance.Str(pc),
+					instance.Str(names[r.Intn(len(names))]),
+					instance.Int(int64(r.Intn(4))),
+				})
+			}
+			if err := p.Append(a, resp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return p
+}
+
+func TestPropertyConfigMonotone(t *testing.T) {
+	// Configurations only grow along a path.
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		p := randomPath(t, r, 1+r.Intn(4))
+		prev, err := p.Config(nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= p.Len(); i++ {
+			cur, err := p.Config(nil, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cur.Contains(prev) {
+				t.Fatalf("configuration shrank at step %d of %s", i, p)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPropertyTransitionsChain(t *testing.T) {
+	// Transition i's After equals transition i+1's Before, and the final
+	// After equals the path's final configuration.
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		p := randomPath(t, r, 1+r.Intn(4))
+		ts, err := p.Transitions(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(ts); i++ {
+			if !ts[i].After.Equal(ts[i+1].Before) {
+				t.Fatalf("chain break at %d in %s", i, p)
+			}
+		}
+		final, err := p.FinalConfig(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ts[len(ts)-1].After.Equal(final) {
+			t.Fatalf("final transition disagrees with FinalConfig on %s", p)
+		}
+	}
+}
+
+func TestPropertyGroundednessMonotoneInSeed(t *testing.T) {
+	// If a path is grounded in I0, it is grounded in any superset of I0.
+	r := rand.New(rand.NewSource(31))
+	s := phoneSchema(t)
+	for trial := 0; trial < 30; trial++ {
+		p := randomPath(t, r, 1+r.Intn(3))
+		i0 := instance.NewInstance(s)
+		i0.MustAdd("Mobile#", instance.Str("n0"), instance.Str("p0"), instance.Str("s0"), instance.Int(0))
+		if !p.IsGrounded(i0) {
+			continue
+		}
+		bigger := i0.Clone()
+		bigger.MustAdd("Mobile#", instance.Str("n1"), instance.Str("p1"), instance.Str("s1"), instance.Int(1))
+		if !p.IsGrounded(bigger) {
+			t.Fatalf("groundedness not monotone in seed for %s", p)
+		}
+	}
+}
+
+func TestPropertyExactPathsAreIdempotent(t *testing.T) {
+	// Exactness (for a fixed instance) implies idempotence: identical
+	// accesses get identical (complete) responses.
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 40; trial++ {
+		p := randomPath(t, r, 2+r.Intn(3))
+		exact, err := p.IsExact(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact && !p.IsIdempotent() {
+			t.Fatalf("exact path not idempotent: %s", p)
+		}
+	}
+}

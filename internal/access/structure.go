@@ -1,0 +1,130 @@
+package access
+
+import (
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+)
+
+// TransitionStructure is the relational structure M(t) over the Sch_Acc
+// vocabulary induced by a transition t = (I, (AcM, b), I') (Section 2):
+// R_pre is interpreted as R in I, R_post as R in I', IsBind_AcM holds of
+// exactly the binding b, and every other IsBind predicate is empty. In the
+// Sch_0-Acc view (ZeroAcc=true) IsBind_AcM is 0-ary and holds iff AcM is the
+// method of the transition.
+type TransitionStructure struct {
+	T Transition
+	// ZeroAcc selects the restricted vocabulary Sch_0-Acc of Section 4.2.
+	ZeroAcc bool
+}
+
+// StructureOf wraps a transition in its Sch_Acc structure.
+func StructureOf(t Transition) *TransitionStructure {
+	return &TransitionStructure{T: t}
+}
+
+// ZeroAccStructureOf wraps a transition in its Sch_0-Acc structure.
+func ZeroAccStructureOf(t Transition) *TransitionStructure {
+	return &TransitionStructure{T: t, ZeroAcc: true}
+}
+
+// Holds implements fo.Structure.
+func (m *TransitionStructure) Holds(p fo.Pred, t instance.Tuple) bool {
+	switch p.Stage {
+	case fo.Pre:
+		return m.T.Before.Has(p.Name, t)
+	case fo.Post:
+		return m.T.After.Has(p.Name, t)
+	case fo.IsBind:
+		if p.Name != m.T.Access.Method.Name() {
+			return false
+		}
+		if m.ZeroAcc || len(t) == 0 {
+			// 0-ary IsBind: holds iff this is the method of the transition.
+			return len(t) == 0
+		}
+		return t.Equal(m.T.Access.Binding)
+	default:
+		return false
+	}
+}
+
+// TuplesOf implements fo.Structure.
+func (m *TransitionStructure) TuplesOf(p fo.Pred) []instance.Tuple {
+	switch p.Stage {
+	case fo.Pre:
+		return m.T.Before.Tuples(p.Name)
+	case fo.Post:
+		return m.T.After.Tuples(p.Name)
+	case fo.IsBind:
+		if p.Name != m.T.Access.Method.Name() {
+			return nil
+		}
+		if m.ZeroAcc {
+			return []instance.Tuple{{}}
+		}
+		return []instance.Tuple{m.T.Access.Binding.Clone()}
+	default:
+		return nil
+	}
+}
+
+// Domain implements fo.Structure: the union of both instances' active
+// domains and the binding values.
+func (m *TransitionStructure) Domain() []instance.Value {
+	seen := make(map[instance.Value]bool)
+	var out []instance.Value
+	add := func(v instance.Value) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range m.T.Before.ActiveDomain() {
+		add(v)
+	}
+	for _, v := range m.T.After.ActiveDomain() {
+		add(v)
+	}
+	if !m.ZeroAcc {
+		for _, v := range m.T.Access.Binding {
+			add(v)
+		}
+	}
+	return out
+}
+
+// InstanceStructure views a plain instance through Plain predicates; it is
+// what conjunctive queries over configurations evaluate against (e.g. the
+// query Q in long-term relevance), and doubles as the Q^pre/Q^post adapter:
+// set Stage to fo.Pre or fo.Post to expose the instance under that copy of
+// the vocabulary too.
+type InstanceStructure struct {
+	I *instance.Instance
+	// Stage additionally exposes the instance under the given vocabulary
+	// copy (fo.Plain exposes only Plain).
+	Stage fo.Stage
+}
+
+// PlainStructure exposes an instance under Plain predicates only.
+func PlainStructure(i *instance.Instance) *InstanceStructure {
+	return &InstanceStructure{I: i, Stage: fo.Plain}
+}
+
+// Holds implements fo.Structure.
+func (s *InstanceStructure) Holds(p fo.Pred, t instance.Tuple) bool {
+	if p.Stage == fo.Plain || p.Stage == s.Stage {
+		return s.I.Has(p.Name, t)
+	}
+	return false
+}
+
+// TuplesOf implements fo.Structure.
+func (s *InstanceStructure) TuplesOf(p fo.Pred) []instance.Tuple {
+	if p.Stage == fo.Plain || p.Stage == s.Stage {
+		return s.I.Tuples(p.Name)
+	}
+	return nil
+}
+
+// Domain implements fo.Structure.
+func (s *InstanceStructure) Domain() []instance.Value { return s.I.ActiveDomain() }

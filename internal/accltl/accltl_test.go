@@ -1,0 +1,252 @@
+package accltl
+
+import (
+	"strings"
+	"testing"
+
+	"accltl/internal/access"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// phone builds the paper's running schema directly (workload depends on this
+// package, so tests here construct their own fixtures).
+func phone(t testing.TB) *schema.Schema {
+	t.Helper()
+	mobile := schema.MustRelation("Mobile#", schema.TypeString, schema.TypeString, schema.TypeString, schema.TypeInt)
+	address := schema.MustRelation("Address", schema.TypeString, schema.TypeString, schema.TypeString, schema.TypeInt)
+	s := schema.New()
+	for _, err := range []error{
+		s.AddRelation(mobile), s.AddRelation(address),
+		s.AddMethod(schema.MustAccessMethod("AcM1", mobile, 0)),
+		s.AddMethod(schema.MustAccessMethod("AcM2", address, 0, 1)),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func mobileNonEmpty(stage fo.Stage) fo.Formula {
+	return fo.Ex([]string{"n", "p", "s", "ph"}, fo.Atom{
+		Pred: fo.Pred{Name: "Mobile#", Stage: stage},
+		Args: []fo.Term{fo.Var("n"), fo.Var("p"), fo.Var("s"), fo.Var("ph")},
+	})
+}
+
+func smithPath(t testing.TB, s *schema.Schema) *access.Path {
+	t.Helper()
+	m1, _ := s.Method("AcM1")
+	m2, _ := s.Method("AcM2")
+	p := access.NewPath(s)
+	p.MustAppend(access.MustAccess(m1, instance.Str("Smith")),
+		instance.Tuple{instance.Str("Smith"), instance.Str("OX13QD"), instance.Str("Parks Rd"), instance.Int(5551212)})
+	p.MustAppend(access.MustAccess(m2, instance.Str("Parks Rd"), instance.Str("OX13QD")),
+		instance.Tuple{instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Smith"), instance.Int(13)},
+		instance.Tuple{instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Jones"), instance.Int(16)})
+	return p
+}
+
+func trans(t testing.TB, p *access.Path) []access.Transition {
+	t.Helper()
+	ts, err := p.Transitions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestSemanticsAtoms(t *testing.T) {
+	s := phone(t)
+	ts := trans(t, smithPath(t, s))
+	// Mobile#pre empty at position 0, Mobile#post nonempty at position 0.
+	got, err := Holds(Atom{Sentence: mobileNonEmpty(fo.Pre)}, ts, 0, FullAcc)
+	if err != nil || got {
+		t.Errorf("Mobile#pre at 0 = %v, %v", got, err)
+	}
+	got, err = Holds(Atom{Sentence: mobileNonEmpty(fo.Post)}, ts, 0, FullAcc)
+	if err != nil || !got {
+		t.Errorf("Mobile#post at 0 = %v, %v", got, err)
+	}
+	// At position 1, Mobile#pre holds (the Smith tuple is revealed).
+	got, err = Holds(Atom{Sentence: mobileNonEmpty(fo.Pre)}, ts, 1, FullAcc)
+	if err != nil || !got {
+		t.Errorf("Mobile#pre at 1 = %v, %v", got, err)
+	}
+}
+
+func TestSemanticsTemporal(t *testing.T) {
+	s := phone(t)
+	ts := trans(t, smithPath(t, s))
+	addrPost := fo.Ex([]string{"a", "b", "c", "d"}, fo.Atom{Pred: fo.PostPred("Address"),
+		Args: []fo.Term{fo.Var("a"), fo.Var("b"), fo.Var("c"), fo.Var("d")}})
+	// F(Address revealed) holds from position 0.
+	got, err := Satisfied(F(Atom{Sentence: addrPost}), ts, FullAcc)
+	if err != nil || !got {
+		t.Errorf("F(addr) = %v, %v", got, err)
+	}
+	// X(Address revealed) holds at 0 (position 1 reveals addresses).
+	got, _ = Satisfied(Next{F: Atom{Sentence: addrPost}}, ts, FullAcc)
+	if !got {
+		t.Error("X(addr) failed")
+	}
+	// X X anything is false at 0 on a length-2 path.
+	got, _ = Satisfied(Next{F: Next{F: True()}}, ts, FullAcc)
+	if got {
+		t.Error("XX true beyond path end")
+	}
+	// G(true) and the boolean constants.
+	if got, _ := Satisfied(G(True()), ts, FullAcc); !got {
+		t.Error("G(true) failed")
+	}
+	if got, _ := Satisfied(False(), ts, FullAcc); got {
+		t.Error("false satisfied")
+	}
+}
+
+func TestSemanticsIntroExample(t *testing.T) {
+	// The introduction's formula: no Mobile#pre facts U (AcM1 access whose
+	// name occurred in Address^pre). The smith path does NOT satisfy it
+	// ("Smith" is accessed before Address is populated), but the reordered
+	// path (AcM2 first, then AcM1 with a revealed name) does.
+	s := phone(t)
+	m1, _ := s.Method("AcM1")
+	m2, _ := s.Method("AcM2")
+	intro := Until{
+		L: Not{F: Atom{Sentence: mobileNonEmpty(fo.Pre)}},
+		R: Atom{Sentence: fo.Ex([]string{"n", "s", "pc", "h"}, fo.Conj(
+			fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("n")}},
+			fo.Atom{Pred: fo.PrePred("Address"), Args: []fo.Term{fo.Var("s"), fo.Var("pc"), fo.Var("n"), fo.Var("h")}},
+		))},
+	}
+	if got, _ := Satisfied(intro, trans(t, smithPath(t, s)), FullAcc); got {
+		t.Error("intro formula held on smith-first path")
+	}
+	p := access.NewPath(s)
+	p.MustAppend(access.MustAccess(m2, instance.Str("Parks Rd"), instance.Str("OX13QD")),
+		instance.Tuple{instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Jones"), instance.Int(16)})
+	p.MustAppend(access.MustAccess(m1, instance.Str("Jones")))
+	if got, err := Satisfied(intro, trans(t, p), FullAcc); err != nil || !got {
+		t.Errorf("intro formula failed on address-first path: %v, %v", got, err)
+	}
+}
+
+func TestHoldsErrors(t *testing.T) {
+	s := phone(t)
+	ts := trans(t, smithPath(t, s))
+	if _, err := Holds(True(), nil, 0, FullAcc); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := Holds(True(), ts, 5, FullAcc); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	open := Atom{Sentence: fo.Atom{Pred: fo.PrePred("Address"), Args: []fo.Term{fo.Var("x"), fo.Var("y"), fo.Var("z"), fo.Var("w")}}}
+	if _, err := Satisfied(open, ts, FullAcc); err == nil {
+		t.Error("open embedded formula accepted")
+	}
+}
+
+func TestPastOperators(t *testing.T) {
+	s := phone(t)
+	ts := trans(t, smithPath(t, s))
+	bind1 := Atom{Sentence: fo.Ex([]string{"x"}, fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("x")}})}
+	// At position 1, X⁻¹(AcM1 fired) holds.
+	got, err := Holds(Prev{F: bind1}, ts, 1, FullAcc)
+	if err != nil || !got {
+		t.Errorf("Prev = %v, %v", got, err)
+	}
+	if got, _ := Holds(Prev{F: bind1}, ts, 0, FullAcc); got {
+		t.Error("Prev held at position 0")
+	}
+	// Since: at position 1, true S (AcM1 fired) holds.
+	if got, _ := Holds(Since{L: True(), R: bind1}, ts, 1, FullAcc); !got {
+		t.Error("Since failed")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	s := phone(t)
+	_ = s
+	bindN := Atom{Sentence: fo.Ex([]string{"x"}, fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("x")}})}
+	bind0 := Atom{Sentence: fo.Atom{Pred: fo.IsBindPred("AcM1")}}
+	pre := Atom{Sentence: mobileNonEmpty(fo.Pre)}
+
+	// Binding-positive with n-ary binds: AccLTL+.
+	f := F(Conj(bindN, pre))
+	info := Classify(f)
+	if frag, ok := info.Fragment(); !ok || frag != FragPlus {
+		t.Errorf("fragment = %v, %v; want FragPlus", frag, ok)
+	}
+	// Negated n-ary bind: full language.
+	g := F(Not{F: bindN})
+	info = Classify(g)
+	if info.BindingPositive {
+		t.Error("negated bind classified binding-positive")
+	}
+	if frag, ok := info.Fragment(); !ok || frag != FragFull {
+		t.Errorf("fragment = %v; want FragFull", frag)
+	}
+	// 0-ary binds only, with U: zero-acc. Note a negated 0-ary IsBind does
+	// not break binding-positivity classification for the 0-Acc fragment.
+	h := Until{L: Not{F: bind0}, R: pre}
+	info = Classify(h)
+	if !info.ZeroAcc {
+		t.Error("0-ary formula not zero-acc")
+	}
+	if frag, ok := info.Fragment(); !ok || frag != FragZeroAcc {
+		t.Errorf("fragment = %v; want FragZeroAcc", frag)
+	}
+	// X-only.
+	x := Next{F: Conj(bind0, pre)}
+	info = Classify(x)
+	if !info.OnlyNext {
+		t.Error("X-only formula misclassified")
+	}
+	if frag, ok := info.Fragment(); !ok || frag != FragXZeroAcc {
+		t.Errorf("fragment = %v; want FragXZeroAcc", frag)
+	}
+	// Inequality in 0-acc.
+	neq := F(Atom{Sentence: fo.Ex([]string{"a", "b"}, fo.Conj(
+		fo.Atom{Pred: fo.PrePred("Mobile#"), Args: []fo.Term{fo.Var("a"), fo.Var("a"), fo.Var("a"), fo.Var("b")}},
+		fo.Neq{L: fo.Var("a"), R: fo.Var("a")}))})
+	info = Classify(neq)
+	if !info.HasInequality {
+		t.Error("inequality missed")
+	}
+	if frag, ok := info.Fragment(); !ok || frag != FragZeroAccNeq {
+		t.Errorf("fragment = %v; want FragZeroAccNeq", frag)
+	}
+	// Past operators: no fragment.
+	if _, ok := Classify(Prev{F: pre}).Fragment(); ok {
+		t.Error("past formula got a fragment")
+	}
+	// Fragment names and decidability.
+	if FragPlus.String() != "AccLTL+" || !FragPlus.Decidable() {
+		t.Error("FragPlus metadata wrong")
+	}
+	if FragFull.Decidable() || FragFullNeq.Decidable() {
+		t.Error("undecidable fragments marked decidable")
+	}
+}
+
+func TestSizeMetrics(t *testing.T) {
+	pre := Atom{Sentence: mobileNonEmpty(fo.Pre)}
+	f := F(Conj(pre, Next{F: pre}))
+	if TemporalDepth(f) < 2 {
+		t.Errorf("temporal depth = %d", TemporalDepth(f))
+	}
+	if CountUntils(f) != 1 {
+		t.Errorf("untils = %d", CountUntils(f))
+	}
+	if len(Sentences(f)) != 1 {
+		t.Errorf("sentences = %d (dedup failed?)", len(Sentences(f)))
+	}
+	if Size(f) < 3 {
+		t.Errorf("size = %d", Size(f))
+	}
+	if !strings.Contains(f.String(), "U") {
+		t.Error("rendering lost the until")
+	}
+}

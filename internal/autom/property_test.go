@@ -1,0 +1,144 @@
+package autom
+
+import (
+	"testing"
+
+	"accltl/internal/access"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/lts"
+)
+
+// Language-law properties: Union and Intersect must realize exactly the
+// boolean combinations of the component languages on every path of a
+// bounded enumeration.
+
+func enumeratePhonePaths(t *testing.T) []*access.Path {
+	t.Helper()
+	s := twoRelSchema(t)
+	u := instance.NewInstance(s)
+	u.MustAdd("R0", instance.Int(1))
+	u.MustAdd("R1", instance.Int(1))
+	paths, err := lts.EnumeratePaths(s, lts.Options{Universe: u, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func TestPropertyUnionLanguageLaw(t *testing.T) {
+	s := twoRelSchema(t)
+	mk := func(rel string) *Automaton {
+		a := New(s, 2, 0)
+		a.MustAddTransition(0, fo.Truth{Val: true}, 0)
+		a.MustAddTransition(0, postNE(rel), 1)
+		a.MustAddTransition(1, fo.Truth{Val: true}, 1)
+		a.SetAccepting(1)
+		return a
+	}
+	A, B := mk("R0"), mk("R1")
+	u, err := Union(A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := Intersect(A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range enumeratePhonePaths(t) {
+		if p.Len() == 0 {
+			continue
+		}
+		inA, err := A.Accepts(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inB, err := B.Accepts(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inU, err := u.Accepts(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inI, err := i.Accepts(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inU != (inA || inB) {
+			t.Errorf("union law fails on %s: A=%v B=%v U=%v", p, inA, inB, inU)
+		}
+		if inI != (inA && inB) {
+			t.Errorf("intersection law fails on %s: A=%v B=%v I=%v", p, inA, inB, inI)
+		}
+	}
+}
+
+func TestPropertyDecompositionPreservesLanguageUnion(t *testing.T) {
+	// Every path accepted by the original automaton is accepted by some
+	// decomposition piece, and vice versa.
+	s := twoRelSchema(t)
+	a := New(s, 3, 0)
+	a.MustAddTransition(0, postNE("R0"), 1)
+	a.MustAddTransition(0, postNE("R1"), 2)
+	a.MustAddTransition(1, fo.Truth{Val: true}, 1)
+	a.MustAddTransition(1, postNE("R1"), 2)
+	a.SetAccepting(2)
+	subs, err := a.Decompose(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) == 0 {
+		t.Fatal("no pieces")
+	}
+	for _, p := range enumeratePhonePaths(t) {
+		if p.Len() == 0 {
+			continue
+		}
+		orig, err := a.Accepts(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anySub := false
+		for _, sub := range subs {
+			ok, err := sub.Accepts(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				anySub = true
+				break
+			}
+		}
+		if orig != anySub {
+			t.Errorf("decomposition language differs on %s: orig=%v union=%v", p, orig, anySub)
+		}
+	}
+}
+
+func TestPropertyStepStatesMonotone(t *testing.T) {
+	// A larger current state set can only yield a larger successor set.
+	s := twoRelSchema(t)
+	a := seqAutomaton(t, s)
+	p := r0Path(t, s, true)
+	ts, err := p.Transitions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := access.StructureOf(ts[0])
+	small := map[int]bool{0: true}
+	big := map[int]bool{0: true, 1: true}
+	ns, err := a.StepStates(small, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := a.StepStates(big, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range ns {
+		if !nb[q] {
+			t.Errorf("monotonicity violated: %d reachable from subset only", q)
+		}
+	}
+}

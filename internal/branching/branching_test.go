@@ -1,0 +1,224 @@
+package branching
+
+import (
+	"strings"
+	"testing"
+
+	"accltl/internal/access"
+	"accltl/internal/deps"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/lts"
+	"accltl/internal/schema"
+)
+
+func tinySchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	r := schema.MustRelation("R", schema.TypeInt)
+	s2 := schema.MustRelation("S", schema.TypeInt)
+	s := schema.New()
+	for _, err := range []error{
+		s.AddRelation(r), s.AddRelation(s2),
+		s.AddMethod(schema.MustAccessMethod("scanR", r)),
+		s.AddMethod(schema.MustAccessMethod("chkS", s2, 0)),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func tinyUniverse(t testing.TB, s *schema.Schema) *instance.Instance {
+	t.Helper()
+	u := instance.NewInstance(s)
+	u.MustAdd("R", instance.Int(1))
+	u.MustAdd("S", instance.Int(1))
+	return u
+}
+
+func postNE(rel string) Formula {
+	return Atom{Sentence: fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PostPred(rel), Args: []fo.Term{fo.Var("x")}})}
+}
+
+func checker(t testing.TB, s *schema.Schema, u *instance.Instance) *Checker {
+	t.Helper()
+	return &Checker{Schema: s, Opts: lts.Options{Universe: u}}
+}
+
+func firstTransition(t testing.TB, s *schema.Schema, u *instance.Instance) access.Transition {
+	t.Helper()
+	// The scanR access revealing R(1).
+	m, _ := s.Method("scanR")
+	p := access.NewPath(s)
+	p.MustAppend(access.MustAccess(m), instance.Tuple{instance.Int(1)})
+	ts, err := p.Transitions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts[0]
+}
+
+func TestHoldsAtoms(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	c := checker(t, s, u)
+	tr := firstTransition(t, s, u)
+	got, err := c.Holds(postNE("R"), tr)
+	if err != nil || !got {
+		t.Errorf("Rpost = %v, %v", got, err)
+	}
+	got, err = c.Holds(postNE("S"), tr)
+	if err != nil || got {
+		t.Errorf("Spost = %v, %v", got, err)
+	}
+	got, err = c.Holds(Not{F: postNE("S")}, tr)
+	if err != nil || !got {
+		t.Errorf("¬Spost = %v, %v", got, err)
+	}
+}
+
+func TestHoldsEX(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	c := checker(t, s, u)
+	tr := firstTransition(t, s, u)
+	// EX(S revealed): after R(1) is known, chkS(1) can reveal S(1).
+	got, err := c.Holds(EX{F: postNE("S")}, tr)
+	if err != nil || !got {
+		t.Errorf("EX Spost = %v, %v", got, err)
+	}
+	// AX(S revealed) fails: some successor reveals nothing.
+	got, err = c.Holds(AX(postNE("S")), tr)
+	if err != nil || got {
+		t.Errorf("AX Spost = %v, %v", got, err)
+	}
+	// Nested: EX EX (R and S both revealed).
+	both := Conj(postNE("R"), postNE("S"))
+	got, err = c.Holds(EX{F: both}, tr)
+	if err != nil || !got {
+		t.Errorf("EX(R∧S) = %v, %v", got, err)
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	c := checker(t, s, u)
+	// Some initial transition reveals R.
+	ok, wit, err := c.Satisfiable(postNE("R"), nil)
+	if err != nil || !ok {
+		t.Fatalf("satisfiable = %v, %v", ok, err)
+	}
+	if wit.Access.Method.Name() != "scanR" {
+		t.Errorf("witness method = %s", wit.Access.Method.Name())
+	}
+	// Nothing can reveal S first (chkS needs a known value; the binding
+	// pool includes universe values though — non-grounded). With grounded
+	// bindings S-first is impossible.
+	cg := &Checker{Schema: s, Opts: lts.Options{Universe: u, GroundedOnly: true}}
+	ok, _, err = cg.Satisfiable(postNE("S"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("grounded S-first satisfiable")
+	}
+}
+
+func TestEXDepthAndRendering(t *testing.T) {
+	f := EX{F: Conj(postNE("R"), EX{F: postNE("S")})}
+	if EXDepth(f) != 2 {
+		t.Errorf("EX depth = %d", EXDepth(f))
+	}
+	if !strings.Contains(f.String(), "EX") {
+		t.Error("rendering lost EX")
+	}
+	if EXDepth(AX(postNE("R"))) != 1 {
+		t.Error("AX depth wrong")
+	}
+}
+
+func TestBuildTheorem53(t *testing.T) {
+	base := schema.New()
+	r := schema.MustRelation("R", schema.TypeInt, schema.TypeInt, schema.TypeInt)
+	if err := base.AddRelation(r); err != nil {
+		t.Fatal(err)
+	}
+	gamma := deps.Set{FDs: []deps.FD{{Rel: "R", Source: []int{0}, Target: 1}}}
+	sigma := deps.FD{Rel: "R", Source: []int{0}, Target: 2}
+	art, err := BuildTheorem53(base, gamma, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"ChkFDR", "CheckIncDepR"} {
+		if _, ok := art.Schema.Relation(rel); !ok {
+			t.Errorf("relation %s missing", rel)
+		}
+	}
+	m, ok := art.Schema.Method("AccChkFDR")
+	if !ok || !m.IsBoolean() {
+		t.Error("ChkFD access missing or not boolean")
+	}
+	if _, ok := art.Schema.Method("FillR"); !ok {
+		t.Error("FillR missing")
+	}
+	// The formula nests one EX per base relation for the fill phase plus
+	// the verification modalities.
+	if EXDepth(art.Formula) < 1 {
+		t.Error("formula lacks modal structure")
+	}
+	// Embedded sentences are positive and 0-Acc (Theorem 5.3's fragment
+	// is CTL_EX(FO∃+_0-Acc)).
+	var check func(Formula) bool
+	check = func(f Formula) bool {
+		switch g := f.(type) {
+		case Atom:
+			return fo.IsPositive(g.Sentence) && fo.IsZeroAcc(g.Sentence)
+		case Not:
+			return check(g.F)
+		case And:
+			for _, c := range g.Conj {
+				if !check(c) {
+					return false
+				}
+			}
+			return true
+		case Or:
+			for _, d := range g.Disj {
+				if !check(d) {
+					return false
+				}
+			}
+			return true
+		case EX:
+			return check(g.F)
+		default:
+			return false
+		}
+	}
+	if !check(art.Formula) {
+		t.Error("formula outside CTL_EX(FO∃+_0-Acc)")
+	}
+}
+
+func TestTheorem53WithIDs(t *testing.T) {
+	base := schema.New()
+	r := schema.MustRelation("R", schema.TypeInt)
+	s2 := schema.MustRelation("S", schema.TypeInt)
+	if err := base.AddRelation(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddRelation(s2); err != nil {
+		t.Fatal(err)
+	}
+	gamma := deps.Set{IDs: []deps.ID{{SrcRel: "R", SrcPos: []int{0}, DstRel: "S", DstPos: []int{0}}}}
+	sigma := deps.FD{Rel: "R", Source: []int{0}, Target: 0}
+	art, err := BuildTheorem53(base, gamma, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := art.Schema.Relation("CheckIncDepS"); !ok {
+		t.Error("destination CheckIncDep relation missing")
+	}
+}

@@ -1,0 +1,346 @@
+// Package datalog implements the Datalog substrate of Section 4.1: programs
+// with a distinguished goal predicate, naive and semi-naive bottom-up
+// evaluation, proof-tree expansions, and the containment of a Datalog
+// program in a positive first-order sentence (Proposition 4.11, after
+// Chaudhuri–Vardi) that A-automaton emptiness reduces to (Lemma 4.10).
+// It also hosts the answerability construction of [15] used by the
+// relevance package: the Datalog program computing maximal answers under
+// access patterns is built there and evaluated here.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+)
+
+// Rule is a Datalog rule head :- body. The head predicate is intensional;
+// body atoms may use intensional and extensional predicates, variables and
+// constants. A rule with an empty body is a fact template (its head must be
+// ground).
+type Rule struct {
+	Head fo.Atom
+	Body []fo.Atom
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ")
+}
+
+// Program is a Datalog program with a distinguished goal predicate. The
+// intensional schema is the set of head predicates; everything else is
+// extensional.
+type Program struct {
+	Rules []Rule
+	Goal  fo.Pred
+}
+
+// String renders the program.
+func (p *Program) String() string {
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n") + "\ngoal: " + p.Goal.String()
+}
+
+// IDB returns the intensional predicates (head predicates), sorted.
+func (p *Program) IDB() []fo.Pred {
+	seen := make(map[fo.Pred]bool)
+	var out []fo.Pred
+	for _, r := range p.Rules {
+		if !seen[r.Head.Pred] {
+			seen[r.Head.Pred] = true
+			out = append(out, r.Head.Pred)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// isIDB reports whether pred is intensional.
+func (p *Program) isIDB(pred fo.Pred) bool {
+	for _, r := range p.Rules {
+		if r.Head.Pred == pred {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks range restriction (every head variable occurs in the
+// body) and that the goal is intensional.
+func (p *Program) Validate() error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("datalog: empty program")
+	}
+	for _, r := range p.Rules {
+		bodyVars := make(map[string]bool)
+		for _, a := range r.Body {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					bodyVars[t.Name()] = true
+				}
+			}
+		}
+		for _, t := range r.Head.Args {
+			if t.IsVar() && !bodyVars[t.Name()] {
+				return fmt.Errorf("datalog: rule %s not range-restricted (head variable %s unbound)", r, t.Name())
+			}
+		}
+	}
+	if !p.isIDB(p.Goal) {
+		return fmt.Errorf("datalog: goal %s has no rules", p.Goal)
+	}
+	return nil
+}
+
+// IsRecursive reports whether the dependency graph of intensional
+// predicates has a cycle; nonrecursive programs have finitely many
+// expansions, making containment checks exact.
+func (p *Program) IsRecursive() bool {
+	deps := make(map[fo.Pred][]fo.Pred)
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if p.isIDB(a.Pred) {
+				deps[r.Head.Pred] = append(deps[r.Head.Pred], a.Pred)
+			}
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[fo.Pred]int)
+	var dfs func(fo.Pred) bool
+	dfs = func(u fo.Pred) bool {
+		color[u] = gray
+		for _, v := range deps[u] {
+			switch color[v] {
+			case gray:
+				return true
+			case white:
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, u := range p.IDB() {
+		if color[u] == white && dfs(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalStats reports evaluation effort.
+type EvalStats struct {
+	Iterations   int
+	FactsDerived int
+}
+
+// Eval computes the least fixpoint of the program on database db using
+// semi-naive evaluation and returns the full structure (EDB facts plus all
+// derived IDB facts).
+func (p *Program) Eval(db *fo.MapStructure) (*fo.MapStructure, EvalStats, error) {
+	return p.eval(db, true)
+}
+
+// EvalNaive recomputes every rule from scratch each round (ablation D2
+// baseline).
+func (p *Program) EvalNaive(db *fo.MapStructure) (*fo.MapStructure, EvalStats, error) {
+	return p.eval(db, false)
+}
+
+func (p *Program) eval(db *fo.MapStructure, seminaive bool) (*fo.MapStructure, EvalStats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, EvalStats{}, err
+	}
+	total := fo.NewMapStructure()
+	for _, pr := range db.Preds() {
+		for _, t := range db.TuplesOf(pr) {
+			total.Add(pr, t)
+		}
+	}
+	// delta holds facts derived in the previous round.
+	delta := fo.NewMapStructure()
+	// Seed: evaluate all rules once on the EDB.
+	var stats EvalStats
+	seed, err := p.applyRules(total, nil, false)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, f := range seed {
+		if !total.Holds(f.pred, f.tuple) {
+			total.Add(f.pred, f.tuple)
+			delta.Add(f.pred, f.tuple)
+			stats.FactsDerived++
+		}
+	}
+	stats.Iterations = 1
+	for delta.Size() > 0 {
+		stats.Iterations++
+		var derived []fact
+		if seminaive {
+			derived, err = p.applyRules(total, delta, true)
+		} else {
+			derived, err = p.applyRules(total, nil, false)
+		}
+		if err != nil {
+			return nil, stats, err
+		}
+		next := fo.NewMapStructure()
+		for _, f := range derived {
+			if !total.Holds(f.pred, f.tuple) {
+				total.Add(f.pred, f.tuple)
+				next.Add(f.pred, f.tuple)
+				stats.FactsDerived++
+			}
+		}
+		delta = next
+	}
+	return total, stats, nil
+}
+
+type fact struct {
+	pred  fo.Pred
+	tuple instance.Tuple
+}
+
+// applyRules computes one round of immediate consequences. In semi-naive
+// mode, for each rule and each body position holding an IDB atom, it
+// requires that position to match the delta (the standard delta-rewriting),
+// skipping derivations that only use old facts.
+func (p *Program) applyRules(total, delta *fo.MapStructure, seminaive bool) ([]fact, error) {
+	var out []fact
+	for _, r := range p.Rules {
+		if len(r.Body) == 0 {
+			tup, ok := groundAtom(r.Head, nil)
+			if !ok {
+				return nil, fmt.Errorf("datalog: fact rule %s has variables", r)
+			}
+			out = append(out, fact{pred: r.Head.Pred, tuple: tup})
+			continue
+		}
+		if !seminaive {
+			if err := joinRule(r, total, nil, -1, &out); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Semi-naive: one pass per IDB body position pinned to delta.
+		pinned := false
+		for i, a := range r.Body {
+			if p.isIDB(a.Pred) {
+				pinned = true
+				if err := joinRule(r, total, delta, i, &out); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !pinned {
+			// Pure-EDB rule: derivable only in the seed round; nothing new.
+			continue
+		}
+	}
+	return out, nil
+}
+
+// joinRule enumerates homomorphisms of the rule body into the database and
+// emits head facts. If deltaPos >= 0, that body atom must match the delta
+// structure instead of the full one.
+func joinRule(r Rule, total, delta *fo.MapStructure, deltaPos int, out *[]fact) error {
+	env := make(map[string]instance.Value)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(r.Body) {
+			tup, ok := groundAtom(r.Head, env)
+			if !ok {
+				return fmt.Errorf("datalog: rule %s head not grounded by body match", r)
+			}
+			*out = append(*out, fact{pred: r.Head.Pred, tuple: tup})
+			return nil
+		}
+		a := r.Body[i]
+		src := total
+		if i == deltaPos {
+			src = delta
+		}
+		for _, tup := range src.TuplesOf(a.Pred) {
+			if len(tup) != len(a.Args) {
+				continue
+			}
+			var bound []string
+			ok := true
+			for j, t := range a.Args {
+				if t.IsVar() {
+					if v, have := env[t.Name()]; have {
+						if v != tup[j] {
+							ok = false
+							break
+						}
+					} else {
+						env[t.Name()] = tup[j]
+						bound = append(bound, t.Name())
+					}
+				} else if t.Value() != tup[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			for _, b := range bound {
+				delete(env, b)
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// groundAtom instantiates the atom under env; ok is false if a variable is
+// unbound.
+func groundAtom(a fo.Atom, env map[string]instance.Value) (instance.Tuple, bool) {
+	tup := make(instance.Tuple, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			v, ok := env[t.Name()]
+			if !ok {
+				return nil, false
+			}
+			tup[i] = v
+		} else {
+			tup[i] = t.Value()
+		}
+	}
+	return tup, true
+}
+
+// Accepts reports whether the program's goal predicate is nonempty in the
+// least fixpoint over db.
+func (p *Program) Accepts(db *fo.MapStructure) (bool, error) {
+	fix, _, err := p.Eval(db)
+	if err != nil {
+		return false, err
+	}
+	return len(fix.TuplesOf(p.Goal)) > 0, nil
+}

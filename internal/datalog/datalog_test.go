@@ -1,0 +1,340 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+)
+
+var (
+	edge = fo.PlainPred("edge")
+	path = fo.PlainPred("path")
+	goal = fo.PlainPred("goal")
+)
+
+func v(n string) fo.Term                  { return fo.Var(n) }
+func c(i int64) fo.Term                   { return fo.Const(instance.Int(i)) }
+func at(p fo.Pred, ts ...fo.Term) fo.Atom { return fo.Atom{Pred: p, Args: ts} }
+
+// transitive closure program: path(x,y) :- edge(x,y); path(x,z) :- edge(x,y), path(y,z).
+func tcProgram() *Program {
+	return &Program{
+		Rules: []Rule{
+			{Head: at(path, v("x"), v("y")), Body: []fo.Atom{at(edge, v("x"), v("y"))}},
+			{Head: at(path, v("x"), v("z")), Body: []fo.Atom{at(edge, v("x"), v("y")), at(path, v("y"), v("z"))}},
+		},
+		Goal: path,
+	}
+}
+
+func chainDB(n int) *fo.MapStructure {
+	db := fo.NewMapStructure()
+	for i := 0; i < n; i++ {
+		db.Add(edge, instance.Tuple{instance.Int(int64(i)), instance.Int(int64(i + 1))})
+	}
+	return db
+}
+
+func TestEvalTransitiveClosure(t *testing.T) {
+	p := tcProgram()
+	fix, stats, err := p.Eval(chainDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain 0-1-2-3-4: paths = 4+3+2+1 = 10.
+	if got := len(fix.TuplesOf(path)); got != 10 {
+		t.Errorf("path facts = %d, want 10", got)
+	}
+	if !fix.Holds(path, instance.Tuple{instance.Int(0), instance.Int(4)}) {
+		t.Error("path(0,4) missing")
+	}
+	if fix.Holds(path, instance.Tuple{instance.Int(4), instance.Int(0)}) {
+		t.Error("path(4,0) derived")
+	}
+	if stats.FactsDerived != 10 {
+		t.Errorf("facts derived = %d", stats.FactsDerived)
+	}
+	if stats.Iterations < 3 {
+		t.Errorf("iterations = %d (fixpoint too fast for a length-4 chain)", stats.Iterations)
+	}
+}
+
+func TestNaiveAgreesWithSeminaive(t *testing.T) {
+	p := tcProgram()
+	for n := 1; n <= 6; n++ {
+		db := chainDB(n)
+		a, _, err := p.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := p.EvalNaive(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.TuplesOf(path)) != len(b.TuplesOf(path)) {
+			t.Errorf("n=%d: seminaive %d facts, naive %d", n, len(a.TuplesOf(path)), len(b.TuplesOf(path)))
+		}
+	}
+}
+
+func TestAccepts(t *testing.T) {
+	p := tcProgram()
+	ok, err := p.Accepts(chainDB(2))
+	if err != nil || !ok {
+		t.Errorf("accepts = %v, %v", ok, err)
+	}
+	empty := fo.NewMapStructure()
+	ok, err = p.Accepts(empty)
+	if err != nil || ok {
+		t.Errorf("accepts empty = %v, %v", ok, err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Program{
+		Rules: []Rule{{Head: at(path, v("x"), v("y")), Body: []fo.Atom{at(edge, v("x"), v("x"))}}},
+		Goal:  path,
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-range-restricted rule accepted")
+	}
+	noGoal := &Program{
+		Rules: []Rule{{Head: at(path, v("x"), v("y")), Body: []fo.Atom{at(edge, v("x"), v("y"))}}},
+		Goal:  goal,
+	}
+	if err := noGoal.Validate(); err == nil {
+		t.Error("goal without rules accepted")
+	}
+	if err := (&Program{}).Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+func TestIsRecursive(t *testing.T) {
+	if !tcProgram().IsRecursive() {
+		t.Error("transitive closure not recursive")
+	}
+	nonrec := &Program{
+		Rules: []Rule{
+			{Head: at(goal), Body: []fo.Atom{at(edge, v("x"), v("y"))}},
+		},
+		Goal: goal,
+	}
+	if nonrec.IsRecursive() {
+		t.Error("single nonrecursive rule flagged recursive")
+	}
+	// Mutual recursion.
+	a, b := fo.PlainPred("a"), fo.PlainPred("b")
+	mutual := &Program{
+		Rules: []Rule{
+			{Head: at(a, v("x")), Body: []fo.Atom{at(b, v("x"))}},
+			{Head: at(b, v("x")), Body: []fo.Atom{at(a, v("x"))}},
+		},
+		Goal: a,
+	}
+	if !mutual.IsRecursive() {
+		t.Error("mutual recursion missed")
+	}
+}
+
+func TestConstantsInRules(t *testing.T) {
+	// goal() :- edge(0, x): only accepts databases with an edge from 0.
+	g := &Program{
+		Rules: []Rule{{Head: at(goal), Body: []fo.Atom{at(edge, c(0), v("x"))}}},
+		Goal:  goal,
+	}
+	ok, err := g.Accepts(chainDB(2))
+	if err != nil || !ok {
+		t.Errorf("accepts chain from 0 = %v, %v", ok, err)
+	}
+	db := fo.NewMapStructure()
+	db.Add(edge, instance.Tuple{instance.Int(5), instance.Int(6)})
+	ok, err = g.Accepts(db)
+	if err != nil || ok {
+		t.Errorf("accepts edge(5,6) = %v, %v", ok, err)
+	}
+}
+
+func TestExpansionsNonrecursive(t *testing.T) {
+	// goal :- a(x), b(x);  a(x) :- edge(x,y);  b(x) :- edge(y,x).
+	a, b := fo.PlainPred("a"), fo.PlainPred("b")
+	p := &Program{
+		Rules: []Rule{
+			{Head: at(goal), Body: []fo.Atom{at(a, v("x")), at(b, v("x"))}},
+			{Head: at(a, v("x")), Body: []fo.Atom{at(edge, v("x"), v("y"))}},
+			{Head: at(b, v("x")), Body: []fo.Atom{at(edge, v("y"), v("x"))}},
+		},
+		Goal: goal,
+	}
+	exps, truncated, err := p.Expansions(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("nonrecursive program truncated at depth 10")
+	}
+	if len(exps) != 1 {
+		t.Fatalf("expansions = %d, want 1", len(exps))
+	}
+	// The single expansion: edge(x,y) ∧ edge(z,x) — join on x preserved.
+	cq := exps[0].CQ
+	if len(cq.Atoms) != 2 {
+		t.Fatalf("expansion atoms = %d", len(cq.Atoms))
+	}
+	if cq.Atoms[0].Args[0].Name() != cq.Atoms[1].Args[1].Name() {
+		t.Errorf("join variable lost: %s", cq)
+	}
+}
+
+func TestExpansionsRecursive(t *testing.T) {
+	p := tcProgram()
+	exps, truncated, err := p.Expansions(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("recursive program not truncated")
+	}
+	// Expansions at depths 1..3: edge chains of lengths 1, 2, 3.
+	if len(exps) != 3 {
+		t.Fatalf("expansions = %d, want 3", len(exps))
+	}
+	sizes := map[int]bool{}
+	for _, e := range exps {
+		sizes[len(e.CQ.Atoms)] = true
+	}
+	for want := 1; want <= 3; want++ {
+		if !sizes[want] {
+			t.Errorf("missing chain expansion of length %d", want)
+		}
+	}
+}
+
+func TestExpansionConstantClash(t *testing.T) {
+	// goal :- a(1); a(2) :- edge(x,y). Unifying a(1) with head a(2) clashes:
+	// no expansions.
+	a := fo.PlainPred("a")
+	p := &Program{
+		Rules: []Rule{
+			{Head: at(goal), Body: []fo.Atom{at(a, c(1))}},
+			{Head: at(a, c(2)), Body: []fo.Atom{at(edge, v("x"), v("y"))}},
+		},
+		Goal: goal,
+	}
+	exps, _, err := p.Expansions(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 0 {
+		t.Errorf("clashing expansion produced: %v", exps)
+	}
+}
+
+func TestContainedInPositive(t *testing.T) {
+	p := tcProgram()
+	// Every path expansion contains an edge: P ⊆ ∃x,y edge(x,y).
+	phi := fo.Ex([]string{"x", "y"}, at(edge, v("x"), v("y")))
+	res, err := p.ContainedIn(phi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Error("TC not contained in ∃ edge")
+	}
+	if res.ExpansionsChecked == 0 {
+		t.Error("no expansions checked")
+	}
+}
+
+func TestContainedInRefutation(t *testing.T) {
+	p := tcProgram()
+	// P ⊄ ∃x edge(x,x): the single-edge expansion has no self-loop.
+	phi := fo.Ex([]string{"x"}, at(edge, v("x"), v("x")))
+	res, err := p.ContainedIn(phi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Error("TC contained in self-loop query")
+	}
+	if !res.Exact {
+		t.Error("refutation not marked exact")
+	}
+	if res.Counterexample == nil {
+		t.Error("no counterexample returned")
+	}
+	// The counterexample must itself violate phi.
+	holds, err := fo.Eval(phi, res.Counterexample)
+	if err != nil || holds {
+		t.Errorf("counterexample satisfies phi: %v %v", holds, err)
+	}
+}
+
+func TestContainedInWithConstants(t *testing.T) {
+	// goal :- edge(0,x). Contained in ∃y edge(0,y) but not in ∃y edge(1,y).
+	g := &Program{
+		Rules: []Rule{{Head: at(goal), Body: []fo.Atom{at(edge, c(0), v("x"))}}},
+		Goal:  goal,
+	}
+	phi0 := fo.Ex([]string{"y"}, at(edge, c(0), v("y")))
+	res, err := g.ContainedIn(phi0, 0)
+	if err != nil || !res.Contained || !res.Exact {
+		t.Errorf("⊆ edge(0,·): %+v, %v", res, err)
+	}
+	phi1 := fo.Ex([]string{"y"}, at(edge, c(1), v("y")))
+	res, err = g.ContainedIn(phi1, 0)
+	if err != nil || res.Contained {
+		t.Errorf("⊆ edge(1,·): %+v, %v", res, err)
+	}
+}
+
+func TestContainedInRejectsNonPositive(t *testing.T) {
+	p := tcProgram()
+	neg := fo.Not{F: fo.Ex([]string{"x", "y"}, at(edge, v("x"), v("y")))}
+	if _, err := p.ContainedIn(neg, 0); err == nil {
+		t.Error("negative sentence accepted")
+	}
+}
+
+func TestContainmentSoundnessOnEval(t *testing.T) {
+	// Semantic cross-check: if ContainedIn says yes (exactly), then on any
+	// database where the program accepts, phi must hold.
+	p := tcProgram()
+	phi := fo.Ex([]string{"x", "y"}, at(edge, v("x"), v("y")))
+	res, err := p.ContainedIn(phi, 6)
+	if err != nil || !res.Contained {
+		t.Fatalf("unexpected: %+v, %v", res, err)
+	}
+	for n := 1; n <= 4; n++ {
+		db := chainDB(n)
+		acc, err := p.Accepts(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc {
+			holds, err := fo.Eval(phi, db)
+			if err != nil || !holds {
+				t.Errorf("n=%d: accepted but phi fails", n)
+			}
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := tcProgram()
+	s := p.String()
+	if !strings.Contains(s, ":-") || !strings.Contains(s, "goal: path") {
+		t.Errorf("program rendering: %s", s)
+	}
+	if !strings.Contains(p.Rules[0].String(), "path(x,y) :- edge(x,y)") {
+		t.Errorf("rule rendering: %s", p.Rules[0])
+	}
+}
+
+func TestDefaultContainmentDepth(t *testing.T) {
+	if d := tcProgram().DefaultContainmentDepth(); d < 3 {
+		t.Errorf("default depth = %d", d)
+	}
+}

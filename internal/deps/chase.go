@@ -1,0 +1,206 @@
+package deps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The chase for FD+ID implication. The implication problem "Γ implies σ"
+// for functional and inclusion dependencies is undecidable (Chandra–Vardi
+// [6]), which is the source of every undecidability result in the paper.
+// The chase is its standard semi-decision procedure: start from the tableau
+// of two tuples agreeing on σ's source positions, fire FDs (equate values)
+// and IDs (add tuples with fresh nulls) to a fixpoint or a step budget, and
+// check whether σ's targets were equated.
+
+// chaseTuple is a tuple of symbolic values (ints; equalities tracked by
+// union-find).
+type chaseTuple struct {
+	rel  string
+	vals []int
+}
+
+// ImplicationVerdict is the outcome of a chase.
+type ImplicationVerdict int
+
+const (
+	// Implied: the chase proved Γ ⊨ σ.
+	Implied ImplicationVerdict = iota
+	// NotImplied: the chase reached a fixpoint without equating σ's
+	// targets — the final tableau is a counterexample.
+	NotImplied
+	// Unknown: the step budget ran out before a fixpoint (IDs can make the
+	// chase diverge; the problem is undecidable).
+	Unknown
+)
+
+// String names the verdict.
+func (v ImplicationVerdict) String() string {
+	switch v {
+	case Implied:
+		return "implied"
+	case NotImplied:
+		return "not implied"
+	case Unknown:
+		return "unknown (budget exhausted)"
+	default:
+		return fmt.Sprintf("ImplicationVerdict(%d)", int(v))
+	}
+}
+
+// chaseState carries the tableau and the value union-find.
+type chaseState struct {
+	tuples []chaseTuple
+	parent []int
+	arity  map[string]int
+}
+
+func (c *chaseState) fresh() int {
+	c.parent = append(c.parent, len(c.parent))
+	return len(c.parent) - 1
+}
+
+func (c *chaseState) find(x int) int {
+	for c.parent[x] != x {
+		c.parent[x] = c.parent[c.parent[x]]
+		x = c.parent[x]
+	}
+	return x
+}
+
+func (c *chaseState) union(a, b int) bool {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return false
+	}
+	c.parent[ra] = rb
+	return true
+}
+
+func (c *chaseState) key(t chaseTuple) string {
+	parts := make([]string, len(t.vals)+1)
+	parts[0] = t.rel
+	for i, v := range t.vals {
+		parts[i+1] = fmt.Sprint(c.find(v))
+	}
+	return strings.Join(parts, "|")
+}
+
+// Implies runs the chase to decide whether gamma implies sigma, with the
+// given step budget (0 = 10000 steps). For FD-only gamma the chase always
+// terminates, so the verdict is never Unknown.
+func Implies(gamma Set, sigma FD, arities map[string]int, budget int) (ImplicationVerdict, error) {
+	if budget == 0 {
+		budget = 10000
+	}
+	if len(gamma.Disjointness) != 0 {
+		return Unknown, fmt.Errorf("deps: disjointness constraints have no chase rule; implication over FDs+IDs only")
+	}
+	n, ok := arities[sigma.Rel]
+	if !ok {
+		return Unknown, fmt.Errorf("deps: arity of %s unknown", sigma.Rel)
+	}
+	st := &chaseState{arity: arities}
+	// Tableau: two tuples agreeing exactly on sigma.Source.
+	a := chaseTuple{rel: sigma.Rel, vals: make([]int, n)}
+	b := chaseTuple{rel: sigma.Rel, vals: make([]int, n)}
+	for i := 0; i < n; i++ {
+		a.vals[i] = st.fresh()
+		b.vals[i] = st.fresh()
+	}
+	for _, p := range sigma.Source {
+		st.union(a.vals[p], b.vals[p])
+	}
+	st.tuples = append(st.tuples, a, b)
+
+	steps := 0
+	for {
+		changed := false
+		// FD rules: equate targets of tuples agreeing on sources.
+		for _, fd := range gamma.FDs {
+			for i := 0; i < len(st.tuples); i++ {
+				if st.tuples[i].rel != fd.Rel {
+					continue
+				}
+				for j := i + 1; j < len(st.tuples); j++ {
+					if st.tuples[j].rel != fd.Rel {
+						continue
+					}
+					agree := true
+					for _, p := range fd.Source {
+						if st.find(st.tuples[i].vals[p]) != st.find(st.tuples[j].vals[p]) {
+							agree = false
+							break
+						}
+					}
+					if agree && st.union(st.tuples[i].vals[fd.Target], st.tuples[j].vals[fd.Target]) {
+						changed = true
+						steps++
+					}
+				}
+			}
+		}
+		// ID rules: add a witness tuple when the destination lacks one.
+		existing := make(map[string]bool, len(st.tuples))
+		for _, t := range st.tuples {
+			existing[st.key(t)] = true
+		}
+		var added []chaseTuple
+		for _, id := range gamma.IDs {
+			dstArity, ok := st.arity[id.DstRel]
+			if !ok {
+				return Unknown, fmt.Errorf("deps: arity of %s unknown", id.DstRel)
+			}
+			for _, t := range st.tuples {
+				if t.rel != id.SrcRel {
+					continue
+				}
+				if chaseHasWitness(st, t, id) {
+					continue
+				}
+				w := chaseTuple{rel: id.DstRel, vals: make([]int, dstArity)}
+				for i := range w.vals {
+					w.vals[i] = st.fresh()
+				}
+				for i := range id.SrcPos {
+					st.union(w.vals[id.DstPos[i]], t.vals[id.SrcPos[i]])
+				}
+				if !existing[st.key(w)] {
+					existing[st.key(w)] = true
+					added = append(added, w)
+					changed = true
+					steps++
+				}
+			}
+		}
+		st.tuples = append(st.tuples, added...)
+		if st.find(a.vals[sigma.Target]) == st.find(b.vals[sigma.Target]) {
+			return Implied, nil
+		}
+		if !changed {
+			return NotImplied, nil
+		}
+		if steps > budget {
+			return Unknown, nil
+		}
+	}
+}
+
+func chaseHasWitness(st *chaseState, t chaseTuple, id ID) bool {
+	for _, u := range st.tuples {
+		if u.rel != id.DstRel {
+			continue
+		}
+		match := true
+		for i := range id.SrcPos {
+			if st.find(u.vals[id.DstPos[i]]) != st.find(t.vals[id.SrcPos[i]]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

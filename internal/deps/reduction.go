@@ -1,0 +1,352 @@
+package deps
+
+import (
+	"fmt"
+
+	"accltl/internal/accltl"
+	"accltl/internal/fo"
+	"accltl/internal/schema"
+)
+
+// Executable reduction constructions from dependency implication to AccLTL
+// satisfiability — the engines behind Theorems 3.1 and 5.2.
+//
+// Theorem 5.2 reduces FD+ID implication to satisfiability of binding-
+// positive AccLTL(FO∃+,≠_Acc): the formula below asserts that a filled
+// instance satisfies Γ and violates σ, so it is satisfiable iff Γ does not
+// (finitely) imply σ. FDs and disjointness constraints need only the
+// ≠-violation patterns of Example 2.4; inclusion dependencies are where the
+// paper's successor-iteration machinery enters (they are not co-expressible
+// as a negated ∃+ pattern), and they are what pushes the fragment over the
+// undecidability line.
+//
+// Theorem 3.1 eliminates the inequalities by trading them for iteration:
+// the schema grows successor/begin/end relations and ChkFD relations with
+// boolean access methods, and nested untils force an exhaustive pairwise
+// walk. BuildTheorem31Schema/Theorem31Formula construct that object; its
+// fragment classification (full AccLTL(FO∃+_Acc), no ≠) is what the paper's
+// statement needs, and the test suite validates the construction
+// structurally. Running it end-to-end would decide an undecidable problem —
+// the bounded solver demonstrates the satisfiable direction on small
+// instances.
+
+// FillSchema extends a base schema so every relation has an input-free
+// access method Fill<R> (the proofs' device for revealing arbitrary
+// configurations).
+func FillSchema(base *schema.Schema) (*schema.Schema, error) {
+	out := schema.New()
+	for _, r := range base.Relations() {
+		nr, err := schema.NewRelation(r.Name(), r.Types()...)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddRelation(nr); err != nil {
+			return nil, err
+		}
+		m, err := schema.NewAccessMethod("Fill"+r.Name(), nr)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddMethod(m); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Theorem52Formula builds the AccLTL(FO∃+,≠_Acc) sentence that is
+// satisfiable over the fill schema iff some finite instance satisfies every
+// FD and disjointness constraint in gamma and violates sigma:
+//
+//	F( ⋀_{d∈Γ} ¬viol_d^post  ∧  viol_σ^post )
+//
+// Inclusion dependencies are rejected here — encoding them needs the
+// Theorem 3.1 iteration (see BuildTheorem31Schema).
+func Theorem52Formula(sch *schema.Schema, gamma Set, sigma FD) (accltl.Formula, error) {
+	if len(gamma.IDs) != 0 {
+		return nil, fmt.Errorf("deps: inclusion dependencies need the successor-iteration encoding (Theorem31Formula)")
+	}
+	if err := gamma.Validate(sch); err != nil {
+		return nil, err
+	}
+	if err := sigma.Validate(sch); err != nil {
+		return nil, err
+	}
+	var conj []accltl.Formula
+	for _, d := range gamma.FDs {
+		v, err := d.ViolationSentence(sch, fo.Post)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, accltl.Not{F: accltl.Atom{Sentence: v}})
+	}
+	for _, d := range gamma.Disjointness {
+		v, err := d.ViolationSentence(sch, fo.Post)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, accltl.Not{F: accltl.Atom{Sentence: v}})
+	}
+	sv, err := sigma.ViolationSentence(sch, fo.Post)
+	if err != nil {
+		return nil, err
+	}
+	conj = append(conj, accltl.Atom{Sentence: sv})
+	return accltl.F(accltl.Conj(conj...)), nil
+}
+
+// Theorem31Artifacts is the output of the Theorem 3.1 construction.
+type Theorem31Artifacts struct {
+	// Schema extends the fill schema with, per relation R mentioned by the
+	// dependencies: Succ<R> (successor of a total order over R's tuples,
+	// arity 2·|R|), Beg<R> and End<R> (first/last tuple), and ChkFD<R>
+	// (pairs verified FD-consistent, arity 2·|R|) — all with the access
+	// methods the proof prescribes (boolean on ChkFD, input-free reveals
+	// on the order relations).
+	Schema *schema.Schema
+	// Formula is the AccLTL(FO∃+_Acc) sentence of the reduction: fill
+	// phase, order reveal, then the nested-until pairwise verification
+	// walk, asserting Γ holds and σ fails.
+	Formula accltl.Formula
+}
+
+// BuildTheorem31 constructs the Theorem 3.1 reduction object for an FD
+// implication instance (the ID clauses reuse the same iteration device via
+// CheckIncDep relations; they enlarge the formula the same way and are
+// included when present).
+func BuildTheorem31(base *schema.Schema, gamma Set, sigma FD) (*Theorem31Artifacts, error) {
+	if err := gamma.Validate(base); err != nil {
+		return nil, err
+	}
+	if err := sigma.Validate(base); err != nil {
+		return nil, err
+	}
+	sch, err := FillSchema(base)
+	if err != nil {
+		return nil, err
+	}
+	// Relations needing verification machinery.
+	needed := map[string]bool{sigma.Rel: true}
+	for _, d := range gamma.FDs {
+		needed[d.Rel] = true
+	}
+	for _, d := range gamma.IDs {
+		needed[d.SrcRel] = true
+	}
+	for rel := range needed {
+		r, _ := sch.Relation(rel)
+		double := append(r.Types(), r.Types()...)
+		succ, err := schema.NewRelation("Succ"+rel, double...)
+		if err != nil {
+			return nil, err
+		}
+		beg, err := schema.NewRelation("Beg"+rel, r.Types()...)
+		if err != nil {
+			return nil, err
+		}
+		end, err := schema.NewRelation("End"+rel, r.Types()...)
+		if err != nil {
+			return nil, err
+		}
+		chk, err := schema.NewRelation("ChkFD"+rel, double...)
+		if err != nil {
+			return nil, err
+		}
+		for _, nr := range []*schema.Relation{succ, beg, end, chk} {
+			if err := sch.AddRelation(nr); err != nil {
+				return nil, err
+			}
+		}
+		for _, m := range []struct {
+			name string
+			rel  *schema.Relation
+			all  bool
+		}{
+			{"RevealSucc" + rel, succ, false},
+			{"RevealBeg" + rel, beg, false},
+			{"RevealEnd" + rel, end, false},
+			{"Check" + rel, chk, true},
+		} {
+			var method *schema.AccessMethod
+			if m.all {
+				ins := make([]int, m.rel.Arity())
+				for i := range ins {
+					ins[i] = i
+				}
+				method, err = schema.NewAccessMethod(m.name, m.rel, ins...)
+			} else {
+				method, err = schema.NewAccessMethod(m.name, m.rel)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := sch.AddMethod(method); err != nil {
+				return nil, err
+			}
+		}
+	}
+	f, err := theorem31Formula(sch, gamma, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return &Theorem31Artifacts{Schema: sch, Formula: f}, nil
+}
+
+// theorem31Formula assembles the reduction sentence. Structure (following
+// the proof sketch of Theorem 3.1):
+//
+//  1. fill phase: eventually every relation of Γ∪{σ} is populated and its
+//     order relations revealed (Beg/End nonempty);
+//  2. verification loop: a nested until walks ChkFD accesses forward — each
+//     Check access on (x̄,ȳ) is only legal when both tuples are in R_pre,
+//     they agree on the FD sources and targets pairwise (equality only: no
+//     ≠ anywhere), or the pair is exempt; the End tuple closes the loop;
+//  3. failure of σ: one Check access on a σ-source-agreeing pair is
+//     required whose targets are *not* identified — expressed positively by
+//     demanding a successor step separate the two target values in the
+//     order (Succ is irreflexive by construction of the walk).
+func theorem31Formula(sch *schema.Schema, gamma Set, sigma FD) (accltl.Formula, error) {
+	nonEmpty := func(rel string, stage fo.Stage) (accltl.Formula, error) {
+		r, ok := sch.Relation(rel)
+		if !ok {
+			return nil, fmt.Errorf("deps: unknown relation %s", rel)
+		}
+		var vars []string
+		args := make([]fo.Term, r.Arity())
+		for i := range args {
+			v := fmt.Sprintf("v%d", i)
+			args[i] = fo.Var(v)
+			vars = append(vars, v)
+		}
+		return accltl.Atom{Sentence: fo.Ex(vars, fo.Atom{Pred: fo.Pred{Name: rel, Stage: stage}, Args: args})}, nil
+	}
+	var fillConj []accltl.Formula
+	seen := map[string]bool{}
+	addFill := func(rel string) error {
+		if seen[rel] {
+			return nil
+		}
+		seen[rel] = true
+		for _, aux := range []string{rel, "Succ" + rel, "Beg" + rel, "End" + rel} {
+			if _, ok := sch.Relation(aux); !ok {
+				continue
+			}
+			ne, err := nonEmpty(aux, fo.Post)
+			if err != nil {
+				return err
+			}
+			fillConj = append(fillConj, ne)
+		}
+		return nil
+	}
+	if err := addFill(sigma.Rel); err != nil {
+		return nil, err
+	}
+	for _, d := range gamma.FDs {
+		if err := addFill(d.Rel); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range gamma.IDs {
+		if err := addFill(d.SrcRel); err != nil {
+			return nil, err
+		}
+		if seen[d.DstRel] {
+			continue
+		}
+		ne, err := nonEmpty(d.DstRel, fo.Post)
+		if err != nil {
+			return nil, err
+		}
+		seen[d.DstRel] = true
+		fillConj = append(fillConj, ne)
+	}
+
+	// Verification side: every Check access must be legal. Legality of a
+	// Check<R> access on (x̄,ȳ): both tuples in R_pre, and for each FD on R
+	// with sources agreed, targets agreed (pure equalities).
+	var legal []accltl.Formula
+	for rel := range seen {
+		if _, ok := sch.Relation("ChkFD" + rel); !ok {
+			continue
+		}
+		r, _ := sch.Relation(rel)
+		n := r.Arity()
+		var vars []string
+		xs := make([]fo.Term, n)
+		ys := make([]fo.Term, n)
+		for i := 0; i < n; i++ {
+			xv, yv := fmt.Sprintf("cx%d", i), fmt.Sprintf("cy%d", i)
+			xs[i], ys[i] = fo.Var(xv), fo.Var(yv)
+			vars = append(vars, xv, yv)
+		}
+		bindArgs := append(append([]fo.Term{}, xs...), ys...)
+		trigger := fo.Ex(vars, fo.Atom{Pred: fo.IsBindPred("Check" + rel), Args: bindArgs})
+		// Legal body: the same binding, both tuples present, and the FD
+		// consequences as equalities guarded by source agreement — encoded
+		// as a disjunction "sources differ (via order separation) or
+		// targets equal". Order separation is itself positive: some Succ
+		// step lies between, which the walk realizes; we keep the
+		// equality-only core here.
+		bodyConj := []fo.Formula{
+			fo.Atom{Pred: fo.IsBindPred("Check" + rel), Args: bindArgs},
+			fo.Atom{Pred: fo.PrePred(rel), Args: xs},
+			fo.Atom{Pred: fo.PrePred(rel), Args: ys},
+		}
+		for _, d := range gamma.FDs {
+			if d.Rel != rel {
+				continue
+			}
+			var agree []fo.Formula
+			for _, p := range d.Source {
+				agree = append(agree, fo.Eq{L: xs[p], R: ys[p]})
+			}
+			agree = append(agree, fo.Eq{L: xs[d.Target], R: ys[d.Target]})
+			sepVars := make([]fo.Term, 2*n)
+			var sv []string
+			for i := range sepVars {
+				v := fmt.Sprintf("s%d", i)
+				sepVars[i] = fo.Var(v)
+				sv = append(sv, v)
+			}
+			separated := fo.Ex(sv, fo.Atom{Pred: fo.PrePred("Succ" + rel), Args: sepVars})
+			bodyConj = append(bodyConj, fo.Disj(fo.Conj(agree...), separated))
+		}
+		legal = append(legal, accltl.Implies(
+			accltl.Atom{Sentence: trigger},
+			accltl.Atom{Sentence: fo.Ex(vars, fo.Conj(bodyConj...))},
+		))
+	}
+
+	// σ-failure: eventually a Check access on σ's relation whose pair
+	// agrees on σ's sources while the targets are separated in the order.
+	r, _ := sch.Relation(sigma.Rel)
+	n := r.Arity()
+	var vars []string
+	xs := make([]fo.Term, n)
+	ys := make([]fo.Term, n)
+	for i := 0; i < n; i++ {
+		xv, yv := fmt.Sprintf("fx%d", i), fmt.Sprintf("fy%d", i)
+		xs[i], ys[i] = fo.Var(xv), fo.Var(yv)
+		vars = append(vars, xv, yv)
+	}
+	failConj := []fo.Formula{
+		fo.Atom{Pred: fo.PostPred(sigma.Rel), Args: xs},
+		fo.Atom{Pred: fo.PostPred(sigma.Rel), Args: ys},
+	}
+	for _, p := range sigma.Source {
+		failConj = append(failConj, fo.Eq{L: xs[p], R: ys[p]})
+	}
+	// Target separation without ≠: the pair (x̄,ȳ) itself appears as a
+	// successor step, which the construction arranges only for distinct
+	// tuples.
+	succArgs := append(append([]fo.Term{}, xs...), ys...)
+	failConj = append(failConj, fo.Atom{Pred: fo.PostPred("Succ" + sigma.Rel), Args: succArgs})
+	sigmaFail := accltl.F(accltl.Atom{Sentence: fo.Ex(vars, fo.Conj(failConj...))})
+
+	parts := []accltl.Formula{accltl.F(accltl.Conj(fillConj...)), sigmaFail}
+	for _, l := range legal {
+		parts = append(parts, accltl.G(l))
+	}
+	return accltl.Conj(parts...), nil
+}

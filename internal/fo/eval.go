@@ -1,0 +1,404 @@
+package fo
+
+import (
+	"fmt"
+
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// Structure is a finite relational structure over the Sch_Acc vocabulary:
+// what a single transition of an access path induces (the structure M(t_i)
+// of Section 2), or a plain instance viewed through Plain predicates.
+type Structure interface {
+	// Holds reports whether the predicate contains the tuple.
+	Holds(p Pred, t instance.Tuple) bool
+	// TuplesOf returns all tuples of the predicate (deterministic order).
+	TuplesOf(p Pred) []instance.Tuple
+	// Domain returns the active domain of the structure: every value
+	// occurring in any predicate.
+	Domain() []instance.Value
+}
+
+// MapStructure is a simple in-memory Structure backed by maps. It is the
+// canonical-database representation used by containment checks, and handy
+// in tests.
+type MapStructure struct {
+	rels map[Pred]map[string]instance.Tuple
+	dom  map[instance.Value]bool
+}
+
+// NewMapStructure returns an empty structure.
+func NewMapStructure() *MapStructure {
+	return &MapStructure{
+		rels: make(map[Pred]map[string]instance.Tuple),
+		dom:  make(map[instance.Value]bool),
+	}
+}
+
+// Add inserts a tuple into predicate p.
+func (m *MapStructure) Add(p Pred, t instance.Tuple) {
+	rel := m.rels[p]
+	if rel == nil {
+		rel = make(map[string]instance.Tuple)
+		m.rels[p] = rel
+	}
+	rel[t.Key()] = t.Clone()
+	for _, v := range t {
+		m.dom[v] = true
+	}
+}
+
+// Holds implements Structure.
+func (m *MapStructure) Holds(p Pred, t instance.Tuple) bool {
+	rel := m.rels[p]
+	if rel == nil {
+		return false
+	}
+	_, ok := rel[t.Key()]
+	return ok
+}
+
+// TuplesOf implements Structure.
+func (m *MapStructure) TuplesOf(p Pred) []instance.Tuple {
+	rel := m.rels[p]
+	if len(rel) == 0 {
+		return nil
+	}
+	out := make([]instance.Tuple, 0, len(rel))
+	for _, t := range rel {
+		out = append(out, t)
+	}
+	sortTuples(out)
+	return out
+}
+
+// Domain implements Structure.
+func (m *MapStructure) Domain() []instance.Value {
+	out := make([]instance.Value, 0, len(m.dom))
+	for v := range m.dom {
+		out = append(out, v)
+	}
+	sortValues(out)
+	return out
+}
+
+// Preds returns the predicates with at least one tuple.
+func (m *MapStructure) Preds() []Pred {
+	out := make([]Pred, 0, len(m.rels))
+	for p, rel := range m.rels {
+		if len(rel) > 0 {
+			out = append(out, p)
+		}
+	}
+	sortPreds(out)
+	return out
+}
+
+// Size returns the total number of tuples.
+func (m *MapStructure) Size() int {
+	n := 0
+	for _, rel := range m.rels {
+		n += len(rel)
+	}
+	return n
+}
+
+func sortTuples(ts []instance.Tuple) {
+	sortSlice(len(ts), func(i, j int) bool { return ts[i].Less(ts[j]) }, func(i, j int) { ts[i], ts[j] = ts[j], ts[i] })
+}
+
+func sortValues(vs []instance.Value) {
+	sortSlice(len(vs), func(i, j int) bool { return vs[i].Less(vs[j]) }, func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+}
+
+func sortPreds(ps []Pred) {
+	sortSlice(len(ps), func(i, j int) bool {
+		if ps[i].Stage != ps[j].Stage {
+			return ps[i].Stage < ps[j].Stage
+		}
+		return ps[i].Name < ps[j].Name
+	}, func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+}
+
+// sortSlice is a tiny insertion sort avoiding repeated sort.Slice closures
+// allocation in hot paths; n is small throughout this package's uses.
+func sortSlice(n int, less func(i, j int) bool, swap func(i, j int)) {
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && less(j, j-1); j-- {
+			swap(j, j-1)
+		}
+	}
+}
+
+// Eval decides whether the sentence f holds in st. Quantifiers range over
+// the structure's active domain extended with the constants of f and a small
+// reserve of fresh values per datatype; for positive existential formulas
+// with equality and inequality this extension is complete (a fresh witness
+// is needed only to satisfy ≠ against all current values, and one fresh
+// value per quantified variable suffices).
+//
+// Eval returns an error when f has free variables.
+func Eval(f Formula, st Structure) (bool, error) {
+	fv := FreeVars(f)
+	if len(fv) != 0 {
+		return false, fmt.Errorf("fo: Eval of open formula %s (free vars %v)", f, fv)
+	}
+	dom := evalDomain(f, st)
+	env := make(map[string]instance.Value)
+	return eval(f, st, dom, env), nil
+}
+
+// EvalWith decides f under an environment binding its free variables.
+func EvalWith(f Formula, st Structure, env map[string]instance.Value) (bool, error) {
+	for _, v := range FreeVars(f) {
+		if _, ok := env[v]; !ok {
+			return false, fmt.Errorf("fo: EvalWith: free variable %s unbound", v)
+		}
+	}
+	dom := evalDomain(f, st)
+	return eval(f, st, dom, env), nil
+}
+
+// evalDomain assembles the quantification domain: active domain, formula
+// constants, plus fresh values per type for ≠-witnesses.
+func evalDomain(f Formula, st Structure) []instance.Value {
+	seen := make(map[instance.Value]bool)
+	var dom []instance.Value
+	add := func(v instance.Value) {
+		if !seen[v] {
+			seen[v] = true
+			dom = append(dom, v)
+		}
+	}
+	for _, v := range st.Domain() {
+		add(v)
+	}
+	for _, v := range Constants(f) {
+		add(v)
+	}
+	// Fresh reserve: as many fresh values per kind as quantified variables,
+	// but capped — one fresh int and string per variable is enough for any
+	// chain of inequalities.
+	nvars := countQuantified(f)
+	if nvars > 0 {
+		// Fresh ints: pick values below any present (min-1 downward).
+		var minInt int64 = 0
+		for v := range seen {
+			if v.Kind() == schema.TypeInt && v.AsInt() < minInt {
+				minInt = v.AsInt()
+			}
+		}
+		for i := 1; i <= nvars; i++ {
+			add(instance.Int(minInt - int64(i) - 1000000007))
+		}
+		for i := 0; i < nvars; i++ {
+			add(instance.Str(fmt.Sprintf("$fresh%d", i)))
+		}
+		add(instance.Bool(true))
+		add(instance.Bool(false))
+	}
+	return dom
+}
+
+func countQuantified(f Formula) int {
+	switch g := f.(type) {
+	case And:
+		n := 0
+		for _, c := range g.Conj {
+			n += countQuantified(c)
+		}
+		return n
+	case Or:
+		n := 0
+		for _, d := range g.Disj {
+			n += countQuantified(d)
+		}
+		return n
+	case Not:
+		return countQuantified(g.F)
+	case Exists:
+		return len(g.Vars) + countQuantified(g.Body)
+	default:
+		return 0
+	}
+}
+
+func termValue(t Term, env map[string]instance.Value) (instance.Value, bool) {
+	if t.IsVar() {
+		v, ok := env[t.Name()]
+		return v, ok
+	}
+	return t.Value(), true
+}
+
+func eval(f Formula, st Structure, dom []instance.Value, env map[string]instance.Value) bool {
+	switch g := f.(type) {
+	case Truth:
+		return g.Val
+	case Atom:
+		tup := make(instance.Tuple, len(g.Args))
+		for i, a := range g.Args {
+			v, ok := termValue(a, env)
+			if !ok {
+				return false
+			}
+			tup[i] = v
+		}
+		return st.Holds(g.Pred, tup)
+	case Eq:
+		l, lok := termValue(g.L, env)
+		r, rok := termValue(g.R, env)
+		return lok && rok && l == r
+	case Neq:
+		l, lok := termValue(g.L, env)
+		r, rok := termValue(g.R, env)
+		return lok && rok && l != r
+	case And:
+		for _, c := range g.Conj {
+			if !eval(c, st, dom, env) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, d := range g.Disj {
+			if eval(d, st, dom, env) {
+				return true
+			}
+		}
+		return false
+	case Not:
+		return !eval(g.F, st, dom, env)
+	case Exists:
+		return evalExists(g.Vars, g.Body, st, dom, env)
+	default:
+		return false
+	}
+}
+
+// evalExists enumerates assignments for the quantified variables. Rather
+// than blindly ranging each variable over the full domain, it seeds
+// candidate assignments from matching atom tuples when the body is (or
+// starts with) a conjunction of atoms; this makes evaluation behave like a
+// join rather than a cross product.
+func evalExists(vars []string, body Formula, st Structure, dom []instance.Value, env map[string]instance.Value) bool {
+	// Collect positive atoms usable as generators for the variables.
+	atoms := generatorAtoms(body)
+	return searchAssign(vars, 0, atoms, body, st, dom, env)
+}
+
+// generatorAtoms returns atoms that occur conjunctively at the top of f
+// (positive positions only) and can bind variables.
+func generatorAtoms(f Formula) []Atom {
+	switch g := f.(type) {
+	case Atom:
+		return []Atom{g}
+	case And:
+		var out []Atom
+		for _, c := range g.Conj {
+			out = append(out, generatorAtoms(c)...)
+		}
+		return out
+	case Exists:
+		return generatorAtoms(g.Body)
+	default:
+		return nil
+	}
+}
+
+// generatorAtomsFor collects conjunctive atoms relevant to variable v,
+// refusing to descend into nested Exists nodes that rebind v (their atom
+// occurrences of the name belong to the inner scope).
+func generatorAtomsFor(v string, f Formula) []Atom {
+	switch g := f.(type) {
+	case Atom:
+		return []Atom{g}
+	case And:
+		var out []Atom
+		for _, c := range g.Conj {
+			out = append(out, generatorAtomsFor(v, c)...)
+		}
+		return out
+	case Exists:
+		for _, w := range g.Vars {
+			if w == v {
+				return nil
+			}
+		}
+		return generatorAtomsFor(v, g.Body)
+	default:
+		return nil
+	}
+}
+
+func searchAssign(vars []string, idx int, atoms []Atom, body Formula, st Structure, dom []instance.Value, env map[string]instance.Value) bool {
+	if idx == len(vars) {
+		return eval(body, st, dom, env)
+	}
+	v := vars[idx]
+	if _, bound := env[v]; bound {
+		return searchAssign(vars, idx+1, atoms, body, st, dom, env)
+	}
+	// A variable occurring in a top-level conjunctive atom can only take
+	// values that atom's tuples provide — those candidates are complete, so
+	// no full-domain fallback is needed (and with zero candidates the
+	// conjunction is unsatisfiable outright). Variables constrained only
+	// inside disjunctions or by (in)equalities range over the full domain.
+	// Occurrences under a nested Exists that rebinds v do not count.
+	myAtoms := generatorAtomsFor(v, body)
+	var cands []instance.Value
+	if varInAtoms(v, myAtoms) {
+		cands = candidateValues(v, myAtoms, st)
+	} else {
+		cands = dom
+	}
+	tried := make(map[instance.Value]bool, len(cands))
+	for _, val := range cands {
+		if tried[val] {
+			continue
+		}
+		tried[val] = true
+		env[v] = val
+		if searchAssign(vars, idx+1, atoms, body, st, dom, env) {
+			delete(env, v)
+			return true
+		}
+	}
+	delete(env, v)
+	return false
+}
+
+// varInAtoms reports whether the variable occurs in one of the generator
+// atoms.
+func varInAtoms(v string, atoms []Atom) bool {
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() && t.Name() == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// candidateValues collects values the variable can take from atoms mentioning
+// it. If the variable occurs in no atom, it returns nil (caller falls back
+// to full-domain enumeration).
+func candidateValues(v string, atoms []Atom, st Structure) []instance.Value {
+	var out []instance.Value
+	seen := make(map[instance.Value]bool)
+	for _, a := range atoms {
+		for i, t := range a.Args {
+			if t.IsVar() && t.Name() == v {
+				for _, tup := range st.TuplesOf(a.Pred) {
+					if i < len(tup) && !seen[tup[i]] {
+						seen[tup[i]] = true
+						out = append(out, tup[i])
+					}
+				}
+			}
+		}
+	}
+	return out
+}

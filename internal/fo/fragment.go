@@ -1,0 +1,260 @@
+package fo
+
+import "fmt"
+
+// Fragment classification (Sections 2, 4, 5): the paper's results are
+// organized around which syntactic fragment a formula falls into, so the
+// classifiers here are load-bearing — each AccLTL solver first checks that
+// its input really lies in the fragment it is complete for.
+
+// IsPositive reports whether f contains no negation (FO∃+ shape, possibly
+// with inequalities — use HasInequality to detect those).
+func IsPositive(f Formula) bool {
+	switch g := f.(type) {
+	case Truth, Atom, Eq, Neq:
+		return true
+	case And:
+		for _, c := range g.Conj {
+			if !IsPositive(c) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, d := range g.Disj {
+			if !IsPositive(d) {
+				return false
+			}
+		}
+		return true
+	case Not:
+		return false
+	case Exists:
+		return IsPositive(g.Body)
+	default:
+		return false
+	}
+}
+
+// HasInequality reports whether f contains a ≠ atom.
+func HasInequality(f Formula) bool {
+	switch g := f.(type) {
+	case Neq:
+		return true
+	case And:
+		for _, c := range g.Conj {
+			if HasInequality(c) {
+				return true
+			}
+		}
+		return false
+	case Or:
+		for _, d := range g.Disj {
+			if HasInequality(d) {
+				return true
+			}
+		}
+		return false
+	case Not:
+		return HasInequality(g.F)
+	case Exists:
+		return HasInequality(g.Body)
+	default:
+		return false
+	}
+}
+
+// IsZeroAcc reports whether every IsBind atom in f is 0-ary, i.e. f is over
+// the restricted vocabulary Sch_0-Acc of Section 4.2 which can say *which*
+// access method fired but nothing about the binding used.
+func IsZeroAcc(f Formula) bool {
+	switch g := f.(type) {
+	case Atom:
+		return g.Pred.Stage != IsBind || len(g.Args) == 0
+	case And:
+		for _, c := range g.Conj {
+			if !IsZeroAcc(c) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, d := range g.Disj {
+			if !IsZeroAcc(d) {
+				return false
+			}
+		}
+		return true
+	case Not:
+		return IsZeroAcc(g.F)
+	case Exists:
+		return IsZeroAcc(g.Body)
+	default:
+		return true
+	}
+}
+
+// MentionsIsBind reports whether f contains any IsBind atom.
+func MentionsIsBind(f Formula) bool {
+	for _, p := range Preds(f) {
+		if p.Stage == IsBind {
+			return true
+		}
+	}
+	return false
+}
+
+// BindPolarity describes how IsBind atoms occur in a formula.
+type BindPolarity int
+
+const (
+	// BindAbsent: no IsBind atoms occur.
+	BindAbsent BindPolarity = iota
+	// BindPositive: IsBind atoms occur, all under an even number of negations.
+	BindPositive
+	// BindMixed: some IsBind atom occurs under an odd number of negations.
+	BindMixed
+)
+
+// IsBindPolarity computes how IsBind atoms occur in f. Binding-positivity
+// (Definition 4.1) is the key restriction that makes AccLTL+ decidable.
+func IsBindPolarity(f Formula) BindPolarity {
+	pos, neg := bindOccurrences(f, true)
+	switch {
+	case neg:
+		return BindMixed
+	case pos:
+		return BindPositive
+	default:
+		return BindAbsent
+	}
+}
+
+// bindOccurrences returns whether IsBind occurs positively / negatively in f
+// given the current polarity.
+func bindOccurrences(f Formula, polarity bool) (pos, neg bool) {
+	merge := func(p, n bool) {
+		pos = pos || p
+		neg = neg || n
+	}
+	switch g := f.(type) {
+	case Atom:
+		if g.Pred.Stage == IsBind {
+			if polarity {
+				pos = true
+			} else {
+				neg = true
+			}
+		}
+	case And:
+		for _, c := range g.Conj {
+			merge(bindOccurrences(c, polarity))
+		}
+	case Or:
+		for _, d := range g.Disj {
+			merge(bindOccurrences(d, polarity))
+		}
+	case Not:
+		merge(bindOccurrences(g.F, !polarity))
+	case Exists:
+		merge(bindOccurrences(g.Body, polarity))
+	}
+	return pos, neg
+}
+
+// StageUse reports which relation stages occur in f.
+type StageUse struct {
+	Pre, Post, Bind, Plain bool
+}
+
+// Stages inspects the predicates of f.
+func Stages(f Formula) StageUse {
+	var u StageUse
+	for _, p := range Preds(f) {
+		switch p.Stage {
+		case Pre:
+			u.Pre = true
+		case Post:
+			u.Post = true
+		case IsBind:
+			u.Bind = true
+		case Plain:
+			u.Plain = true
+		}
+	}
+	return u
+}
+
+// IsPurePre reports whether f mentions only R_pre predicates (no post, no
+// IsBind, no plain) — the "pure pre" formulas of Definition 4.8.
+func IsPurePre(f Formula) bool {
+	u := Stages(f)
+	return !u.Post && !u.Bind && !u.Plain
+}
+
+// IsPurePost reports whether f mentions only R_post predicates.
+func IsPurePost(f Formula) bool {
+	u := Stages(f)
+	return !u.Pre && !u.Bind && !u.Plain
+}
+
+// CheckPositiveSentence validates that f is a positive existential sentence
+// (no negation, no free variables). Solvers for AccLTL(FO∃+_Acc)-family
+// logics call this on every embedded formula.
+func CheckPositiveSentence(f Formula) error {
+	if !IsPositive(f) {
+		return fmt.Errorf("fo: formula %s contains negation; not in FO∃+", f)
+	}
+	if fv := FreeVars(f); len(fv) != 0 {
+		return fmt.Errorf("fo: formula %s has free variables %v; not a sentence", f, fv)
+	}
+	return nil
+}
+
+// CheckGuard validates the shape an A-automaton transition guard must have
+// (Definition 4.3): a conjunction ψ− ∧ ψ+ where ψ− is a positive boolean
+// combination of negated FO∃+ sentences that do not mention IsBind, and ψ+
+// is an FO∃+ sentence. We accept any sentence whose negations (a) apply only
+// to closed positive subformulas and (b) contain no IsBind predicate.
+func CheckGuard(f Formula) error {
+	if fv := FreeVars(f); len(fv) != 0 {
+		return fmt.Errorf("fo: guard %s has free variables %v", f, fv)
+	}
+	return checkGuardRec(f)
+}
+
+func checkGuardRec(f Formula) error {
+	switch g := f.(type) {
+	case Truth, Atom, Eq, Neq:
+		return nil
+	case And:
+		for _, c := range g.Conj {
+			if err := checkGuardRec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Or:
+		for _, d := range g.Disj {
+			if err := checkGuardRec(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Not:
+		if !IsPositive(g.F) {
+			return fmt.Errorf("fo: guard negation applied to non-positive formula %s", g.F)
+		}
+		if len(FreeVars(g.F)) != 0 {
+			return fmt.Errorf("fo: guard negation applied to open formula %s", g.F)
+		}
+		if MentionsIsBind(g.F) {
+			return fmt.Errorf("fo: guard negation mentions IsBind in %s (forbidden by Definition 4.3)", g.F)
+		}
+		return nil
+	case Exists:
+		return checkGuardRec(g.Body)
+	default:
+		return fmt.Errorf("fo: unknown formula node %T", f)
+	}
+}

@@ -1,0 +1,515 @@
+package fo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"accltl/internal/instance"
+)
+
+// CQ is a conjunctive query in normal form: an existentially closed
+// conjunction of relational atoms, equalities and inequalities. Free
+// variables are those listed in Free (used when CQs serve as non-boolean
+// queries, e.g. in the relevance package); a boolean CQ has Free == nil.
+type CQ struct {
+	Free  []string
+	Atoms []Atom
+	Eqs   []Eq
+	Neqs  []Neq
+}
+
+// String renders the CQ.
+func (q CQ) String() string {
+	var parts []string
+	for _, a := range q.Atoms {
+		parts = append(parts, a.String())
+	}
+	for _, e := range q.Eqs {
+		parts = append(parts, e.String())
+	}
+	for _, n := range q.Neqs {
+		parts = append(parts, n.String())
+	}
+	body := strings.Join(parts, " & ")
+	if len(q.Free) == 0 {
+		return "{" + body + "}"
+	}
+	return "(" + strings.Join(q.Free, ",") + "){" + body + "}"
+}
+
+// Vars returns all variables of the CQ (free and quantified), sorted.
+func (q CQ) Vars() []string {
+	seen := make(map[string]bool)
+	add := func(t Term) {
+		if t.IsVar() {
+			seen[t.Name()] = true
+		}
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			add(t)
+		}
+	}
+	for _, e := range q.Eqs {
+		add(e.L)
+		add(e.R)
+	}
+	for _, n := range q.Neqs {
+		add(n.L)
+		add(n.R)
+	}
+	for _, v := range q.Free {
+		seen[v] = true
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Formula converts the CQ back into a Formula, existentially quantifying
+// all non-free variables.
+func (q CQ) Formula() Formula {
+	var conj []Formula
+	for _, a := range q.Atoms {
+		conj = append(conj, a)
+	}
+	for _, e := range q.Eqs {
+		conj = append(conj, e)
+	}
+	for _, n := range q.Neqs {
+		conj = append(conj, n)
+	}
+	body := Conj(conj...)
+	free := make(map[string]bool, len(q.Free))
+	for _, v := range q.Free {
+		free[v] = true
+	}
+	var ex []string
+	for _, v := range q.Vars() {
+		if !free[v] {
+			ex = append(ex, v)
+		}
+	}
+	return Ex(ex, body)
+}
+
+// HasInequalities reports whether the CQ carries ≠ atoms.
+func (q CQ) HasInequalities() bool { return len(q.Neqs) > 0 }
+
+// ucqCounter generates fresh variable names during normalization.
+type ucqCounter int
+
+func (c *ucqCounter) fresh() string {
+	*c++
+	return fmt.Sprintf("_u%d", int(*c))
+}
+
+// ToUCQ converts a positive (possibly ≠-bearing) formula into an equivalent
+// union of conjunctive queries. Quantified variables are renamed apart.
+// It returns an error if the formula contains negation.
+func ToUCQ(f Formula) ([]CQ, error) {
+	if !IsPositive(f) {
+		return nil, fmt.Errorf("fo: ToUCQ of non-positive formula %s", f)
+	}
+	var c ucqCounter
+	free := FreeVars(f)
+	disjuncts := dnf(standardizeApart(f, &c, make(map[string]string)))
+	out := make([]CQ, 0, len(disjuncts))
+	for _, d := range disjuncts {
+		cq := CQ{Free: append([]string(nil), free...)}
+		for _, lit := range d {
+			switch g := lit.(type) {
+			case Atom:
+				cq.Atoms = append(cq.Atoms, g)
+			case Eq:
+				cq.Eqs = append(cq.Eqs, g)
+			case Neq:
+				cq.Neqs = append(cq.Neqs, g)
+			case Truth:
+				if !g.Val {
+					cq = CQ{} // unreachable: dnf drops false branches
+				}
+			}
+		}
+		out = append(out, cq)
+	}
+	return out, nil
+}
+
+// standardizeApart renames quantified variables to fresh names so that
+// pulling quantifiers out during DNF conversion cannot capture.
+func standardizeApart(f Formula, c *ucqCounter, ren map[string]string) Formula {
+	switch g := f.(type) {
+	case Truth:
+		return g
+	case Atom:
+		return RenameVars(g, ren).(Atom)
+	case Eq:
+		return RenameVars(g, ren)
+	case Neq:
+		return RenameVars(g, ren)
+	case And:
+		cs := make([]Formula, len(g.Conj))
+		for i, x := range g.Conj {
+			cs[i] = standardizeApart(x, c, ren)
+		}
+		return And{Conj: cs}
+	case Or:
+		ds := make([]Formula, len(g.Disj))
+		for i, x := range g.Disj {
+			ds[i] = standardizeApart(x, c, ren)
+		}
+		return Or{Disj: ds}
+	case Exists:
+		nren := make(map[string]string, len(ren)+len(g.Vars))
+		for k, v := range ren {
+			nren[k] = v
+		}
+		nvars := make([]string, len(g.Vars))
+		for i, v := range g.Vars {
+			nv := c.fresh()
+			nren[v] = nv
+			nvars[i] = nv
+		}
+		return Exists{Vars: nvars, Body: standardizeApart(g.Body, c, nren)}
+	default:
+		return f
+	}
+}
+
+// dnf converts a standardized positive formula into a list of literal lists
+// (disjunctive normal form), dropping Exists nodes (their variables are now
+// globally unique, so existential closure is implicit).
+func dnf(f Formula) [][]Formula {
+	switch g := f.(type) {
+	case Truth:
+		if g.Val {
+			return [][]Formula{{}}
+		}
+		return nil
+	case Atom, Eq, Neq:
+		return [][]Formula{{f}}
+	case Exists:
+		return dnf(g.Body)
+	case And:
+		acc := [][]Formula{{}}
+		for _, c := range g.Conj {
+			sub := dnf(c)
+			var next [][]Formula
+			for _, a := range acc {
+				for _, s := range sub {
+					merged := make([]Formula, 0, len(a)+len(s))
+					merged = append(merged, a...)
+					merged = append(merged, s...)
+					next = append(next, merged)
+				}
+			}
+			acc = next
+		}
+		return acc
+	case Or:
+		var out [][]Formula
+		for _, d := range g.Disj {
+			out = append(out, dnf(d)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// CanonicalDB freezes the CQ into its canonical database: each variable is
+// mapped to a distinct fresh labelled-null value, constants map to
+// themselves, and every atom becomes a fact. Equalities merge variables
+// first; if an equality forces two distinct constants the CQ is
+// unsatisfiable and ok is false. Inequalities are checked against the
+// frozen assignment (distinct nulls are distinct, so a ≠ between two
+// different variables always holds after freezing; v ≠ v fails).
+func (q CQ) CanonicalDB() (st *MapStructure, frozen map[string]instance.Value, ok bool) {
+	// Union-find over terms to apply equalities.
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+
+	key := func(t Term) string {
+		if t.IsVar() {
+			return "v:" + t.Name()
+		}
+		return "c:" + t.Value().Key()
+	}
+	constOf := make(map[string]instance.Value)
+	noteConst := func(t Term) {
+		if !t.IsVar() {
+			constOf[key(t)] = t.Value()
+		}
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			find(key(t))
+			noteConst(t)
+		}
+	}
+	for _, e := range q.Eqs {
+		find(key(e.L))
+		find(key(e.R))
+		noteConst(e.L)
+		noteConst(e.R)
+		union(key(e.L), key(e.R))
+	}
+	for _, n := range q.Neqs {
+		find(key(n.L))
+		find(key(n.R))
+		noteConst(n.L)
+		noteConst(n.R)
+	}
+	// Determine representative values: a class containing a constant takes
+	// that constant; two distinct constants in one class → unsatisfiable.
+	classConst := make(map[string]instance.Value)
+	for k, v := range constOf {
+		r := find(k)
+		if have, dup := classConst[r]; dup {
+			if have != v {
+				return nil, nil, false
+			}
+			continue
+		}
+		classConst[r] = v
+	}
+	// Fresh null values for constant-free classes. Use string-typed nulls
+	// with reserved names; homomorphism checks treat any value equally and
+	// Eval-based uses never see these structures' types.
+	frozen = make(map[string]instance.Value)
+	nullIdx := 0
+	valueOf := func(t Term) instance.Value {
+		r := find(key(t))
+		if v, ok := classConst[r]; ok {
+			return v
+		}
+		v, ok := frozen["@"+r]
+		if !ok {
+			v = instance.Str(fmt.Sprintf("_null%d", nullIdx))
+			nullIdx++
+			frozen["@"+r] = v
+		}
+		return v
+	}
+	st = NewMapStructure()
+	for _, a := range q.Atoms {
+		tup := make(instance.Tuple, len(a.Args))
+		for i, t := range a.Args {
+			tup[i] = valueOf(t)
+		}
+		st.Add(a.Pred, tup)
+	}
+	// Check inequalities under the frozen assignment.
+	for _, n := range q.Neqs {
+		if valueOf(n.L) == valueOf(n.R) {
+			return nil, nil, false
+		}
+	}
+	// Expose variable → value map under variable names.
+	out := make(map[string]instance.Value)
+	for _, v := range q.Vars() {
+		out[v] = valueOf(Var(v))
+	}
+	return st, out, true
+}
+
+// Holds evaluates the boolean CQ on a structure by homomorphism search.
+func (q CQ) Holds(st Structure) bool {
+	env := make(map[string]instance.Value)
+	return q.HoldsWith(st, env)
+}
+
+// HoldsWith evaluates the CQ with some variables pre-bound.
+func (q CQ) HoldsWith(st Structure, env map[string]instance.Value) bool {
+	return homSearch(q, st, env, 0)
+}
+
+// homSearch finds a homomorphism from the CQ's atoms into st extending env,
+// then validates equalities and inequalities.
+func homSearch(q CQ, st Structure, env map[string]instance.Value, idx int) bool {
+	if idx == len(q.Atoms) {
+		return checkEqNeq(q, env, st)
+	}
+	a := q.Atoms[idx]
+	for _, tup := range st.TuplesOf(a.Pred) {
+		if len(tup) != len(a.Args) {
+			continue
+		}
+		bound := make([]string, 0, len(a.Args))
+		ok := true
+		for i, t := range a.Args {
+			if t.IsVar() {
+				if v, have := env[t.Name()]; have {
+					if v != tup[i] {
+						ok = false
+						break
+					}
+				} else {
+					env[t.Name()] = tup[i]
+					bound = append(bound, t.Name())
+				}
+			} else if t.Value() != tup[i] {
+				ok = false
+				break
+			}
+		}
+		if ok && homSearch(q, st, env, idx+1) {
+			for _, b := range bound {
+				delete(env, b)
+			}
+			return true
+		}
+		for _, b := range bound {
+			delete(env, b)
+		}
+	}
+	return false
+}
+
+func checkEqNeq(q CQ, env map[string]instance.Value, st Structure) bool {
+	val := func(t Term) (instance.Value, bool) {
+		if t.IsVar() {
+			v, ok := env[t.Name()]
+			return v, ok
+		}
+		return t.Value(), true
+	}
+	for _, e := range q.Eqs {
+		l, lok := val(e.L)
+		r, rok := val(e.R)
+		if !lok || !rok || l != r {
+			// Unbound equality variables could still be satisfied by picking
+			// equal values; delegate to full Eval in that rare case.
+			if !lok || !rok {
+				return evalResidual(q, env, st)
+			}
+			return false
+		}
+	}
+	for _, n := range q.Neqs {
+		l, lok := val(n.L)
+		r, rok := val(n.R)
+		if !lok || !rok {
+			return evalResidual(q, env, st)
+		}
+		if l == r {
+			return false
+		}
+	}
+	return true
+}
+
+// evalResidual handles CQs with variables that occur only in (in)equalities:
+// fall back to the complete evaluator on the residual formula.
+func evalResidual(q CQ, env map[string]instance.Value, st Structure) bool {
+	sub := make(map[string]instance.Value, len(env))
+	for k, v := range env {
+		sub[k] = v
+	}
+	var conj []Formula
+	for _, e := range q.Eqs {
+		conj = append(conj, e)
+	}
+	for _, n := range q.Neqs {
+		conj = append(conj, n)
+	}
+	f := Substitute(Conj(conj...), sub)
+	vars := FreeVars(f)
+	res, err := Eval(Ex(vars, f), st)
+	return err == nil && res
+}
+
+// ContainedIn decides CQ containment q ⊆ p for boolean CQs without
+// inequalities: freeze q into its canonical database and check whether p
+// has a homomorphism into it (Chandra–Merlin). Returns an error if either
+// CQ carries inequalities (use ContainedInUCQNeq for the ≠ case) or is
+// non-boolean.
+func (q CQ) ContainedIn(p CQ) (bool, error) {
+	if len(q.Free) != 0 || len(p.Free) != 0 {
+		return false, fmt.Errorf("fo: containment of non-boolean CQs; close them first")
+	}
+	if q.HasInequalities() || p.HasInequalities() {
+		return false, fmt.Errorf("fo: ContainedIn does not handle inequalities")
+	}
+	st, _, ok := q.CanonicalDB()
+	if !ok {
+		return true, nil // unsatisfiable q is contained in everything
+	}
+	return p.Holds(st), nil
+}
+
+// UCQContains decides containment of a UCQ in a UCQ (no inequalities):
+// every disjunct of qs must be contained in the union ps, i.e. the canonical
+// database of each q ∈ qs must satisfy some p ∈ ps.
+func UCQContains(qs, ps []CQ) (bool, error) {
+	for _, q := range qs {
+		if q.HasInequalities() {
+			return false, fmt.Errorf("fo: UCQContains does not handle inequalities on the left")
+		}
+		st, _, ok := q.CanonicalDB()
+		if !ok {
+			continue
+		}
+		found := false
+		for _, p := range ps {
+			if p.HasInequalities() {
+				return false, fmt.Errorf("fo: UCQContains does not handle inequalities on the right")
+			}
+			if p.Holds(st) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Contains decides containment between positive sentences without
+// inequalities: f ⊆ g iff every model of f is a model of g, decided via UCQ
+// conversion and Chandra–Merlin.
+func Contains(f, g Formula) (bool, error) {
+	if err := CheckPositiveSentence(f); err != nil {
+		return false, err
+	}
+	if err := CheckPositiveSentence(g); err != nil {
+		return false, err
+	}
+	qf, err := ToUCQ(f)
+	if err != nil {
+		return false, err
+	}
+	qg, err := ToUCQ(g)
+	if err != nil {
+		return false, err
+	}
+	return UCQContains(qf, qg)
+}
+
+// Equivalent decides logical equivalence of positive sentences without
+// inequalities.
+func Equivalent(f, g Formula) (bool, error) {
+	fg, err := Contains(f, g)
+	if err != nil || !fg {
+		return false, err
+	}
+	return Contains(g, f)
+}

@@ -1,0 +1,330 @@
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"accltl/internal/schema"
+)
+
+// Tuple is an ordered list of values: one tuple of a relation.
+type Tuple []Value
+
+// Key returns a canonical string key for the tuple, usable in map keys.
+// Values are separated by a byte that cannot appear in value keys' kind
+// prefixes ambiguity-free because each component starts with its kind tag
+// and we escape the separator inside string payloads.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		k := v.Key()
+		// Escape the separator inside string payloads.
+		if strings.IndexByte(k, 0x1f) >= 0 {
+			k = strings.ReplaceAll(k, "\x1f", "\x1e\x1f")
+		}
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less imposes a total lexicographic order on tuples.
+func (t Tuple) Less(u Tuple) bool {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if t[i] != u[i] {
+			return t[i].Less(u[i])
+		}
+	}
+	return len(t) < len(u)
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	return cp
+}
+
+// String renders the tuple as (v0,v1,...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// WellTyped reports whether the tuple conforms to the relation's position types.
+func (t Tuple) WellTyped(r *schema.Relation) bool {
+	if len(t) != r.Arity() {
+		return false
+	}
+	for i, v := range t {
+		if v.Kind() != r.TypeAt(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Instance is a finite collection of tuples per relation name. The zero
+// value is not usable; call NewInstance. Instances are value-semantics-ish:
+// mutating methods modify in place, Clone copies deeply.
+type Instance struct {
+	sch  *schema.Schema
+	rels map[string]map[string]Tuple // relation name -> tuple key -> tuple
+}
+
+// NewInstance returns an empty instance over the schema.
+func NewInstance(sch *schema.Schema) *Instance {
+	return &Instance{sch: sch, rels: make(map[string]map[string]Tuple)}
+}
+
+// Schema returns the schema of the instance.
+func (in *Instance) Schema() *schema.Schema { return in.sch }
+
+// Add inserts a tuple into relation rel. It validates arity and types.
+// Adding an existing tuple is a no-op. It reports whether the tuple was new.
+func (in *Instance) Add(rel string, t Tuple) (bool, error) {
+	r, ok := in.sch.Relation(rel)
+	if !ok {
+		return false, fmt.Errorf("instance: unknown relation %s", rel)
+	}
+	if !t.WellTyped(r) {
+		return false, fmt.Errorf("instance: tuple %s ill-typed for relation %s", t, r)
+	}
+	m := in.rels[rel]
+	if m == nil {
+		m = make(map[string]Tuple)
+		in.rels[rel] = m
+	}
+	k := t.Key()
+	if _, dup := m[k]; dup {
+		return false, nil
+	}
+	m[k] = t.Clone()
+	return true, nil
+}
+
+// MustAdd is Add that panics on error; for tests and statically known data.
+func (in *Instance) MustAdd(rel string, vals ...Value) {
+	if _, err := in.Add(rel, Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Has reports whether relation rel contains tuple t.
+func (in *Instance) Has(rel string, t Tuple) bool {
+	m := in.rels[rel]
+	if m == nil {
+		return false
+	}
+	_, ok := m[t.Key()]
+	return ok
+}
+
+// Tuples returns the tuples of relation rel in deterministic (sorted) order.
+func (in *Instance) Tuples(rel string) []Tuple {
+	m := in.rels[rel]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Tuple, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Count returns the number of tuples in relation rel.
+func (in *Instance) Count(rel string) int { return len(in.rels[rel]) }
+
+// Size returns the total number of tuples across all relations.
+func (in *Instance) Size() int {
+	n := 0
+	for _, m := range in.rels {
+		n += len(m)
+	}
+	return n
+}
+
+// IsEmpty reports whether the instance has no tuples at all.
+func (in *Instance) IsEmpty() bool { return in.Size() == 0 }
+
+// Clone returns a deep copy.
+func (in *Instance) Clone() *Instance {
+	cp := NewInstance(in.sch)
+	for rel, m := range in.rels {
+		nm := make(map[string]Tuple, len(m))
+		for k, t := range m {
+			nm[k] = t.Clone()
+		}
+		cp.rels[rel] = nm
+	}
+	return cp
+}
+
+// UnionWith adds every tuple of other into the receiver. The instances must
+// share the same schema value.
+func (in *Instance) UnionWith(other *Instance) error {
+	if other == nil {
+		return nil
+	}
+	if other.sch != in.sch {
+		return fmt.Errorf("instance: UnionWith across different schemas")
+	}
+	for rel, m := range other.rels {
+		for _, t := range m {
+			if _, err := in.Add(rel, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Contains reports whether every tuple of other is present in the receiver
+// (subinstance test: other ⊆ in).
+func (in *Instance) Contains(other *Instance) bool {
+	if other == nil {
+		return true
+	}
+	for rel, m := range other.rels {
+		mine := in.rels[rel]
+		for k := range m {
+			if _, ok := mine[k]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether both instances hold exactly the same tuples.
+func (in *Instance) Equal(other *Instance) bool {
+	return in.Contains(other) && other.Contains(in)
+}
+
+// ActiveDomain returns every value occurring in any tuple, deduplicated and
+// sorted by Value.Less.
+func (in *Instance) ActiveDomain() []Value {
+	seen := make(map[Value]bool)
+	var out []Value
+	for _, m := range in.rels {
+		for _, t := range m {
+			for _, v := range t {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// HasValue reports whether v occurs anywhere in the instance.
+func (in *Instance) HasValue(v Value) bool {
+	for _, m := range in.rels {
+		for _, t := range m {
+			for _, w := range t {
+				if w == v {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Matching returns the tuples of method m's relation that agree with the
+// binding on m's input positions: the *exact* well-formed response to the
+// access (m, binding) on this instance.
+func (in *Instance) Matching(m *schema.AccessMethod, binding Tuple) []Tuple {
+	inputs := m.Inputs()
+	var out []Tuple
+	for _, t := range in.Tuples(m.Relation().Name()) {
+		ok := true
+		for bi, p := range inputs {
+			if t[p] != binding[bi] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Fingerprint returns a canonical string identifying the instance contents,
+// suitable for deduplicating instances during LTS exploration.
+func (in *Instance) Fingerprint() string {
+	rels := make([]string, 0, len(in.rels))
+	for rel, m := range in.rels {
+		if len(m) > 0 {
+			rels = append(rels, rel)
+		}
+	}
+	sort.Strings(rels)
+	var b strings.Builder
+	for _, rel := range rels {
+		b.WriteString(rel)
+		b.WriteByte('{')
+		for _, t := range in.Tuples(rel) {
+			b.WriteString(t.Key())
+			b.WriteByte(';')
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// String renders the instance sorted by relation then tuple.
+func (in *Instance) String() string {
+	rels := make([]string, 0, len(in.rels))
+	for rel, m := range in.rels {
+		if len(m) > 0 {
+			rels = append(rels, rel)
+		}
+	}
+	sort.Strings(rels)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, rel := range rels {
+		for _, t := range in.Tuples(rel) {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.WriteString(rel)
+			b.WriteString(t.String())
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package instance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"accltl/internal/schema"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s := schema.New()
+	r := schema.MustRelation("R", schema.TypeInt, schema.TypeString)
+	b := schema.MustRelation("B", schema.TypeBool)
+	if err := s.AddRelation(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRelation(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMethod(schema.MustAccessMethod("mR", r, 0)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValueKindsAndAccessors(t *testing.T) {
+	if Int(7).Kind() != schema.TypeInt || Int(7).AsInt() != 7 {
+		t.Error("Int value wrong")
+	}
+	if Str("x").Kind() != schema.TypeString || Str("x").AsString() != "x" {
+		t.Error("Str value wrong")
+	}
+	if Bool(true).Kind() != schema.TypeBool || !Bool(true).AsBool() {
+		t.Error("Bool value wrong")
+	}
+}
+
+func TestValueComparabilityAcrossKinds(t *testing.T) {
+	if Int(0) == Str("") || Int(1) == Bool(true) {
+		t.Error("values of different kinds compare equal")
+	}
+	if Int(3) != Int(3) {
+		t.Error("equal ints not equal")
+	}
+}
+
+func TestValueKeyUniqueness(t *testing.T) {
+	vals := []Value{Int(0), Int(1), Int(-1), Str(""), Str("0"), Str("i0"), Bool(true), Bool(false)}
+	seen := make(map[string]Value)
+	for _, v := range vals {
+		if prev, dup := seen[v.Key()]; dup {
+			t.Errorf("key collision between %v and %v", prev, v)
+		}
+		seen[v.Key()] = v
+	}
+}
+
+func TestValueLessTotalOrder(t *testing.T) {
+	err := quick.Check(func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		// exactly one of <, =, > holds
+		lt, gt, eq := x.Less(y), y.Less(x), x == y
+		n := 0
+		for _, c := range []bool{lt, gt, eq} {
+			if c {
+				n++
+			}
+		}
+		return n == 1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleKeyEscaping(t *testing.T) {
+	// Tuples whose naive concatenation would collide must have distinct keys.
+	a := Tuple{Str("x\x1fy")}
+	b := Tuple{Str("x"), Str("y")}
+	if a.Key() == b.Key() {
+		t.Error("tuple key collision through separator injection")
+	}
+}
+
+func TestTupleEqualCloneLess(t *testing.T) {
+	a := Tuple{Int(1), Str("a")}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b[0] = Int(2)
+	if a.Equal(b) {
+		t.Error("mutating clone affected original equality")
+	}
+	if !a.Less(b) {
+		t.Error("1 < 2 expected")
+	}
+	if a.Less(a) {
+		t.Error("irreflexive violated")
+	}
+	short := Tuple{Int(1)}
+	if !short.Less(a) {
+		t.Error("prefix should be less")
+	}
+}
+
+func TestTupleWellTyped(t *testing.T) {
+	r := schema.MustRelation("R", schema.TypeInt, schema.TypeString)
+	if !(Tuple{Int(1), Str("a")}).WellTyped(r) {
+		t.Error("well-typed tuple rejected")
+	}
+	if (Tuple{Str("a"), Str("b")}).WellTyped(r) {
+		t.Error("ill-typed tuple accepted")
+	}
+	if (Tuple{Int(1)}).WellTyped(r) {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestInstanceAddHasCount(t *testing.T) {
+	s := testSchema(t)
+	in := NewInstance(s)
+	added, err := in.Add("R", Tuple{Int(1), Str("a")})
+	if err != nil || !added {
+		t.Fatalf("Add: %v added=%v", err, added)
+	}
+	added, err = in.Add("R", Tuple{Int(1), Str("a")})
+	if err != nil || added {
+		t.Error("duplicate add reported as new")
+	}
+	if !in.Has("R", Tuple{Int(1), Str("a")}) {
+		t.Error("Has missed present tuple")
+	}
+	if in.Has("R", Tuple{Int(2), Str("a")}) {
+		t.Error("Has found absent tuple")
+	}
+	if in.Count("R") != 1 || in.Size() != 1 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestInstanceAddErrors(t *testing.T) {
+	s := testSchema(t)
+	in := NewInstance(s)
+	if _, err := in.Add("Nope", Tuple{Int(1)}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := in.Add("R", Tuple{Str("a"), Int(1)}); err == nil {
+		t.Error("ill-typed tuple accepted")
+	}
+}
+
+func TestInstanceAddInsertsCopy(t *testing.T) {
+	s := testSchema(t)
+	in := NewInstance(s)
+	tup := Tuple{Int(1), Str("a")}
+	if _, err := in.Add("R", tup); err != nil {
+		t.Fatal(err)
+	}
+	tup[0] = Int(99)
+	if !in.Has("R", Tuple{Int(1), Str("a")}) {
+		t.Error("instance shares storage with caller tuple")
+	}
+}
+
+func TestInstanceCloneIndependence(t *testing.T) {
+	s := testSchema(t)
+	in := NewInstance(s)
+	in.MustAdd("R", Int(1), Str("a"))
+	cp := in.Clone()
+	cp.MustAdd("R", Int(2), Str("b"))
+	if in.Count("R") != 1 || cp.Count("R") != 2 {
+		t.Error("clone not independent")
+	}
+	if !cp.Contains(in) || in.Contains(cp) {
+		t.Error("containment after clone wrong")
+	}
+}
+
+func TestInstanceUnionWith(t *testing.T) {
+	s := testSchema(t)
+	a := NewInstance(s)
+	b := NewInstance(s)
+	a.MustAdd("R", Int(1), Str("a"))
+	b.MustAdd("R", Int(2), Str("b"))
+	b.MustAdd("B", Bool(true))
+	if err := a.UnionWith(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 3 {
+		t.Errorf("union size = %d, want 3", a.Size())
+	}
+	other := NewInstance(testSchema(t))
+	if err := a.UnionWith(other); err == nil {
+		t.Error("cross-schema union accepted")
+	}
+}
+
+func TestInstanceEqualAndFingerprint(t *testing.T) {
+	s := testSchema(t)
+	a := NewInstance(s)
+	b := NewInstance(s)
+	a.MustAdd("R", Int(1), Str("a"))
+	a.MustAdd("R", Int(2), Str("b"))
+	b.MustAdd("R", Int(2), Str("b"))
+	b.MustAdd("R", Int(1), Str("a"))
+	if !a.Equal(b) {
+		t.Error("insertion order affected equality")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprints differ for equal instances")
+	}
+	b.MustAdd("B", Bool(false))
+	if a.Equal(b) || a.Fingerprint() == b.Fingerprint() {
+		t.Error("unequal instances compare equal")
+	}
+}
+
+func TestInstanceActiveDomain(t *testing.T) {
+	s := testSchema(t)
+	in := NewInstance(s)
+	in.MustAdd("R", Int(1), Str("a"))
+	in.MustAdd("R", Int(1), Str("b"))
+	dom := in.ActiveDomain()
+	if len(dom) != 3 {
+		t.Errorf("active domain = %v, want 3 values", dom)
+	}
+	if !in.HasValue(Int(1)) || in.HasValue(Int(2)) {
+		t.Error("HasValue wrong")
+	}
+}
+
+func TestInstanceMatching(t *testing.T) {
+	s := testSchema(t)
+	m, _ := s.Method("mR")
+	in := NewInstance(s)
+	in.MustAdd("R", Int(1), Str("a"))
+	in.MustAdd("R", Int(1), Str("b"))
+	in.MustAdd("R", Int(2), Str("c"))
+	got := in.Matching(m, Tuple{Int(1)})
+	if len(got) != 2 {
+		t.Errorf("Matching returned %d tuples, want 2", len(got))
+	}
+	if got := in.Matching(m, Tuple{Int(9)}); len(got) != 0 {
+		t.Errorf("Matching on absent key returned %v", got)
+	}
+}
+
+func TestInstanceTuplesSorted(t *testing.T) {
+	s := testSchema(t)
+	in := NewInstance(s)
+	in.MustAdd("R", Int(2), Str("b"))
+	in.MustAdd("R", Int(1), Str("a"))
+	ts := in.Tuples("R")
+	if len(ts) != 2 || !ts[0].Less(ts[1]) {
+		t.Errorf("Tuples not sorted: %v", ts)
+	}
+}
+
+func TestInstanceContainsEmpty(t *testing.T) {
+	s := testSchema(t)
+	in := NewInstance(s)
+	if !in.Contains(NewInstance(s)) || !in.Contains(nil) {
+		t.Error("empty/nil containment wrong")
+	}
+	if !in.IsEmpty() {
+		t.Error("fresh instance not empty")
+	}
+}
+
+func TestPropertyUnionMonotone(t *testing.T) {
+	// Property: after a.UnionWith(b), a contains both originals.
+	s := testSchema(t)
+	err := quick.Check(func(xs, ys []int8) bool {
+		a, b := NewInstance(s), NewInstance(s)
+		for _, x := range xs {
+			a.MustAdd("R", Int(int64(x)), Str("t"))
+		}
+		for _, y := range ys {
+			b.MustAdd("R", Int(int64(y)), Str("t"))
+		}
+		before := a.Clone()
+		if err := a.UnionWith(b); err != nil {
+			return false
+		}
+		return a.Contains(before) && a.Contains(b)
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package instance provides typed values, tuples and relational instances:
+// the data layer under access paths. An instance assigns each relation of a
+// schema a finite set of tuples; accesses reveal parts of an instance.
+package instance
+
+import (
+	"fmt"
+	"strconv"
+
+	"accltl/internal/schema"
+)
+
+// Value is a typed constant: an element of one of the datatype domains.
+// The zero Value is the integer 0. Value is comparable and can be used as a
+// map key.
+type Value struct {
+	kind schema.Type
+	i    int64
+	s    string
+	b    bool
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: schema.TypeInt, i: v} }
+
+// String_ returns a string value. (Named with a trailing underscore so the
+// Value.String formatting method keeps its conventional name.)
+func String_(v string) Value { return Value{kind: schema.TypeString, s: v} }
+
+// Str is shorthand for String_.
+func Str(v string) Value { return String_(v) }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: schema.TypeBool, b: v} }
+
+// Kind returns the datatype of the value.
+func (v Value) Kind() schema.Type { return v.kind }
+
+// AsInt returns the integer payload; it is meaningful only when Kind is TypeInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsString returns the string payload; meaningful only when Kind is TypeString.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload; meaningful only when Kind is TypeBool.
+func (v Value) AsBool() bool { return v.b }
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.kind {
+	case schema.TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case schema.TypeString:
+		return strconv.Quote(v.s)
+	case schema.TypeBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return fmt.Sprintf("Value(kind=%d)", int(v.kind))
+	}
+}
+
+// Key returns a string that uniquely identifies the value across kinds,
+// suitable for composite map keys.
+func (v Value) Key() string {
+	switch v.kind {
+	case schema.TypeInt:
+		return "i" + strconv.FormatInt(v.i, 10)
+	case schema.TypeString:
+		return "s" + v.s
+	case schema.TypeBool:
+		if v.b {
+			return "bT"
+		}
+		return "bF"
+	default:
+		return "?"
+	}
+}
+
+// Less imposes a total order on values: by kind, then by payload. Used for
+// deterministic iteration and display.
+func (v Value) Less(w Value) bool {
+	if v.kind != w.kind {
+		return v.kind < w.kind
+	}
+	switch v.kind {
+	case schema.TypeInt:
+		return v.i < w.i
+	case schema.TypeString:
+		return v.s < w.s
+	case schema.TypeBool:
+		return !v.b && w.b
+	default:
+		return false
+	}
+}

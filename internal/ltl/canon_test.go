@@ -1,0 +1,101 @@
+package ltl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCanonFlattensAndSorts(t *testing.T) {
+	f := Or{L: pb, R: Or{L: pa, R: pb}}
+	g := Or{L: Or{L: pb, R: pa}, R: pa}
+	if Canon(f).String() != Canon(g).String() {
+		t.Errorf("canonical forms differ: %s vs %s", Canon(f), Canon(g))
+	}
+	// Deduplication: a | a canonicalizes to a.
+	if Canon(Or{L: pa, R: pa}).String() != "a" {
+		t.Errorf("Canon(a|a) = %s", Canon(Or{L: pa, R: pa}))
+	}
+}
+
+func TestCanonAbsorbsConstants(t *testing.T) {
+	if Canon(And{L: pa, R: Truth(true)}).String() != "a" {
+		t.Error("true not neutral in And")
+	}
+	if c, ok := Canon(And{L: pa, R: Truth(false)}).(Truth); !ok || bool(c) {
+		t.Error("false not absorbing in And")
+	}
+	if c, ok := Canon(Or{L: pa, R: Truth(true)}).(Truth); !ok || !bool(c) {
+		t.Error("true not absorbing in Or")
+	}
+	if Canon(Or{L: pa, R: Truth(false)}).String() != "a" {
+		t.Error("false not neutral in Or")
+	}
+}
+
+func TestCanonPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	props := []Prop{pa, pb}
+	var build func(depth int) Formula
+	build = func(depth int) Formula {
+		if depth == 0 || r.Intn(3) == 0 {
+			return props[r.Intn(len(props))]
+		}
+		switch r.Intn(4) {
+		case 0:
+			return And{L: build(depth - 1), R: build(depth - 1)}
+		case 1:
+			return Or{L: build(depth - 1), R: build(depth - 1)}
+		case 2:
+			return Not{F: props[r.Intn(len(props))]}
+		default:
+			return Truth(r.Intn(2) == 0)
+		}
+	}
+	words := []Word{
+		{letter(pa)},
+		{letter(pb), letter(pa)},
+		{letter(pa, pb), letter(), letter(pb)},
+	}
+	for i := 0; i < 100; i++ {
+		f := build(3)
+		g := Canon(f)
+		for _, w := range words {
+			if Satisfies(f, w) != Satisfies(g, w) {
+				t.Fatalf("Canon changed semantics: %s vs %s on %v", f, g, w)
+			}
+		}
+	}
+}
+
+func TestProgressionReachesFinitelyManyObligations(t *testing.T) {
+	// The termination property the automaton compilation relies on: from
+	// any formula, iterated Step over all letters reaches a finite set of
+	// canonical obligations.
+	f := NNF(Until{L: Truth(true), R: And{L: pa, R: Until{L: Truth(true), R: pb}}})
+	alpha := FullAlphabet([]Prop{pa, pb})
+	seen := map[string]bool{f.String(): true}
+	frontier := []Formula{f}
+	steps := 0
+	for len(frontier) > 0 {
+		steps++
+		if steps > 1000 {
+			t.Fatal("obligation space did not close after 1000 expansions")
+		}
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, l := range alpha {
+			next, _ := Step(cur, l)
+			if t, ok := next.(Truth); ok && !bool(t) {
+				continue
+			}
+			k := next.String()
+			if !seen[k] {
+				seen[k] = true
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	if len(seen) > 64 {
+		t.Errorf("obligation space unexpectedly large: %d", len(seen))
+	}
+}

@@ -1,0 +1,268 @@
+// Package ltl implements propositional linear temporal logic over finite
+// words: syntax, direct semantics, and satisfiability via formula
+// progression. It is the target of the paper's reduction from
+// AccLTL(FO∃+_0-Acc) satisfiability (Theorem 4.12): the solver there guesses
+// a bounded sequence of instances and bindings, abstracts transitions into
+// propositions, and asks this package whether a word over those letters
+// satisfies the abstracted formula.
+package ltl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Formula is a propositional LTL formula over finite words. Constructors:
+// Prop, True, False, Not, And, Or, Next (strong), WeakNext, Until, Release.
+type Formula interface {
+	fmt.Stringer
+	isLTL()
+}
+
+// Prop is an atomic proposition.
+type Prop string
+
+// Truth is a boolean constant.
+type Truth bool
+
+// Not is negation.
+type Not struct{ F Formula }
+
+// And is binary conjunction.
+type And struct{ L, R Formula }
+
+// Or is binary disjunction.
+type Or struct{ L, R Formula }
+
+// Next is the strong next operator: false at the last position.
+type Next struct{ F Formula }
+
+// WeakNext is the weak next operator: true at the last position.
+type WeakNext struct{ F Formula }
+
+// Until is the until operator (finite-word semantics: the right side must
+// occur within the word).
+type Until struct{ L, R Formula }
+
+// Release is the dual of Until.
+type Release struct{ L, R Formula }
+
+func (Prop) isLTL()     {}
+func (Truth) isLTL()    {}
+func (Not) isLTL()      {}
+func (And) isLTL()      {}
+func (Or) isLTL()       {}
+func (Next) isLTL()     {}
+func (WeakNext) isLTL() {}
+func (Until) isLTL()    {}
+func (Release) isLTL()  {}
+
+func (p Prop) String() string { return string(p) }
+func (t Truth) String() string {
+	if t {
+		return "true"
+	}
+	return "false"
+}
+func (f Not) String() string      { return "!" + f.F.String() }
+func (f And) String() string      { return "(" + f.L.String() + " & " + f.R.String() + ")" }
+func (f Or) String() string       { return "(" + f.L.String() + " | " + f.R.String() + ")" }
+func (f Next) String() string     { return "X " + f.F.String() }
+func (f WeakNext) String() string { return "WX " + f.F.String() }
+func (f Until) String() string    { return "(" + f.L.String() + " U " + f.R.String() + ")" }
+func (f Release) String() string  { return "(" + f.L.String() + " R " + f.R.String() + ")" }
+
+// Eventually is the derived F operator.
+func Eventually(f Formula) Formula { return Until{L: Truth(true), R: f} }
+
+// Globally is the derived G operator (finite words: holds at every
+// position).
+func Globally(f Formula) Formula { return Release{L: Truth(false), R: f} }
+
+// Letter is one position of a word: the set of propositions true there.
+type Letter map[Prop]bool
+
+// Key returns a canonical rendering of the letter.
+func (l Letter) Key() string {
+	ps := make([]string, 0, len(l))
+	for p, v := range l {
+		if v {
+			ps = append(ps, string(p))
+		}
+	}
+	sort.Strings(ps)
+	return strings.Join(ps, ",")
+}
+
+// Word is a finite sequence of letters.
+type Word []Letter
+
+// Holds decides whether the word satisfies the formula at position i.
+func Holds(f Formula, w Word, i int) bool {
+	switch g := f.(type) {
+	case Prop:
+		return i < len(w) && w[i][g]
+	case Truth:
+		return bool(g)
+	case Not:
+		return !Holds(g.F, w, i)
+	case And:
+		return Holds(g.L, w, i) && Holds(g.R, w, i)
+	case Or:
+		return Holds(g.L, w, i) || Holds(g.R, w, i)
+	case Next:
+		return i+1 < len(w) && Holds(g.F, w, i+1)
+	case WeakNext:
+		return i+1 >= len(w) || Holds(g.F, w, i+1)
+	case Until:
+		for j := i; j < len(w); j++ {
+			if Holds(g.R, w, j) {
+				return true
+			}
+			if !Holds(g.L, w, j) {
+				return false
+			}
+		}
+		return false
+	case Release:
+		// L R R: R must hold up to and including the first position where L
+		// holds; if L never holds, R must hold till the end of the word.
+		for j := i; j < len(w); j++ {
+			if !Holds(g.R, w, j) {
+				return false
+			}
+			if Holds(g.L, w, j) {
+				return true
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Satisfies decides whether the nonempty word satisfies the formula at its
+// first position.
+func Satisfies(f Formula, w Word) bool {
+	if len(w) == 0 {
+		return false
+	}
+	return Holds(f, w, 0)
+}
+
+// NNF rewrites the formula into negation normal form (negations only on
+// propositions), introducing WeakNext and Release as duals.
+func NNF(f Formula) Formula {
+	return nnf(f, false)
+}
+
+func nnf(f Formula, negated bool) Formula {
+	switch g := f.(type) {
+	case Prop:
+		if negated {
+			return Not{F: g}
+		}
+		return g
+	case Truth:
+		if negated {
+			return Truth(!bool(g))
+		}
+		return g
+	case Not:
+		return nnf(g.F, !negated)
+	case And:
+		if negated {
+			return Or{L: nnf(g.L, true), R: nnf(g.R, true)}
+		}
+		return And{L: nnf(g.L, false), R: nnf(g.R, false)}
+	case Or:
+		if negated {
+			return And{L: nnf(g.L, true), R: nnf(g.R, true)}
+		}
+		return Or{L: nnf(g.L, false), R: nnf(g.R, false)}
+	case Next:
+		if negated {
+			return WeakNext{F: nnf(g.F, true)}
+		}
+		return Next{F: nnf(g.F, false)}
+	case WeakNext:
+		if negated {
+			return Next{F: nnf(g.F, true)}
+		}
+		return WeakNext{F: nnf(g.F, false)}
+	case Until:
+		if negated {
+			return Release{L: nnf(g.L, true), R: nnf(g.R, true)}
+		}
+		return Until{L: nnf(g.L, false), R: nnf(g.R, false)}
+	case Release:
+		if negated {
+			return Until{L: nnf(g.L, true), R: nnf(g.R, true)}
+		}
+		return Release{L: nnf(g.L, false), R: nnf(g.R, false)}
+	default:
+		return f
+	}
+}
+
+// Props returns the propositions occurring in f, sorted.
+func Props(f Formula) []Prop {
+	seen := make(map[Prop]bool)
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Prop:
+			seen[g] = true
+		case Not:
+			walk(g.F)
+		case And:
+			walk(g.L)
+			walk(g.R)
+		case Or:
+			walk(g.L)
+			walk(g.R)
+		case Next:
+			walk(g.F)
+		case WeakNext:
+			walk(g.F)
+		case Until:
+			walk(g.L)
+			walk(g.R)
+		case Release:
+			walk(g.L)
+			walk(g.R)
+		}
+	}
+	walk(f)
+	out := make([]Prop, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size counts AST nodes.
+func Size(f Formula) int {
+	switch g := f.(type) {
+	case Prop, Truth:
+		return 1
+	case Not:
+		return 1 + Size(g.F)
+	case And:
+		return 1 + Size(g.L) + Size(g.R)
+	case Or:
+		return 1 + Size(g.L) + Size(g.R)
+	case Next:
+		return 1 + Size(g.F)
+	case WeakNext:
+		return 1 + Size(g.F)
+	case Until:
+		return 1 + Size(g.L) + Size(g.R)
+	case Release:
+		return 1 + Size(g.L) + Size(g.R)
+	default:
+		return 1
+	}
+}

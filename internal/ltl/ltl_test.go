@@ -1,0 +1,295 @@
+package ltl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var (
+	pa = Prop("a")
+	pb = Prop("b")
+)
+
+func letter(ps ...Prop) Letter {
+	l := make(Letter)
+	for _, p := range ps {
+		l[p] = true
+	}
+	return l
+}
+
+func TestHoldsBasics(t *testing.T) {
+	w := Word{letter(pa), letter(pb), letter(pa, pb)}
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{pa, true},
+		{pb, false},
+		{Not{F: pb}, true},
+		{And{L: pa, R: Not{F: pb}}, true},
+		{Or{L: pb, R: pa}, true},
+		{Next{F: pb}, true},
+		{Next{F: pa}, false},
+		{Until{L: pa, R: pb}, true},           // a; then b at position 1
+		{Until{L: pb, R: pa}, true},           // a holds immediately
+		{Eventually(And{L: pa, R: pb}), true}, // last letter
+		{Globally(Or{L: pa, R: pb}), true},    // some prop everywhere
+		{Globally(pa), false},                 // fails at position 1
+		{WeakNext{F: pb}, true},
+		{Truth(true), true},
+		{Truth(false), false},
+	}
+	for _, c := range cases {
+		if got := Satisfies(c.f, w); got != c.want {
+			t.Errorf("Satisfies(%s) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestFiniteWordEdgeCases(t *testing.T) {
+	w := Word{letter(pa)}
+	// Strong next fails at the last position, weak next succeeds.
+	if Satisfies(Next{F: Truth(true)}, w) {
+		t.Error("strong next true at last position")
+	}
+	if !Satisfies(WeakNext{F: Truth(false)}, w) {
+		t.Error("weak next false at last position")
+	}
+	// G p on a single-letter word: p at position 0.
+	if !Satisfies(Globally(pa), w) {
+		t.Error("G a failed on [a]")
+	}
+	// Empty word satisfies nothing.
+	if Satisfies(Truth(true), Word{}) {
+		t.Error("empty word satisfied true (convention: nonempty words)")
+	}
+}
+
+func TestNNFSemanticsPreserved(t *testing.T) {
+	formulas := []Formula{
+		Not{F: Until{L: pa, R: pb}},
+		Not{F: And{L: pa, R: Next{F: pb}}},
+		Not{F: Globally(pa)},
+		Not{F: Not{F: Eventually(pb)}},
+		Not{F: Release{L: pa, R: pb}},
+		Not{F: WeakNext{F: pa}},
+	}
+	words := []Word{
+		{letter(pa)},
+		{letter(pb)},
+		{letter(pa), letter(pb)},
+		{letter(pb), letter(pa), letter()},
+		{letter(pa, pb), letter(pa), letter(pb)},
+	}
+	for _, f := range formulas {
+		g := NNF(f)
+		for _, w := range words {
+			if Satisfies(f, w) != Satisfies(g, w) {
+				t.Errorf("NNF changed semantics of %s (to %s) on %v", f, g, w)
+			}
+		}
+	}
+}
+
+func TestNNFShape(t *testing.T) {
+	g := NNF(Not{F: Until{L: pa, R: pb}})
+	if _, ok := g.(Release); !ok {
+		t.Errorf("NNF(!(_U_)) = %T, want Release", g)
+	}
+	var checkNNF func(f Formula) bool
+	checkNNF = func(f Formula) bool {
+		switch x := f.(type) {
+		case Not:
+			_, isProp := x.F.(Prop)
+			return isProp
+		case And:
+			return checkNNF(x.L) && checkNNF(x.R)
+		case Or:
+			return checkNNF(x.L) && checkNNF(x.R)
+		case Next:
+			return checkNNF(x.F)
+		case WeakNext:
+			return checkNNF(x.F)
+		case Until:
+			return checkNNF(x.L) && checkNNF(x.R)
+		case Release:
+			return checkNNF(x.L) && checkNNF(x.R)
+		default:
+			return true
+		}
+	}
+	deep := Not{F: And{L: Until{L: pa, R: pb}, R: Not{F: Next{F: pa}}}}
+	if !checkNNF(NNF(deep)) {
+		t.Errorf("NNF(%s) = %s not in NNF", deep, NNF(deep))
+	}
+}
+
+func TestSatisfiableSimple(t *testing.T) {
+	alpha := FullAlphabet([]Prop{pa, pb})
+	res, err := Satisfiable(Eventually(And{L: pa, R: pb}), alpha, 0)
+	if err != nil || !res.Satisfiable {
+		t.Fatalf("F(a&b): %+v, %v", res, err)
+	}
+	if !Satisfies(Eventually(And{L: pa, R: pb}), res.Witness) {
+		t.Error("witness does not satisfy formula")
+	}
+	// Contradiction.
+	res, err = Satisfiable(And{L: pa, R: Not{F: pa}}, alpha, 0)
+	if err != nil || res.Satisfiable {
+		t.Errorf("a & !a satisfiable: %+v, %v", res, err)
+	}
+}
+
+func TestSatisfiableNeedsLongWord(t *testing.T) {
+	// X X X a requires length ≥ 4.
+	f := Next{F: Next{F: Next{F: pa}}}
+	alpha := FullAlphabet([]Prop{pa})
+	res, err := Satisfiable(f, alpha, 0)
+	if err != nil || !res.Satisfiable {
+		t.Fatalf("XXXa: %+v, %v", res, err)
+	}
+	if len(res.Witness) != 4 {
+		t.Errorf("witness length = %d, want 4", len(res.Witness))
+	}
+	// With maxLen 3 it is unsatisfiable.
+	res, err = Satisfiable(f, alpha, 3)
+	if err != nil || res.Satisfiable {
+		t.Errorf("XXXa within 3: %+v", res)
+	}
+}
+
+func TestSatisfiableGloballyUnsat(t *testing.T) {
+	// G a & F !a is unsatisfiable.
+	f := And{L: Globally(pa), R: Eventually(Not{F: pa})}
+	alpha := FullAlphabet([]Prop{pa})
+	res, err := Satisfiable(f, alpha, 0)
+	if err != nil || res.Satisfiable {
+		t.Errorf("Ga & F!a: %+v, %v", res, err)
+	}
+}
+
+func TestSatisfiableRestrictedAlphabet(t *testing.T) {
+	// Over the alphabet missing {a,b} together, F(a&b) is unsatisfiable.
+	alpha := []Letter{letter(pa), letter(pb), letter()}
+	res, err := Satisfiable(Eventually(And{L: pa, R: pb}), alpha, 0)
+	if err != nil || res.Satisfiable {
+		t.Errorf("F(a&b) over split alphabet: %+v", res)
+	}
+}
+
+func TestSatisfiableUntilOrdering(t *testing.T) {
+	// (a U b) & !b at start: needs a first, then b.
+	f := And{L: Until{L: pa, R: pb}, R: Not{F: pb}}
+	alpha := FullAlphabet([]Prop{pa, pb})
+	res, err := Satisfiable(f, alpha, 0)
+	if err != nil || !res.Satisfiable {
+		t.Fatalf("sat: %+v, %v", res, err)
+	}
+	if !Satisfies(f, res.Witness) {
+		t.Errorf("witness %v fails formula", res.Witness)
+	}
+	if len(res.Witness) < 2 {
+		t.Errorf("witness too short: %v", res.Witness)
+	}
+}
+
+func TestSatisfiableErrors(t *testing.T) {
+	if _, err := Satisfiable(pa, nil, 0); err == nil {
+		t.Error("empty alphabet accepted")
+	}
+	if _, err := SatisfiableBrute(pa, nil, 3); err == nil {
+		t.Error("brute: empty alphabet accepted")
+	}
+	if _, err := SatisfiableBrute(pa, FullAlphabet([]Prop{pa}), 0); err == nil {
+		t.Error("brute: missing bound accepted")
+	}
+}
+
+func TestProgressionAgreesWithBrute(t *testing.T) {
+	alpha := FullAlphabet([]Prop{pa, pb})
+	formulas := []Formula{
+		Eventually(And{L: pa, R: pb}),
+		And{L: Globally(pa), R: Eventually(pb)},
+		Until{L: pa, R: And{L: pb, R: Next{F: pa}}},
+		And{L: Not{F: pa}, R: Next{F: And{L: pa, R: Next{F: Not{F: pa}}}}},
+		Release{L: pa, R: pb},
+		And{L: Eventually(pa), R: Eventually(pb)},
+		Not{F: Until{L: pa, R: pb}},
+	}
+	const bound = 4
+	for _, f := range formulas {
+		prog, err := Satisfiable(f, alpha, bound)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		brute, err := SatisfiableBrute(f, alpha, bound)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if prog.Satisfiable != brute.Satisfiable {
+			t.Errorf("%s: progression=%v brute=%v", f, prog.Satisfiable, brute.Satisfiable)
+		}
+		if prog.Satisfiable && !Satisfies(f, prog.Witness) {
+			t.Errorf("%s: witness rejected by direct semantics", f)
+		}
+	}
+}
+
+func TestStepAcceptance(t *testing.T) {
+	// After reading a letter with a, obligation of F a is discharged.
+	f := NNF(Eventually(pa))
+	next, accept := Step(f, letter(pa))
+	if !accept {
+		t.Errorf("F a not accepted after reading a (next=%s)", next)
+	}
+	_, accept = Step(f, letter())
+	if accept {
+		t.Error("F a accepted after empty letter")
+	}
+}
+
+func TestPropsAndSize(t *testing.T) {
+	f := And{L: Until{L: pa, R: pb}, R: Next{F: pa}}
+	ps := Props(f)
+	if len(ps) != 2 || ps[0] != pa || ps[1] != pb {
+		t.Errorf("props = %v", ps)
+	}
+	if Size(f) < 5 {
+		t.Errorf("size = %d", Size(f))
+	}
+	if len(FullAlphabet(ps)) != 4 {
+		t.Error("full alphabet size wrong")
+	}
+}
+
+func TestLetterKeyCanonical(t *testing.T) {
+	if letter(pa, pb).Key() != letter(pb, pa).Key() {
+		t.Error("letter key order-dependent")
+	}
+	err := quick.Check(func(aOn, bOn bool) bool {
+		l := Letter{pa: aOn, pb: bOn}
+		m := Letter{}
+		if aOn {
+			m[pa] = true
+		}
+		if bOn {
+			m[pb] = true
+		}
+		return l.Key() == m.Key()
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWitnessMinimality(t *testing.T) {
+	// BFS yields a shortest witness: F b over {a},{b} should be length 1.
+	res, err := Satisfiable(Eventually(pb), []Letter{letter(pb), letter(pa)}, 0)
+	if err != nil || !res.Satisfiable {
+		t.Fatal(err)
+	}
+	if len(res.Witness) != 1 {
+		t.Errorf("witness length = %d, want 1", len(res.Witness))
+	}
+}

@@ -1,0 +1,341 @@
+// Package lts materializes the labelled transition system a schema induces
+// (Section 2, Figure 1): nodes are revealed instances, edges are accesses,
+// and a transition (I, AC, I') exists when some well-formed response r to AC
+// satisfies Conf((AC,r), I) = I'.
+//
+// The full LTS is infinite; this package provides *bounded* exploration
+// against a finite hidden-instance universe. Exploration doubles as the
+// ground-truth oracle for every decision procedure in the repository: a
+// fragment solver's "satisfiable" verdict must come with a witness path the
+// direct semantics accepts, and "unsatisfiable" verdicts are cross-checked
+// by exhaustive enumeration up to the bound.
+package lts
+
+import (
+	"fmt"
+
+	"accltl/internal/access"
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// Options configures bounded exploration.
+type Options struct {
+	// Universe is the hidden instance: every response draws its tuples from
+	// the matching tuples of Universe. Exploration is complete relative to
+	// this choice of possible world.
+	Universe *instance.Instance
+	// Initial is the initially known instance I0 (nil = empty).
+	Initial *instance.Instance
+	// MaxDepth bounds the number of accesses per path.
+	MaxDepth int
+	// GroundedOnly restricts to grounded paths: binding values must occur
+	// in I0 or an earlier response.
+	GroundedOnly bool
+	// IdempotentOnly restricts to idempotent paths.
+	IdempotentOnly bool
+	// ExactMethods lists methods that must respond exactly (all matching
+	// Universe tuples). Methods not listed respond with any subset.
+	ExactMethods map[string]bool
+	// AllExact makes every method exact.
+	AllExact bool
+	// MaxResponseChoices caps the number of matching tuples considered for
+	// subset responses (the fan-out per access is 2^n). Default 3.
+	MaxResponseChoices int
+	// ExtraBindingValues extends the binding pool beyond the universe's
+	// active domain (used for non-grounded exploration with constants from
+	// a formula).
+	ExtraBindingValues []instance.Value
+	// MaxPaths aborts exploration after this many paths (0 = unlimited).
+	MaxPaths int
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.MaxResponseChoices == 0 {
+		opts.MaxResponseChoices = 3
+	}
+	return opts
+}
+
+// Visitor receives each explored path prefix together with its final
+// configuration. Returning expand=false prunes extensions of this path;
+// returning a non-nil error aborts the whole exploration.
+type Visitor func(p *access.Path, conf *instance.Instance) (expand bool, err error)
+
+// ErrStop can be returned by a Visitor to abort exploration without error.
+var ErrStop = fmt.Errorf("lts: stop requested")
+
+// Explore enumerates access paths of the schema against opts.Universe in
+// depth-first order, calling visit on every path (including the empty one).
+func Explore(sch *schema.Schema, opts Options, visit Visitor) error {
+	o := opts.withDefaults()
+	if o.Universe == nil {
+		return fmt.Errorf("lts: Explore requires a Universe instance")
+	}
+	init := o.Initial
+	if init == nil {
+		init = instance.NewInstance(sch)
+	}
+	e := &explorer{sch: sch, opts: o, visit: visit}
+	p := access.NewPath(sch)
+	conf := init.Clone()
+	known := make(map[instance.Value]bool)
+	for _, v := range init.ActiveDomain() {
+		known[v] = true
+	}
+	err := e.rec(p, conf, known, make(map[string]string))
+	if err == ErrStop {
+		return nil
+	}
+	return err
+}
+
+type explorer struct {
+	sch   *schema.Schema
+	opts  Options
+	visit Visitor
+	paths int
+}
+
+func (e *explorer) rec(p *access.Path, conf *instance.Instance, known map[instance.Value]bool, idem map[string]string) error {
+	e.paths++
+	if e.opts.MaxPaths > 0 && e.paths > e.opts.MaxPaths {
+		return ErrStop
+	}
+	expand, err := e.visit(p, conf)
+	if err != nil {
+		return err
+	}
+	if !expand || p.Len() >= e.opts.MaxDepth {
+		return nil
+	}
+	for _, m := range e.sch.Methods() {
+		bindings := e.bindings(m, known)
+		for _, b := range bindings {
+			acc, err := access.NewAccess(m, b)
+			if err != nil {
+				continue
+			}
+			for _, resp := range e.responses(acc, conf) {
+				if e.opts.IdempotentOnly {
+					fp := respFingerprint(resp)
+					if prev, seen := idem[acc.Key()]; seen && prev != fp {
+						continue
+					}
+				}
+				if err := e.step(p, conf, known, idem, acc, resp); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (e *explorer) step(p *access.Path, conf *instance.Instance, known map[instance.Value]bool, idem map[string]string, acc access.Access, resp []instance.Tuple) error {
+	np := p.Clone()
+	if err := np.Append(acc, resp); err != nil {
+		return err
+	}
+	nconf := conf.Clone()
+	rel := acc.Method.Relation().Name()
+	for _, t := range resp {
+		if _, err := nconf.Add(rel, t); err != nil {
+			return err
+		}
+	}
+	nknown := known
+	var added []instance.Value
+	for _, t := range resp {
+		for _, v := range t {
+			if !nknown[v] {
+				nknown[v] = true
+				added = append(added, v)
+			}
+		}
+	}
+	nidem := idem
+	var idemKey string
+	var idemSet bool
+	if e.opts.IdempotentOnly {
+		if _, seen := idem[acc.Key()]; !seen {
+			idemKey = acc.Key()
+			idem[idemKey] = respFingerprint(resp)
+			idemSet = true
+		}
+	}
+	err := e.rec(np, nconf, nknown, nidem)
+	for _, v := range added {
+		delete(nknown, v)
+	}
+	if idemSet {
+		delete(idem, idemKey)
+	}
+	return err
+}
+
+// bindings enumerates candidate bindings for a method: typed tuples over the
+// binding pool. Grounded exploration uses only currently known values.
+func (e *explorer) bindings(m *schema.AccessMethod, known map[instance.Value]bool) []instance.Tuple {
+	pool := e.bindingPool(known)
+	types := m.InputTypes()
+	if len(types) == 0 {
+		return []instance.Tuple{{}}
+	}
+	byType := make(map[schema.Type][]instance.Value)
+	for _, v := range pool {
+		byType[v.Kind()] = append(byType[v.Kind()], v)
+	}
+	var out []instance.Tuple
+	cur := make(instance.Tuple, len(types))
+	var build func(i int)
+	build = func(i int) {
+		if i == len(types) {
+			out = append(out, cur.Clone())
+			return
+		}
+		for _, v := range byType[types[i]] {
+			cur[i] = v
+			build(i + 1)
+		}
+	}
+	build(0)
+	return out
+}
+
+func (e *explorer) bindingPool(known map[instance.Value]bool) []instance.Value {
+	seen := make(map[instance.Value]bool)
+	var pool []instance.Value
+	add := func(v instance.Value) {
+		if !seen[v] {
+			seen[v] = true
+			pool = append(pool, v)
+		}
+	}
+	if e.opts.GroundedOnly {
+		// Deterministic order: sort the known values.
+		vs := make([]instance.Value, 0, len(known))
+		for v := range known {
+			vs = append(vs, v)
+		}
+		sortValues(vs)
+		for _, v := range vs {
+			add(v)
+		}
+		return pool
+	}
+	for _, v := range e.opts.Universe.ActiveDomain() {
+		add(v)
+	}
+	for _, v := range e.opts.ExtraBindingValues {
+		add(v)
+	}
+	vs := make([]instance.Value, 0, len(known))
+	for v := range known {
+		vs = append(vs, v)
+	}
+	sortValues(vs)
+	for _, v := range vs {
+		add(v)
+	}
+	return pool
+}
+
+// responses enumerates well-formed responses for the access: subsets of the
+// Universe tuples matching the binding (all of them when the method is
+// exact). The empty response is always a choice for non-exact methods.
+func (e *explorer) responses(acc access.Access, conf *instance.Instance) [][]instance.Tuple {
+	matching := e.opts.Universe.Matching(acc.Method, acc.Binding)
+	exact := e.opts.AllExact || (e.opts.ExactMethods != nil && e.opts.ExactMethods[acc.Method.Name()])
+	if exact {
+		return [][]instance.Tuple{matching}
+	}
+	if len(matching) > e.opts.MaxResponseChoices {
+		matching = matching[:e.opts.MaxResponseChoices]
+	}
+	n := len(matching)
+	out := make([][]instance.Tuple, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var resp []instance.Tuple
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				resp = append(resp, matching[i])
+			}
+		}
+		out = append(out, resp)
+	}
+	return out
+}
+
+func respFingerprint(resp []instance.Tuple) string {
+	keys := make([]string, len(resp))
+	for i, t := range resp {
+		keys[i] = t.Key()
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += "\x1f"
+		}
+		s += k
+	}
+	return s
+}
+
+func sortValues(vs []instance.Value) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j].Less(vs[j-1]); j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// EnumeratePaths collects every path up to the options' depth bound.
+// Intended for small universes (tests, oracles, Figure 1).
+func EnumeratePaths(sch *schema.Schema, opts Options) ([]*access.Path, error) {
+	var out []*access.Path
+	err := Explore(sch, opts, func(p *access.Path, _ *instance.Instance) (bool, error) {
+		out = append(out, p)
+		return true, nil
+	})
+	return out, err
+}
+
+// Stats summarizes an exploration: how many paths and distinct
+// configurations were reached per depth.
+type Stats struct {
+	PathsPerDepth   []int
+	ConfigsPerDepth []int
+	TotalPaths      int
+}
+
+// Collect runs an exploration and gathers statistics.
+func Collect(sch *schema.Schema, opts Options) (Stats, error) {
+	var st Stats
+	seen := make([]map[string]bool, opts.MaxDepth+1)
+	for i := range seen {
+		seen[i] = make(map[string]bool)
+	}
+	err := Explore(sch, opts, func(p *access.Path, conf *instance.Instance) (bool, error) {
+		d := p.Len()
+		for len(st.PathsPerDepth) <= d {
+			st.PathsPerDepth = append(st.PathsPerDepth, 0)
+			st.ConfigsPerDepth = append(st.ConfigsPerDepth, 0)
+		}
+		st.PathsPerDepth[d]++
+		st.TotalPaths++
+		fp := conf.Fingerprint()
+		if !seen[d][fp] {
+			seen[d][fp] = true
+			st.ConfigsPerDepth[d]++
+		}
+		return true, nil
+	})
+	return st, err
+}

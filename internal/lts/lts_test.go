@@ -1,0 +1,236 @@
+package lts
+
+import (
+	"strings"
+	"testing"
+
+	"accltl/internal/access"
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// tinySchema: one unary relation R with a boolean access, one binary S with
+// an input on position 0.
+func tinySchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	r := schema.MustRelation("R", schema.TypeInt)
+	s2 := schema.MustRelation("S", schema.TypeInt, schema.TypeInt)
+	s := schema.New()
+	for _, err := range []error{
+		s.AddRelation(r),
+		s.AddRelation(s2),
+		s.AddMethod(schema.MustAccessMethod("mR", r, 0)),
+		s.AddMethod(schema.MustAccessMethod("mS", s2, 0)),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func tinyUniverse(t testing.TB, s *schema.Schema) *instance.Instance {
+	t.Helper()
+	u := instance.NewInstance(s)
+	u.MustAdd("R", instance.Int(1))
+	u.MustAdd("S", instance.Int(1), instance.Int(2))
+	return u
+}
+
+func TestExploreRequiresUniverse(t *testing.T) {
+	s := tinySchema(t)
+	err := Explore(s, Options{MaxDepth: 1}, func(*access.Path, *instance.Instance) (bool, error) {
+		return true, nil
+	})
+	if err == nil {
+		t.Error("nil universe accepted")
+	}
+}
+
+func TestEnumeratePathsDepthZero(t *testing.T) {
+	s := tinySchema(t)
+	ps, err := EnumeratePaths(s, Options{Universe: tinyUniverse(t, s), MaxDepth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].Len() != 0 {
+		t.Errorf("depth-0 paths = %d", len(ps))
+	}
+}
+
+func TestEnumeratePathsDepthOne(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	ps, err := EnumeratePaths(s, Options{Universe: u, MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binding pool = {1, 2} ints. Methods: mR (1 input), mS (1 input).
+	// mR(1): matching {R(1)} -> 2 responses; mR(2): 1 response (empty);
+	// mS(1): matching {S(1,2)} -> 2 responses; mS(2): 1 response.
+	// Total step-1 paths = 6, plus the empty path = 7.
+	if len(ps) != 7 {
+		for _, p := range ps {
+			t.Log(p)
+		}
+		t.Errorf("paths = %d, want 7", len(ps))
+	}
+}
+
+func TestExploreGroundedOnly(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	// With empty I0 and grounded-only, no values are known, so no access
+	// can be made at all.
+	ps, err := EnumeratePaths(s, Options{Universe: u, MaxDepth: 2, GroundedOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 {
+		t.Errorf("grounded paths from empty I0 = %d, want 1 (empty path)", len(ps))
+	}
+	// Seed 1 in I0: mR(1) and mS(1) become available; responses reveal 2.
+	i0 := instance.NewInstance(s)
+	i0.MustAdd("R", instance.Int(1))
+	ps, err = EnumeratePaths(s, Options{Universe: u, Initial: i0, MaxDepth: 2, GroundedOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if !p.IsGrounded(i0) {
+			t.Errorf("non-grounded path enumerated: %s", p)
+		}
+	}
+	if len(ps) <= 1 {
+		t.Error("no grounded paths found from seeded I0")
+	}
+}
+
+func TestExploreExactMethods(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	ps, err := EnumeratePaths(s, Options{Universe: u, MaxDepth: 1, AllExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact: each access has exactly one response. 2 methods × 2 bindings
+	// + empty path = 5.
+	if len(ps) != 5 {
+		t.Errorf("exact paths = %d, want 5", len(ps))
+	}
+	for _, p := range ps {
+		if p.Len() == 0 {
+			continue
+		}
+		st := p.Step(0)
+		want := u.Matching(st.Access.Method, st.Access.Binding)
+		if len(want) != len(st.Response) {
+			t.Errorf("exact access %s returned %d of %d tuples", st.Access, len(st.Response), len(want))
+		}
+	}
+}
+
+func TestExploreIdempotentOnly(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	ps, err := EnumeratePaths(s, Options{Universe: u, MaxDepth: 2, IdempotentOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if !p.IsIdempotent() {
+			t.Errorf("non-idempotent path enumerated: %s", p)
+		}
+	}
+}
+
+func TestExploreAllPathsAreWellFormed(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	ps, err := EnumeratePaths(s, Options{Universe: u, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		conf, err := p.FinalConfig(nil)
+		if err != nil {
+			t.Fatalf("path %s: %v", p, err)
+		}
+		if !u.Contains(conf) {
+			t.Errorf("path %s revealed tuples outside the universe", p)
+		}
+	}
+}
+
+func TestExplorePruning(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	count := 0
+	err := Explore(s, Options{Universe: u, MaxDepth: 3}, func(p *access.Path, _ *instance.Instance) (bool, error) {
+		count++
+		return false, nil // prune everything: only the empty path visits
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("visits with immediate pruning = %d, want 1", count)
+	}
+}
+
+func TestExploreMaxPaths(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	count := 0
+	err := Explore(s, Options{Universe: u, MaxDepth: 3, MaxPaths: 5}, func(p *access.Path, _ *instance.Instance) (bool, error) {
+		count++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count > 5 {
+		t.Errorf("visited %d paths despite MaxPaths=5", count)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	st, err := Collect(s, Options{Universe: u, MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PathsPerDepth[0] != 1 || st.PathsPerDepth[1] != 6 {
+		t.Errorf("paths per depth = %v", st.PathsPerDepth)
+	}
+	if st.TotalPaths != 7 {
+		t.Errorf("total = %d", st.TotalPaths)
+	}
+	// Distinct configurations at depth 1: empty (from empty responses),
+	// {R(1)}, {S(1,2)} = 3.
+	if st.ConfigsPerDepth[1] != 3 {
+		t.Errorf("configs at depth 1 = %d, want 3", st.ConfigsPerDepth[1])
+	}
+}
+
+func TestBuildTreeAndRender(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	tree, err := BuildTree(s, Options{Universe: u, MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.CountNodes() != 7 {
+		t.Errorf("tree nodes = %d, want 7", tree.CountNodes())
+	}
+	if tree.Depth() != 1 {
+		t.Errorf("tree depth = %d", tree.Depth())
+	}
+	var b strings.Builder
+	tree.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "Known Facts") || !strings.Contains(out, "∅") {
+		t.Errorf("render missing expected elements:\n%s", out)
+	}
+}

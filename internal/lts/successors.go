@@ -1,0 +1,46 @@
+package lts
+
+import (
+	"fmt"
+
+	"accltl/internal/access"
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// Successors enumerates the one-step transitions available from a
+// configuration: every access (method × binding from the pool) with every
+// well-formed response drawn from the universe. It is the branching-time
+// counterpart of Explore — the CTL_EX model checker of package branching
+// walks the LTS through it.
+func Successors(sch *schema.Schema, opts Options, conf *instance.Instance) ([]access.Transition, error) {
+	o := opts.withDefaults()
+	if o.Universe == nil {
+		return nil, fmt.Errorf("lts: Successors requires a Universe instance")
+	}
+	e := &explorer{sch: sch, opts: o}
+	known := make(map[instance.Value]bool)
+	for _, v := range conf.ActiveDomain() {
+		known[v] = true
+	}
+	var out []access.Transition
+	for _, m := range sch.Methods() {
+		for _, b := range e.bindings(m, known) {
+			acc, err := access.NewAccess(m, b)
+			if err != nil {
+				continue
+			}
+			for _, resp := range e.responses(acc, conf) {
+				next := conf.Clone()
+				rel := acc.Method.Relation().Name()
+				for _, t := range resp {
+					if _, err := next.Add(rel, t); err != nil {
+						return nil, err
+					}
+				}
+				out = append(out, access.Transition{Before: conf, Access: acc, After: next})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,277 @@
+// Package relevance implements the classical limited-access-pattern
+// analyses the paper builds on and re-expresses in AccLTL:
+//
+//   - the accessible part / maximal answers under access patterns, via the
+//     Datalog program of Li [15] ("the program simply tries all possible
+//     valid accesses on the database", Section 1);
+//   - long-term relevance of an access to a query (Example 2.3, after
+//     Benedikt–Gottlob–Senellart [3]);
+//   - query containment under (grounded) access patterns (Example 2.2,
+//     after Calì–Martinenghi [5]);
+//
+// each both as a direct algorithm and as the AccLTL formula the paper
+// compiles it into, so tests can cross-check the two routes.
+package relevance
+
+import (
+	"fmt"
+
+	"accltl/internal/accltl"
+	"accltl/internal/datalog"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// AccessibleProgram builds the Datalog program of [15] for a schema: over
+// the extensional copy of each relation (the hidden instance), the
+// intensional predicate Acc<R> accumulates the tuples obtainable by
+// grounded accesses, and accessible(v) the values known so far. One rule
+// per access method fires the method on known values; one rule per relation
+// position extracts newly revealed values.
+func AccessibleProgram(sch *schema.Schema) (*datalog.Program, error) {
+	prog := &datalog.Program{Goal: fo.PlainPred("AccAny")}
+	accessible := fo.PlainPred("accessible")
+	for _, m := range sch.Methods() {
+		r := m.Relation()
+		args := make([]fo.Term, r.Arity())
+		for i := range args {
+			args[i] = fo.Var(fmt.Sprintf("x%d", i))
+		}
+		body := []fo.Atom{{Pred: fo.PlainPred(r.Name()), Args: args}}
+		for _, p := range m.Inputs() {
+			body = append(body, fo.Atom{Pred: accessible, Args: []fo.Term{args[p]}})
+		}
+		prog.Rules = append(prog.Rules, datalog.Rule{
+			Head: fo.Atom{Pred: accPred(r.Name()), Args: args},
+			Body: body,
+		})
+	}
+	for _, r := range sch.Relations() {
+		args := make([]fo.Term, r.Arity())
+		for i := range args {
+			args[i] = fo.Var(fmt.Sprintf("x%d", i))
+		}
+		for p := 0; p < r.Arity(); p++ {
+			prog.Rules = append(prog.Rules, datalog.Rule{
+				Head: fo.Atom{Pred: accessible, Args: []fo.Term{args[p]}},
+				Body: []fo.Atom{{Pred: accPred(r.Name()), Args: args}},
+			})
+		}
+	}
+	// Goal: anything accessible (the goal is incidental; callers read the
+	// Acc<R> predicates from the fixpoint).
+	prog.Rules = append(prog.Rules, datalog.Rule{
+		Head: fo.Atom{Pred: fo.PlainPred("AccAny")},
+		Body: []fo.Atom{{Pred: accessible, Args: []fo.Term{fo.Var("v")}}},
+	})
+	return prog, nil
+}
+
+// accPred names the revealed copy of a relation.
+func accPred(rel string) fo.Pred { return fo.PlainPred("Acc_" + rel) }
+
+// AccessiblePart computes the subinstance of hidden obtainable by grounded
+// access paths starting from the values of seed (nil = no seed values: only
+// input-free methods can fire initially).
+func AccessiblePart(sch *schema.Schema, hidden, seed *instance.Instance) (*instance.Instance, error) {
+	prog, err := AccessibleProgram(sch)
+	if err != nil {
+		return nil, err
+	}
+	db := fo.NewMapStructure()
+	for _, r := range sch.Relations() {
+		for _, t := range hidden.Tuples(r.Name()) {
+			db.Add(fo.PlainPred(r.Name()), t)
+		}
+	}
+	if seed != nil {
+		for _, v := range seed.ActiveDomain() {
+			db.Add(fo.PlainPred("accessible"), instance.Tuple{v})
+		}
+		// Seed tuples are already known.
+		for _, r := range sch.Relations() {
+			for _, t := range seed.Tuples(r.Name()) {
+				db.Add(accPred(r.Name()), t)
+			}
+		}
+	}
+	fix, _, err := prog.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	out := instance.NewInstance(sch)
+	for _, r := range sch.Relations() {
+		for _, t := range fix.TuplesOf(accPred(r.Name())) {
+			if _, err := out.Add(r.Name(), t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// MaximalAnswer evaluates the boolean positive query q (over Plain
+// predicates) on the accessible part of hidden: whether the query result is
+// certainly obtainable through grounded accesses.
+func MaximalAnswer(sch *schema.Schema, q fo.Formula, hidden, seed *instance.Instance) (bool, error) {
+	if err := fo.CheckPositiveSentence(q); err != nil {
+		return false, err
+	}
+	acc, err := AccessiblePart(sch, hidden, seed)
+	if err != nil {
+		return false, err
+	}
+	return fo.Eval(q, instStructure{acc})
+}
+
+// instStructure adapts an instance to fo.Structure over Plain predicates.
+type instStructure struct{ in *instance.Instance }
+
+func (s instStructure) Holds(p fo.Pred, t instance.Tuple) bool { return s.in.Has(p.Name, t) }
+func (s instStructure) TuplesOf(p fo.Pred) []instance.Tuple    { return s.in.Tuples(p.Name) }
+func (s instStructure) Domain() []instance.Value               { return s.in.ActiveDomain() }
+
+// restage rewrites the Plain predicates of a query to the given vocabulary
+// copy (Q^pre / Q^post in the paper's notation).
+func restage(f fo.Formula, stage fo.Stage) fo.Formula {
+	switch g := f.(type) {
+	case fo.Atom:
+		if g.Pred.Stage == fo.Plain {
+			return fo.Atom{Pred: fo.Pred{Name: g.Pred.Name, Stage: stage}, Args: g.Args}
+		}
+		return g
+	case fo.And:
+		out := make([]fo.Formula, len(g.Conj))
+		for i, c := range g.Conj {
+			out[i] = restage(c, stage)
+		}
+		return fo.Conj(out...)
+	case fo.Or:
+		out := make([]fo.Formula, len(g.Disj))
+		for i, d := range g.Disj {
+			out[i] = restage(d, stage)
+		}
+		return fo.Disj(out...)
+	case fo.Not:
+		return fo.Not{F: restage(g.F, stage)}
+	case fo.Exists:
+		return fo.Exists{Vars: g.Vars, Body: restage(g.Body, stage)}
+	default:
+		return f
+	}
+}
+
+// LTRFormula is the Example 2.3 sentence expressing long-term relevance of
+// the boolean access (method, binding) to query Q over the empty initial
+// instance:
+//
+//	F( ¬Q^pre ∧ IsBind_AcM(b̄) ∧ Q^post )
+func LTRFormula(method *schema.AccessMethod, binding instance.Tuple, q fo.Formula) (accltl.Formula, error) {
+	if err := fo.CheckPositiveSentence(q); err != nil {
+		return nil, err
+	}
+	if len(binding) != method.NumInputs() {
+		return nil, fmt.Errorf("relevance: binding arity %d does not match method %s", len(binding), method.Name())
+	}
+	args := make([]fo.Term, len(binding))
+	for i, v := range binding {
+		args[i] = fo.Const(v)
+	}
+	bind := fo.Atom{Pred: fo.IsBindPred(method.Name()), Args: args}
+	return accltl.F(accltl.Conj(
+		accltl.Not{F: accltl.Atom{Sentence: restage(q, fo.Pre)}},
+		accltl.Atom{Sentence: bind},
+		accltl.Atom{Sentence: restage(q, fo.Post)},
+	)), nil
+}
+
+// LTROptions configures a long-term-relevance check.
+type LTROptions struct {
+	// Grounded restricts to grounded paths ("dependent accesses" of [3]).
+	Grounded bool
+	// Universe overrides the witness universe.
+	Universe *instance.Instance
+	// MaxDepth bounds the search (0 = derived).
+	MaxDepth int
+}
+
+// LTRResult reports a relevance verdict.
+type LTRResult struct {
+	Relevant bool
+	// Witness is a path demonstrating relevance.
+	Witness *accltl.SolveResult
+	Formula accltl.Formula
+}
+
+// LongTermRelevant decides whether the boolean access (method, binding) is
+// long-term relevant to q (Example 2.3): whether some access path starting
+// with it reveals q where dropping the access would not. The check runs the
+// Example 2.3 formula through the AccLTL+ machinery. Note the formula uses
+// IsBind with a constant binding, so it stays binding-positive.
+func LongTermRelevant(sch *schema.Schema, method *schema.AccessMethod, binding instance.Tuple, q fo.Formula, opts LTROptions) (LTRResult, error) {
+	if !method.IsBoolean() {
+		return LTRResult{}, fmt.Errorf("relevance: Example 2.3 requires a boolean access method; %s is not", method.Name())
+	}
+	f, err := LTRFormula(method, binding, q)
+	if err != nil {
+		return LTRResult{}, err
+	}
+	res, err := accltl.SolvePlusDirect(f, accltl.SolveOptions{
+		Schema:   sch,
+		Grounded: opts.Grounded,
+		Universe: opts.Universe,
+		MaxDepth: opts.MaxDepth,
+	})
+	if err != nil {
+		return LTRResult{}, err
+	}
+	return LTRResult{Relevant: res.Satisfiable, Witness: &res, Formula: f}, nil
+}
+
+// ContainmentFormula is the Example 2.2 construction: Q1 is contained in Q2
+// under (grounded) access patterns iff G¬(Q1^pre ∧ ¬Q2^pre) is valid over
+// grounded paths — equivalently, iff the returned formula
+// F(Q1^pre ∧ ¬Q2^pre) is unsatisfiable over grounded paths.
+func ContainmentFormula(q1, q2 fo.Formula) (accltl.Formula, error) {
+	if err := fo.CheckPositiveSentence(q1); err != nil {
+		return nil, err
+	}
+	if err := fo.CheckPositiveSentence(q2); err != nil {
+		return nil, err
+	}
+	return accltl.F(accltl.Conj(
+		accltl.Atom{Sentence: restage(q1, fo.Pre)},
+		accltl.Not{F: accltl.Atom{Sentence: restage(q2, fo.Pre)}},
+	)), nil
+}
+
+// ContainmentResult reports a containment verdict.
+type ContainmentResult struct {
+	Contained bool
+	// Counterexample is a path reaching a configuration satisfying Q1 but
+	// not Q2, when not contained.
+	Counterexample *accltl.SolveResult
+	Formula        accltl.Formula
+}
+
+// ContainedUnderAccessPatterns decides Q1 ⊆ Q2 relative to the schema's
+// access patterns over grounded paths (Example 2.2), by satisfiability of
+// the containment formula. seed supplies initially known values (the
+// paper's I0); nil means accesses must start from input-free methods.
+func ContainedUnderAccessPatterns(sch *schema.Schema, q1, q2 fo.Formula, seed *instance.Instance, maxDepth int) (ContainmentResult, error) {
+	f, err := ContainmentFormula(q1, q2)
+	if err != nil {
+		return ContainmentResult{}, err
+	}
+	res, err := accltl.SolveBounded(f, accltl.SolveOptions{
+		Schema:   sch,
+		Grounded: true,
+		Initial:  seed,
+		MaxDepth: maxDepth,
+	})
+	if err != nil {
+		return ContainmentResult{}, err
+	}
+	return ContainmentResult{Contained: !res.Satisfiable, Counterexample: &res, Formula: f}, nil
+}

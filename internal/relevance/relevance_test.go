@@ -1,0 +1,284 @@
+package relevance
+
+import (
+	"testing"
+
+	"accltl/internal/accltl"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// phone is the running example schema.
+func phone(t testing.TB) *schema.Schema {
+	t.Helper()
+	mobile := schema.MustRelation("Mobile#", schema.TypeString, schema.TypeString, schema.TypeString, schema.TypeInt)
+	address := schema.MustRelation("Address", schema.TypeString, schema.TypeString, schema.TypeString, schema.TypeInt)
+	s := schema.New()
+	for _, err := range []error{
+		s.AddRelation(mobile), s.AddRelation(address),
+		s.AddMethod(schema.MustAccessMethod("AcM1", mobile, 0)),
+		s.AddMethod(schema.MustAccessMethod("AcM2", address, 0, 1)),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func phoneHidden(t testing.TB, s *schema.Schema) *instance.Instance {
+	t.Helper()
+	h := instance.NewInstance(s)
+	h.MustAdd("Mobile#", instance.Str("Smith"), instance.Str("OX13QD"), instance.Str("Parks Rd"), instance.Int(5551212))
+	h.MustAdd("Address", instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Smith"), instance.Int(13))
+	h.MustAdd("Address", instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Jones"), instance.Int(16))
+	return h
+}
+
+func jonesQuery() fo.Formula {
+	return fo.Ex([]string{"x", "y", "z"}, fo.Atom{
+		Pred: fo.PlainPred("Address"),
+		Args: []fo.Term{fo.Var("x"), fo.Var("y"), fo.Const(instance.Str("Jones")), fo.Var("z")},
+	})
+}
+
+func TestAccessiblePartPhoneExample(t *testing.T) {
+	// The paper's Section 1 walk-through: starting from knowing "Smith",
+	// the Mobile# access reveals street+postcode, which unlock Address,
+	// which reveals Jones's row.
+	s := phone(t)
+	hidden := phoneHidden(t, s)
+	seed := instance.NewInstance(s)
+	seed.MustAdd("Mobile#", instance.Str("Smith"), instance.Str("seedpc"), instance.Str("seedst"), instance.Int(0))
+	acc, err := AccessiblePart(s, hidden, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Count("Address") != 2 {
+		t.Errorf("accessible Address rows = %d, want 2\n%s", acc.Count("Address"), acc)
+	}
+	// Two Mobile# rows: the seed row (initially known) plus the hidden
+	// Smith row revealed by the access.
+	if acc.Count("Mobile#") != 2 {
+		t.Errorf("accessible Mobile# rows = %d, want 2", acc.Count("Mobile#"))
+	}
+	// Without any seed, nothing is reachable (both methods need inputs).
+	acc, err = AccessiblePart(s, hidden, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acc.IsEmpty() {
+		t.Errorf("accessible part from nothing = %s", acc)
+	}
+}
+
+func TestAccessiblePartJonesNotInMobile(t *testing.T) {
+	// The paper's point: if Jones does not occur as a name in Mobile#, the
+	// iterative process starting from Jones finds nothing.
+	s := phone(t)
+	hidden := phoneHidden(t, s)
+	seed := instance.NewInstance(s)
+	seed.MustAdd("Mobile#", instance.Str("Jones"), instance.Str("pc"), instance.Str("st"), instance.Int(0))
+	q := jonesQuery()
+	got, err := MaximalAnswer(s, q, hidden, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeding only the name "Jones" (plus junk street/pc not in hidden)
+	// reaches nothing: Jones has no Mobile# row in the hidden instance.
+	if got {
+		t.Error("Jones query answered without a data path")
+	}
+	// But with Smith's seed the query IS answerable (Smith's row leads to
+	// the shared street, which reveals Jones).
+	seed2 := instance.NewInstance(s)
+	seed2.MustAdd("Mobile#", instance.Str("Smith"), instance.Str("pc"), instance.Str("st"), instance.Int(0))
+	got, err = MaximalAnswer(s, q, hidden, seed2)
+	if err != nil || !got {
+		t.Errorf("Smith-seeded Jones query = %v, %v", got, err)
+	}
+}
+
+func TestAccessibleProgramShape(t *testing.T) {
+	s := phone(t)
+	prog, err := AccessibleProgram(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("program invalid: %v", err)
+	}
+	if !prog.IsRecursive() {
+		t.Error("accessibility program should be recursive (values unlock tuples unlock values)")
+	}
+}
+
+func TestLTRFormulaShape(t *testing.T) {
+	s := phone(t)
+	r, _ := s.Relation("Mobile#")
+	boolean := schema.MustAccessMethod("chk", r, 0, 1, 2, 3)
+	if err := s.AddMethod(boolean); err != nil {
+		t.Fatal(err)
+	}
+	binding := instance.Tuple{instance.Str("Jones"), instance.Str("pc"), instance.Str("st"), instance.Int(7)}
+	q := jonesQuery()
+	f, err := LTRFormula(boolean, binding, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := accltl.Classify(f)
+	if !info.BindingPositive {
+		t.Error("LTR formula not binding-positive (constant bindings must stay positive)")
+	}
+	if frag, ok := info.Fragment(); !ok || frag != accltl.FragPlus {
+		t.Errorf("fragment = %v, want AccLTL+", frag)
+	}
+}
+
+func TestLongTermRelevant(t *testing.T) {
+	// Simple LTR scenario: boolean access to R(x) and query ∃x R(x).
+	r := schema.MustRelation("R", schema.TypeInt)
+	s := schema.New()
+	if err := s.AddRelation(r); err != nil {
+		t.Fatal(err)
+	}
+	chk := schema.MustAccessMethod("chkR", r, 0)
+	if err := s.AddMethod(chk); err != nil {
+		t.Fatal(err)
+	}
+	q := fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PlainPred("R"), Args: []fo.Term{fo.Var("x")}})
+	res, err := LongTermRelevant(s, chk, instance.Tuple{instance.Int(7)}, q, LTROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The access chkR(7)? can reveal R(7), flipping q from false to true:
+	// long-term relevant.
+	if !res.Relevant {
+		t.Error("revealing access not LTR")
+	}
+	// Non-boolean method is rejected.
+	scan := schema.MustAccessMethod("scanR", r)
+	if err := s.AddMethod(scan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LongTermRelevant(s, scan, instance.Tuple{}, q, LTROptions{}); err == nil {
+		t.Error("non-boolean access accepted")
+	}
+}
+
+func TestLongTermIrrelevant(t *testing.T) {
+	// Access to S cannot matter for a query about R.
+	r := schema.MustRelation("R", schema.TypeInt)
+	s2 := schema.MustRelation("S", schema.TypeInt)
+	s := schema.New()
+	for _, err := range []error{s.AddRelation(r), s.AddRelation(s2)} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	chkS := schema.MustAccessMethod("chkS", s2, 0)
+	if err := s.AddMethod(chkS); err != nil {
+		t.Fatal(err)
+	}
+	q := fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PlainPred("R"), Args: []fo.Term{fo.Var("x")}})
+	res, err := LongTermRelevant(s, chkS, instance.Tuple{instance.Int(7)}, q, LTROptions{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No method reveals R at all here, so Q^post can never hold: the
+	// access is not long-term relevant.
+	if res.Relevant {
+		t.Error("irrelevant access reported LTR")
+	}
+}
+
+func TestContainmentUnderAccessPatterns(t *testing.T) {
+	// Schema: R with free scan; S only via membership check on a value
+	// that must already be known.
+	r := schema.MustRelation("R", schema.TypeInt)
+	s2 := schema.MustRelation("S", schema.TypeInt)
+	s := schema.New()
+	for _, err := range []error{
+		s.AddRelation(r), s.AddRelation(s2),
+		s.AddMethod(schema.MustAccessMethod("scanR", r)),
+		s.AddMethod(schema.MustAccessMethod("chkS", s2, 0)),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	qR := fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PlainPred("R"), Args: []fo.Term{fo.Var("x")}})
+	qS := fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PlainPred("S"), Args: []fo.Term{fo.Var("x")}})
+	qRS := fo.Ex([]string{"x"}, fo.Conj(
+		fo.Atom{Pred: fo.PlainPred("R"), Args: []fo.Term{fo.Var("x")}},
+		fo.Atom{Pred: fo.PlainPred("S"), Args: []fo.Term{fo.Var("x")}},
+	))
+	// R∧S ⊆ R holds outright (classical containment implies containment
+	// under access patterns).
+	res, err := ContainedUnderAccessPatterns(s, qRS, qR, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Errorf("R∧S ⊆ R failed; counterexample %v", res.Counterexample.Witness)
+	}
+	// R ⊄ S: a grounded path can reveal R(x) without S containing x.
+	res, err = ContainedUnderAccessPatterns(s, qR, qS, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Error("R ⊆ S held")
+	}
+	if res.Counterexample == nil || !res.Counterexample.Satisfiable {
+		t.Error("no counterexample path returned")
+	}
+}
+
+func TestContainmentGroundednessMatters(t *testing.T) {
+	// S reachable only through values revealed by R (chkS needs a known
+	// int). Under grounded paths, any configuration with S-facts also has
+	// the revealing R-fact — so "S nonempty" IS contained in "R nonempty"
+	// under grounded access patterns, despite failing classically.
+	r := schema.MustRelation("R", schema.TypeInt)
+	s2 := schema.MustRelation("S", schema.TypeInt)
+	s := schema.New()
+	for _, err := range []error{
+		s.AddRelation(r), s.AddRelation(s2),
+		s.AddMethod(schema.MustAccessMethod("scanR", r)),
+		s.AddMethod(schema.MustAccessMethod("chkS", s2, 0)),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	qR := fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PlainPred("R"), Args: []fo.Term{fo.Var("x")}})
+	qS := fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PlainPred("S"), Args: []fo.Term{fo.Var("x")}})
+	res, err := ContainedUnderAccessPatterns(s, qS, qR, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Errorf("grounded containment failed; counterexample %v", res.Counterexample.Witness)
+	}
+	// Classically (non-grounded) it fails — checked via the raw formula.
+	f, err := ContainmentFormula(qS, qR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := accltl.SolveBounded(f, accltl.SolveOptions{Schema: s, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raw.Satisfiable {
+		t.Error("ungrounded counterexample not found")
+	}
+}
+
+func TestContainmentRejectsNonPositive(t *testing.T) {
+	neg := fo.Not{F: fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PlainPred("R"), Args: []fo.Term{fo.Var("x")}})}
+	if _, err := ContainmentFormula(neg, neg); err == nil {
+		t.Error("negative query accepted")
+	}
+}

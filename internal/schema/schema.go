@@ -1,0 +1,387 @@
+// Package schema defines relational schemas with access restrictions:
+// relations with typed positions, and access methods that fix a set of
+// input positions which must be bound before the relation can be queried.
+//
+// The model follows Section 2 of "Querying Schemas With Access
+// Restrictions" (Benedikt, Bourhis, Ley; VLDB 2012). A schema is a set of
+// relations under the unnamed perspective (positions 1..n, each with a
+// datatype) together with a set of access methods. An access method names
+// a relation and a subset of its positions as inputs; an access supplies a
+// binding for exactly those positions and receives matching tuples.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is the datatype of a relation position. The paper fixes a set Types
+// containing at least the integers and booleans; we add strings, which the
+// running examples (names, streets, postcodes) use throughout.
+type Type int
+
+const (
+	// TypeInt is the integer datatype.
+	TypeInt Type = iota
+	// TypeString is the string datatype.
+	TypeString
+	// TypeBool is the boolean datatype.
+	TypeBool
+)
+
+// String returns the conventional name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Valid reports whether t is one of the defined datatypes.
+func (t Type) Valid() bool {
+	return t == TypeInt || t == TypeString || t == TypeBool
+}
+
+// Relation is a relation symbol with typed positions. Positions are
+// numbered 0..Arity()-1 (the paper uses 1-based positions; we use 0-based
+// indices and convert only in display output).
+type Relation struct {
+	name  string
+	types []Type
+}
+
+// NewRelation constructs a relation with the given position types.
+func NewRelation(name string, types ...Type) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation name must be non-empty")
+	}
+	for i, t := range types {
+		if !t.Valid() {
+			return nil, fmt.Errorf("schema: relation %s position %d has invalid type %d", name, i, int(t))
+		}
+	}
+	cp := make([]Type, len(types))
+	copy(cp, types)
+	return &Relation{name: name, types: cp}, nil
+}
+
+// MustRelation is like NewRelation but panics on error. Intended for
+// statically known schemas in tests and examples.
+func MustRelation(name string, types ...Type) *Relation {
+	r, err := NewRelation(name, types...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation symbol.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of positions.
+func (r *Relation) Arity() int { return len(r.types) }
+
+// TypeAt returns the datatype of position i (0-based).
+func (r *Relation) TypeAt(i int) Type { return r.types[i] }
+
+// Types returns a copy of the position types.
+func (r *Relation) Types() []Type {
+	cp := make([]Type, len(r.types))
+	copy(cp, r.types)
+	return cp
+}
+
+// String renders the relation as Name(type0,type1,...).
+func (r *Relation) String() string {
+	parts := make([]string, len(r.types))
+	for i, t := range r.types {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", r.name, strings.Join(parts, ","))
+}
+
+// AccessMethod is an access method on a relation: a named way of querying
+// the relation that requires bindings for the input positions and returns
+// all matching tuples. A method with no input positions is a full scan; a
+// method whose inputs cover every position is a boolean (membership) access.
+type AccessMethod struct {
+	name     string
+	relation *Relation
+	inputs   []int // sorted, 0-based, no duplicates
+}
+
+// NewAccessMethod constructs an access method on rel with the given input
+// positions (0-based). Input positions are de-duplicated and sorted.
+func NewAccessMethod(name string, rel *Relation, inputs ...int) (*AccessMethod, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: access method name must be non-empty")
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("schema: access method %s has nil relation", name)
+	}
+	seen := make(map[int]bool, len(inputs))
+	sorted := make([]int, 0, len(inputs))
+	for _, p := range inputs {
+		if p < 0 || p >= rel.Arity() {
+			return nil, fmt.Errorf("schema: access method %s: input position %d out of range for %s (arity %d)",
+				name, p, rel.Name(), rel.Arity())
+		}
+		if !seen[p] {
+			seen[p] = true
+			sorted = append(sorted, p)
+		}
+	}
+	sort.Ints(sorted)
+	return &AccessMethod{name: name, relation: rel, inputs: sorted}, nil
+}
+
+// MustAccessMethod is like NewAccessMethod but panics on error.
+func MustAccessMethod(name string, rel *Relation, inputs ...int) *AccessMethod {
+	m, err := NewAccessMethod(name, rel, inputs...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name returns the method name.
+func (m *AccessMethod) Name() string { return m.name }
+
+// Relation returns the relation the method accesses.
+func (m *AccessMethod) Relation() *Relation { return m.relation }
+
+// Inputs returns a copy of the sorted input positions.
+func (m *AccessMethod) Inputs() []int {
+	cp := make([]int, len(m.inputs))
+	copy(cp, m.inputs)
+	return cp
+}
+
+// NumInputs returns the number of input positions.
+func (m *AccessMethod) NumInputs() int { return len(m.inputs) }
+
+// IsInput reports whether position p is an input position of the method.
+func (m *AccessMethod) IsInput(p int) bool {
+	i := sort.SearchInts(m.inputs, p)
+	return i < len(m.inputs) && m.inputs[i] == p
+}
+
+// IsBoolean reports whether the method is a boolean access, i.e. every
+// position of the relation is an input (a membership test).
+func (m *AccessMethod) IsBoolean() bool { return len(m.inputs) == m.relation.Arity() }
+
+// IsFreeScan reports whether the method has no input positions.
+func (m *AccessMethod) IsFreeScan() bool { return len(m.inputs) == 0 }
+
+// InputTypes returns the datatypes of the input positions, in position order.
+func (m *AccessMethod) InputTypes() []Type {
+	ts := make([]Type, len(m.inputs))
+	for i, p := range m.inputs {
+		ts[i] = m.relation.TypeAt(p)
+	}
+	return ts
+}
+
+// String renders the method as name:Relation with input positions underlined
+// in the paper's spirit, e.g. AcM1:Mobile#[0].
+func (m *AccessMethod) String() string {
+	in := make([]string, len(m.inputs))
+	for i, p := range m.inputs {
+		in[i] = fmt.Sprint(p)
+	}
+	return fmt.Sprintf("%s:%s[%s]", m.name, m.relation.Name(), strings.Join(in, ","))
+}
+
+// Exactness classifies an access method's response discipline (Section 2).
+type Exactness int
+
+const (
+	// Arbitrary methods may return any well-formed subset of matching tuples.
+	Arbitrary Exactness = iota
+	// Idempotent methods return the same response every time the same
+	// access (method + binding) is repeated within a path.
+	Idempotent
+	// Exact methods return exactly the matching tuples of an underlying
+	// instance: sound and complete views.
+	Exact
+)
+
+// String returns the name of the exactness class.
+func (e Exactness) String() string {
+	switch e {
+	case Arbitrary:
+		return "arbitrary"
+	case Idempotent:
+		return "idempotent"
+	case Exact:
+		return "exact"
+	default:
+		return fmt.Sprintf("Exactness(%d)", int(e))
+	}
+}
+
+// Schema is a relational schema with access methods. A schema may also
+// declare, per method, whether accesses through it are exact or idempotent
+// (Section 2: "a schema may say that some access methods are exact, some
+// are idempotent, and some are neither").
+type Schema struct {
+	relations map[string]*Relation
+	relOrder  []string
+	methods   map[string]*AccessMethod
+	methOrder []string
+	exactness map[string]Exactness
+}
+
+// New returns an empty schema.
+func New() *Schema {
+	return &Schema{
+		relations: make(map[string]*Relation),
+		methods:   make(map[string]*AccessMethod),
+		exactness: make(map[string]Exactness),
+	}
+}
+
+// AddRelation adds a relation to the schema. It is an error to add two
+// relations with the same name.
+func (s *Schema) AddRelation(r *Relation) error {
+	if r == nil {
+		return fmt.Errorf("schema: AddRelation(nil)")
+	}
+	if _, dup := s.relations[r.Name()]; dup {
+		return fmt.Errorf("schema: duplicate relation %s", r.Name())
+	}
+	s.relations[r.Name()] = r
+	s.relOrder = append(s.relOrder, r.Name())
+	return nil
+}
+
+// AddMethod adds an access method. Its relation must already be part of the
+// schema, under the same *Relation value.
+func (s *Schema) AddMethod(m *AccessMethod) error {
+	if m == nil {
+		return fmt.Errorf("schema: AddMethod(nil)")
+	}
+	if _, dup := s.methods[m.Name()]; dup {
+		return fmt.Errorf("schema: duplicate access method %s", m.Name())
+	}
+	have, ok := s.relations[m.Relation().Name()]
+	if !ok {
+		return fmt.Errorf("schema: access method %s refers to unknown relation %s", m.Name(), m.Relation().Name())
+	}
+	if have != m.Relation() {
+		return fmt.Errorf("schema: access method %s refers to a different relation value named %s", m.Name(), m.Relation().Name())
+	}
+	s.methods[m.Name()] = m
+	s.methOrder = append(s.methOrder, m.Name())
+	return nil
+}
+
+// SetExactness declares the exactness class of an existing method.
+func (s *Schema) SetExactness(method string, e Exactness) error {
+	if _, ok := s.methods[method]; !ok {
+		return fmt.Errorf("schema: SetExactness: unknown access method %s", method)
+	}
+	s.exactness[method] = e
+	return nil
+}
+
+// ExactnessOf returns the declared exactness class of a method
+// (Arbitrary if never declared).
+func (s *Schema) ExactnessOf(method string) Exactness { return s.exactness[method] }
+
+// Relation looks up a relation by name.
+func (s *Schema) Relation(name string) (*Relation, bool) {
+	r, ok := s.relations[name]
+	return r, ok
+}
+
+// Method looks up an access method by name.
+func (s *Schema) Method(name string) (*AccessMethod, bool) {
+	m, ok := s.methods[name]
+	return m, ok
+}
+
+// Relations returns the relations in insertion order.
+func (s *Schema) Relations() []*Relation {
+	out := make([]*Relation, len(s.relOrder))
+	for i, n := range s.relOrder {
+		out[i] = s.relations[n]
+	}
+	return out
+}
+
+// Methods returns the access methods in insertion order.
+func (s *Schema) Methods() []*AccessMethod {
+	out := make([]*AccessMethod, len(s.methOrder))
+	for i, n := range s.methOrder {
+		out[i] = s.methods[n]
+	}
+	return out
+}
+
+// MethodsOn returns the access methods whose relation is named rel,
+// in insertion order.
+func (s *Schema) MethodsOn(rel string) []*AccessMethod {
+	var out []*AccessMethod
+	for _, n := range s.methOrder {
+		if m := s.methods[n]; m.Relation().Name() == rel {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// NumRelations returns the number of relations.
+func (s *Schema) NumRelations() int { return len(s.relOrder) }
+
+// NumMethods returns the number of access methods.
+func (s *Schema) NumMethods() int { return len(s.methOrder) }
+
+// Validate checks global consistency: every method's relation is registered
+// and inputs are within arity. It returns the first problem found.
+func (s *Schema) Validate() error {
+	for _, n := range s.methOrder {
+		m := s.methods[n]
+		r, ok := s.relations[m.Relation().Name()]
+		if !ok || r != m.Relation() {
+			return fmt.Errorf("schema: method %s bound to unregistered relation %s", n, m.Relation().Name())
+		}
+		for _, p := range m.inputs {
+			if p < 0 || p >= r.Arity() {
+				return fmt.Errorf("schema: method %s input %d out of range", n, p)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the schema for debugging.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString("schema{")
+	for i, n := range s.relOrder {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(s.relations[n].String())
+	}
+	b.WriteString(" | ")
+	for i, n := range s.methOrder {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(s.methods[n].String())
+		if e := s.exactness[n]; e != Arbitrary {
+			b.WriteString("(" + e.String() + ")")
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func phoneSchema(t *testing.T) (*Schema, *Relation, *Relation, *AccessMethod, *AccessMethod) {
+	t.Helper()
+	mobile := MustRelation("Mobile#", TypeString, TypeString, TypeString, TypeInt)
+	address := MustRelation("Address", TypeString, TypeString, TypeString, TypeInt)
+	acm1 := MustAccessMethod("AcM1", mobile, 0)
+	acm2 := MustAccessMethod("AcM2", address, 0, 1)
+	s := New()
+	for _, err := range []error{s.AddRelation(mobile), s.AddRelation(address), s.AddMethod(acm1), s.AddMethod(acm2)} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, mobile, address, acm1, acm2
+}
+
+func TestNewRelation(t *testing.T) {
+	r, err := NewRelation("R", TypeInt, TypeString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arity() != 2 {
+		t.Errorf("arity = %d, want 2", r.Arity())
+	}
+	if r.TypeAt(0) != TypeInt || r.TypeAt(1) != TypeString {
+		t.Errorf("types wrong: %v", r.Types())
+	}
+	if r.Name() != "R" {
+		t.Errorf("name = %q", r.Name())
+	}
+}
+
+func TestNewRelationErrors(t *testing.T) {
+	if _, err := NewRelation(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRelation("R", Type(99)); err == nil {
+		t.Error("invalid type accepted")
+	}
+}
+
+func TestRelationTypesIsCopy(t *testing.T) {
+	r := MustRelation("R", TypeInt, TypeInt)
+	ts := r.Types()
+	ts[0] = TypeBool
+	if r.TypeAt(0) != TypeInt {
+		t.Error("Types() exposed internal slice")
+	}
+}
+
+func TestAccessMethodBasics(t *testing.T) {
+	_, _, _, acm1, acm2 := phoneSchema(t)
+	if acm1.NumInputs() != 1 || !acm1.IsInput(0) || acm1.IsInput(1) {
+		t.Errorf("AcM1 inputs wrong: %v", acm1.Inputs())
+	}
+	if acm2.NumInputs() != 2 || !acm2.IsInput(0) || !acm2.IsInput(1) || acm2.IsInput(2) {
+		t.Errorf("AcM2 inputs wrong: %v", acm2.Inputs())
+	}
+	if acm1.IsBoolean() || acm1.IsFreeScan() {
+		t.Error("AcM1 misclassified")
+	}
+}
+
+func TestAccessMethodBooleanAndFreeScan(t *testing.T) {
+	r := MustRelation("R", TypeInt, TypeInt)
+	boolean := MustAccessMethod("b", r, 0, 1)
+	scan := MustAccessMethod("s", r)
+	if !boolean.IsBoolean() {
+		t.Error("all-input method not boolean")
+	}
+	if !scan.IsFreeScan() {
+		t.Error("no-input method not free scan")
+	}
+}
+
+func TestAccessMethodInputDedupAndSort(t *testing.T) {
+	r := MustRelation("R", TypeInt, TypeInt, TypeInt)
+	m := MustAccessMethod("m", r, 2, 0, 2, 0)
+	got := m.Inputs()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("inputs = %v, want [0 2]", got)
+	}
+}
+
+func TestAccessMethodErrors(t *testing.T) {
+	r := MustRelation("R", TypeInt)
+	if _, err := NewAccessMethod("", r, 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewAccessMethod("m", nil, 0); err == nil {
+		t.Error("nil relation accepted")
+	}
+	if _, err := NewAccessMethod("m", r, 1); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	if _, err := NewAccessMethod("m", r, -1); err == nil {
+		t.Error("negative input accepted")
+	}
+}
+
+func TestAccessMethodInputTypes(t *testing.T) {
+	r := MustRelation("R", TypeInt, TypeString, TypeBool)
+	m := MustAccessMethod("m", r, 0, 2)
+	ts := m.InputTypes()
+	if len(ts) != 2 || ts[0] != TypeInt || ts[1] != TypeBool {
+		t.Errorf("input types = %v", ts)
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s, mobile, _, acm1, _ := phoneSchema(t)
+	if r, ok := s.Relation("Mobile#"); !ok || r != mobile {
+		t.Error("Relation lookup failed")
+	}
+	if _, ok := s.Relation("Nope"); ok {
+		t.Error("unknown relation found")
+	}
+	if m, ok := s.Method("AcM1"); !ok || m != acm1 {
+		t.Error("Method lookup failed")
+	}
+	if s.NumRelations() != 2 || s.NumMethods() != 2 {
+		t.Errorf("counts = %d rels, %d methods", s.NumRelations(), s.NumMethods())
+	}
+}
+
+func TestSchemaDuplicates(t *testing.T) {
+	s, mobile, _, acm1, _ := phoneSchema(t)
+	if err := s.AddRelation(mobile); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if err := s.AddMethod(acm1); err == nil {
+		t.Error("duplicate method accepted")
+	}
+}
+
+func TestSchemaMethodUnknownRelation(t *testing.T) {
+	s := New()
+	r := MustRelation("R", TypeInt)
+	m := MustAccessMethod("m", r, 0)
+	if err := s.AddMethod(m); err == nil {
+		t.Error("method on unregistered relation accepted")
+	}
+	// A different *Relation value with the same name must also be rejected.
+	other := MustRelation("R", TypeInt)
+	if err := s.AddRelation(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMethod(m); err == nil {
+		t.Error("method on shadow relation value accepted")
+	}
+}
+
+func TestSchemaMethodsOn(t *testing.T) {
+	s, mobile, _, _, _ := phoneSchema(t)
+	extra := MustAccessMethod("AcM3", mobile, 0, 1)
+	if err := s.AddMethod(extra); err != nil {
+		t.Fatal(err)
+	}
+	ms := s.MethodsOn("Mobile#")
+	if len(ms) != 2 || ms[0].Name() != "AcM1" || ms[1].Name() != "AcM3" {
+		t.Errorf("MethodsOn = %v", ms)
+	}
+	if got := s.MethodsOn("Address"); len(got) != 1 {
+		t.Errorf("MethodsOn(Address) = %v", got)
+	}
+}
+
+func TestSchemaExactness(t *testing.T) {
+	s, _, _, _, _ := phoneSchema(t)
+	if s.ExactnessOf("AcM1") != Arbitrary {
+		t.Error("default exactness not Arbitrary")
+	}
+	if err := s.SetExactness("AcM1", Exact); err != nil {
+		t.Fatal(err)
+	}
+	if s.ExactnessOf("AcM1") != Exact {
+		t.Error("SetExactness did not stick")
+	}
+	if err := s.SetExactness("nope", Idempotent); err == nil {
+		t.Error("SetExactness on unknown method accepted")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s, _, _, _, _ := phoneSchema(t)
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+}
+
+func TestSchemaOrdering(t *testing.T) {
+	s, _, _, _, _ := phoneSchema(t)
+	rels := s.Relations()
+	if rels[0].Name() != "Mobile#" || rels[1].Name() != "Address" {
+		t.Errorf("relation order = %v", rels)
+	}
+	ms := s.Methods()
+	if ms[0].Name() != "AcM1" || ms[1].Name() != "AcM2" {
+		t.Errorf("method order = %v", ms)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	s, _, _, acm1, _ := phoneSchema(t)
+	if got := acm1.String(); !strings.Contains(got, "AcM1") || !strings.Contains(got, "Mobile#") {
+		t.Errorf("method string = %q", got)
+	}
+	if got := s.String(); !strings.Contains(got, "Address") {
+		t.Errorf("schema string = %q", got)
+	}
+	if TypeInt.String() != "int" || TypeString.String() != "string" || TypeBool.String() != "bool" {
+		t.Error("type names wrong")
+	}
+	if Arbitrary.String() != "arbitrary" || Exact.String() != "exact" || Idempotent.String() != "idempotent" {
+		t.Error("exactness names wrong")
+	}
+}

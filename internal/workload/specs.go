@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"accltl/internal/accltl"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+)
+
+// Canonical specifications per restriction class, used to re-derive the
+// DjC/FD/DF/AccOr expressibility matrix of Table 1 on the phone schema.
+
+// MobileNonEmptyPre is ∃n,p,s,ph Mobile#pre(n,p,s,ph).
+func (p *Phone) MobileNonEmptyPre() fo.Formula {
+	return fo.Ex([]string{"n", "p", "s", "ph"}, fo.Atom{
+		Pred: fo.PrePred("Mobile#"),
+		Args: []fo.Term{fo.Var("n"), fo.Var("p"), fo.Var("s"), fo.Var("ph")},
+	})
+}
+
+// MobileNonEmptyPost is ∃n,p,s,ph Mobile#post(n,p,s,ph).
+func (p *Phone) MobileNonEmptyPost() fo.Formula {
+	return fo.Ex([]string{"n", "p", "s", "ph"}, fo.Atom{
+		Pred: fo.PostPred("Mobile#"),
+		Args: []fo.Term{fo.Var("n"), fo.Var("p"), fo.Var("s"), fo.Var("ph")},
+	})
+}
+
+// IntroSentence is the body of the paper's first AccLTL example (Section 1):
+// an AcM1 access whose bound name n already occurs in Address^pre.
+func (p *Phone) IntroSentence() fo.Formula {
+	return fo.Ex([]string{"n", "s", "pc", "h"}, fo.Conj(
+		fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("n")}},
+		fo.Atom{Pred: fo.PrePred("Address"), Args: []fo.Term{fo.Var("s"), fo.Var("pc"), fo.Var("n"), fo.Var("h")}},
+	))
+}
+
+// IntroFormula is the full introduction example:
+// (¬∃... Mobile#pre) U (AcM1 access with a name known from Address).
+func (p *Phone) IntroFormula() accltl.Formula {
+	return accltl.Until{
+		L: accltl.Not{F: accltl.Atom{Sentence: p.MobileNonEmptyPre()}},
+		R: accltl.Atom{Sentence: p.IntroSentence()},
+	}
+}
+
+// DisjointnessConstraint (DjC, Example 2.3) is the data-integrity
+// restriction "customer names never overlap street names":
+// G ¬∃... (Mobile#pre(n,·,·,·) ∧ Addresspre(n,·,·,·)).
+// It is expressible in every fragment of Table 1 (column DjC = Yes for all).
+func (p *Phone) DisjointnessConstraint() accltl.Formula {
+	clash := fo.Ex([]string{"n", "pc1", "s1", "ph", "pc2", "n2", "h"}, fo.Conj(
+		fo.Atom{Pred: fo.PrePred("Mobile#"), Args: []fo.Term{fo.Var("n"), fo.Var("pc1"), fo.Var("s1"), fo.Var("ph")}},
+		fo.Atom{Pred: fo.PrePred("Address"), Args: []fo.Term{fo.Var("n"), fo.Var("pc2"), fo.Var("n2"), fo.Var("h")}},
+	))
+	return accltl.G(accltl.Not{F: accltl.Atom{Sentence: clash}})
+}
+
+// DataflowRestriction (DF, Section 2/Example 2.3) restricts paths so names
+// input to Mobile# appeared previously in Address:
+// G((∃n IsBind_AcM1(n)) → ∃n,s,pc,h IsBind_AcM1(n) ∧ Addresspre(s,pc,n,h)).
+// Expressible only in fragments carrying n-ary IsBind (DF column: Yes for
+// the Acc rows, No for the 0-Acc rows).
+func (p *Phone) DataflowRestriction() accltl.Formula {
+	trigger := fo.Ex([]string{"n"}, fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("n")}})
+	body := fo.Ex([]string{"n", "s", "pc", "h"}, fo.Conj(
+		fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("n")}},
+		fo.Atom{Pred: fo.PrePred("Address"), Args: []fo.Term{fo.Var("s"), fo.Var("pc"), fo.Var("n"), fo.Var("h")}},
+	))
+	return accltl.G(accltl.Implies(
+		accltl.Atom{Sentence: trigger},
+		accltl.Atom{Sentence: body},
+	))
+}
+
+// AccessOrderRestriction (AccOr, Section 1) requires at least one AcM2
+// access before any AcM1 access: ¬(¬IsBind_AcM2 U IsBind_AcM1) using 0-ary
+// IsBind — expressible in every fragment with U (AccOr column).
+func (p *Phone) AccessOrderRestriction() accltl.Formula {
+	acm1 := accltl.Atom{Sentence: fo.Atom{Pred: fo.IsBindPred("AcM1")}}
+	acm2 := accltl.Atom{Sentence: fo.Atom{Pred: fo.IsBindPred("AcM2")}}
+	return accltl.Not{F: accltl.Until{L: accltl.Not{F: acm2}, R: acm1}}
+}
+
+// FDConstraint (FD, Example 2.4) enforces the functional dependency
+// Mobile#: name → phoneno along the path, which needs inequalities:
+// G ¬∃ two Mobile#pre tuples agreeing on name but differing on phoneno.
+func (p *Phone) FDConstraint() accltl.Formula {
+	violation := fo.Ex([]string{"n", "p1", "s1", "ph1", "p2", "s2", "ph2"}, fo.Conj(
+		fo.Atom{Pred: fo.PrePred("Mobile#"), Args: []fo.Term{fo.Var("n"), fo.Var("p1"), fo.Var("s1"), fo.Var("ph1")}},
+		fo.Atom{Pred: fo.PrePred("Mobile#"), Args: []fo.Term{fo.Var("n"), fo.Var("p2"), fo.Var("s2"), fo.Var("ph2")}},
+		fo.Neq{L: fo.Var("ph1"), R: fo.Var("ph2")},
+	))
+	return accltl.G(accltl.Not{F: accltl.Atom{Sentence: violation}})
+}
+
+// GroundednessFormula is the AccLTL+ sentence from Section 4 stating the
+// path is grounded: every value in a binding occurs in some relation before
+// the access. (Shown here for AcM1; Groundedness conjoins all methods.)
+func (p *Phone) GroundednessFormula() accltl.Formula {
+	inSomeRel := func(boundVar string) fo.Formula {
+		mob := fo.Ex([]string{"a", "b", "c", "d"}, fo.Conj(
+			fo.Atom{Pred: fo.PrePred("Mobile#"), Args: []fo.Term{fo.Var("a"), fo.Var("b"), fo.Var("c"), fo.Var("d")}},
+			fo.Disj(
+				fo.Eq{L: fo.Var("a"), R: fo.Var(boundVar)},
+				fo.Eq{L: fo.Var("b"), R: fo.Var(boundVar)},
+				fo.Eq{L: fo.Var("c"), R: fo.Var(boundVar)},
+			)))
+		adr := fo.Ex([]string{"a", "b", "c", "d"}, fo.Conj(
+			fo.Atom{Pred: fo.PrePred("Address"), Args: []fo.Term{fo.Var("a"), fo.Var("b"), fo.Var("c"), fo.Var("d")}},
+			fo.Disj(
+				fo.Eq{L: fo.Var("a"), R: fo.Var(boundVar)},
+				fo.Eq{L: fo.Var("b"), R: fo.Var(boundVar)},
+				fo.Eq{L: fo.Var("c"), R: fo.Var(boundVar)},
+			)))
+		return fo.Disj(mob, adr)
+	}
+	// Every transition fires exactly one method, so groundedness is the
+	// positive disjunction over methods: the access is via AcM1 with its
+	// bound name known, or via AcM2 with both bound values known. This
+	// keeps every IsBind occurrence positive (Definition 4.1).
+	acm1Grounded := fo.Ex([]string{"x"}, fo.Conj(
+		fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("x")}},
+		inSomeRel("x"),
+	))
+	acm2Grounded := fo.Ex([]string{"x", "y"}, fo.Conj(
+		fo.Atom{Pred: fo.IsBindPred("AcM2"), Args: []fo.Term{fo.Var("x"), fo.Var("y")}},
+		inSomeRel("x"),
+		inSomeRel("y"),
+	))
+	return accltl.G(accltl.Atom{Sentence: fo.Disj(acm1Grounded, acm2Grounded)})
+}
+
+// JonesQuery is the paper's motivating query Address(X,Y,"Jones",Z) as a
+// boolean positive sentence over the Plain vocabulary.
+func (p *Phone) JonesQuery() fo.Formula {
+	return fo.Ex([]string{"x", "y", "z"}, fo.Atom{
+		Pred: fo.PlainPred("Address"),
+		Args: []fo.Term{fo.Var("x"), fo.Var("y"), fo.Const(instance.Str("Jones")), fo.Var("z")},
+	})
+}

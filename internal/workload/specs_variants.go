@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"accltl/internal/accltl"
+	"accltl/internal/fo"
+)
+
+// Variant encodings of the Table 1 restriction classes for the smaller
+// fragments. The paper's Section 6 observes that a negated IsBind predicate
+// rewrites positively — exactly one IsBind holds per transition, so
+// ¬IsBind_AcM ≡ ⋁_{AcM'≠AcM} IsBind_AcM' — which is how dataflow and
+// access-order restrictions land inside binding-positive AccLTL+; and the
+// X-only fragment expresses integrity constraints over bounded prefixes by
+// unrolling G into a conjunction of ¬X^i(violation).
+
+// otherMethodFired is the positive rewriting of "the access was not via
+// method m": some other method's binding predicate holds.
+func (p *Phone) otherMethodFired(notM string) fo.Formula {
+	var disj []fo.Formula
+	for _, m := range p.Schema.Methods() {
+		if m.Name() == notM {
+			continue
+		}
+		var vars []string
+		args := make([]fo.Term, m.NumInputs())
+		for i := range args {
+			v := []string{"ob0", "ob1", "ob2", "ob3"}[i]
+			args[i] = fo.Var(v)
+			vars = append(vars, v)
+		}
+		disj = append(disj, fo.Ex(vars, fo.Atom{Pred: fo.IsBindPred(m.Name()), Args: args}))
+	}
+	return fo.Disj(disj...)
+}
+
+// AccessOrderRestrictionPlus is the binding-positive AccLTL+ form of the
+// AccOr policy "no Mobile# access before the first Address access":
+// (other-than-AcM1 U IsBind_AcM2) ∨ G(other-than-AcM1).
+func (p *Phone) AccessOrderRestrictionPlus() accltl.Formula {
+	notAcM1 := accltl.Atom{Sentence: p.otherMethodFired("AcM1")}
+	acm2 := accltl.Atom{Sentence: fo.Ex([]string{"a", "b"},
+		fo.Atom{Pred: fo.IsBindPred("AcM2"), Args: []fo.Term{fo.Var("a"), fo.Var("b")}})}
+	return accltl.Disj(
+		accltl.Until{L: notAcM1, R: acm2},
+		accltl.G(notAcM1),
+	)
+}
+
+// DataflowRestrictionPlus is the binding-positive AccLTL+ form of the DF
+// policy: at every step, either the access is not via AcM1, or the bound
+// name already occurs in Address — G(other-method ∨ bound-name-known).
+func (p *Phone) DataflowRestrictionPlus() accltl.Formula {
+	known := fo.Ex([]string{"n", "s", "pc", "h"}, fo.Conj(
+		fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("n")}},
+		fo.Atom{Pred: fo.PrePred("Address"), Args: []fo.Term{fo.Var("s"), fo.Var("pc"), fo.Var("n"), fo.Var("h")}},
+	))
+	return accltl.G(accltl.Disj(
+		accltl.Atom{Sentence: p.otherMethodFired("AcM1")},
+		accltl.Atom{Sentence: known},
+	))
+}
+
+// unrolled builds ⋀_{i<depth} ¬X^i(violation): "no violation within the
+// first depth transitions" — the X-only rendering of a G¬ constraint,
+// sufficient for the bounded-path analyses the fragment supports
+// (Section 4.2: LTR needs only polynomial-length paths).
+func unrolled(violation fo.Formula, depth int) accltl.Formula {
+	var conj []accltl.Formula
+	for i := 0; i < depth; i++ {
+		f := accltl.Formula(accltl.Atom{Sentence: violation})
+		for j := 0; j < i; j++ {
+			f = accltl.Next{F: f}
+		}
+		conj = append(conj, accltl.Not{F: f})
+	}
+	return accltl.Conj(conj...)
+}
+
+// DisjointnessConstraintX is the X-only bounded form of the DjC policy.
+func (p *Phone) DisjointnessConstraintX(depth int) accltl.Formula {
+	clash := fo.Ex([]string{"n", "pc1", "s1", "ph", "pc2", "n2", "h"}, fo.Conj(
+		fo.Atom{Pred: fo.PrePred("Mobile#"), Args: []fo.Term{fo.Var("n"), fo.Var("pc1"), fo.Var("s1"), fo.Var("ph")}},
+		fo.Atom{Pred: fo.PrePred("Address"), Args: []fo.Term{fo.Var("n"), fo.Var("pc2"), fo.Var("n2"), fo.Var("h")}},
+	))
+	return unrolled(clash, depth)
+}
+
+// FDConstraintX is the X-only bounded form of the FD policy (requires ≠,
+// like its unbounded counterpart).
+func (p *Phone) FDConstraintX(depth int) accltl.Formula {
+	violation := fo.Ex([]string{"n", "p1", "s1", "ph1", "p2", "s2", "ph2"}, fo.Conj(
+		fo.Atom{Pred: fo.PrePred("Mobile#"), Args: []fo.Term{fo.Var("n"), fo.Var("p1"), fo.Var("s1"), fo.Var("ph1")}},
+		fo.Atom{Pred: fo.PrePred("Mobile#"), Args: []fo.Term{fo.Var("n"), fo.Var("p2"), fo.Var("s2"), fo.Var("ph2")}},
+		fo.Neq{L: fo.Var("ph1"), R: fo.Var("ph2")},
+	))
+	return unrolled(violation, depth)
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"testing"
+
+	"accltl/internal/accltl"
+)
+
+// TestTable1Matrix locks the DjC/FD/DF/AccOr expressibility matrix of
+// Table 1: for each fragment row, each restriction class must (or must not)
+// have an encoding variant that classifies into the row.
+func TestTable1Matrix(t *testing.T) {
+	p := MustPhone()
+	variants := map[string][]accltl.Formula{
+		"DjC":   {p.DisjointnessConstraint(), p.DisjointnessConstraintX(3)},
+		"FD":    {p.FDConstraint(), p.FDConstraintX(3)},
+		"DF":    {p.DataflowRestriction(), p.DataflowRestrictionPlus()},
+		"AccOr": {p.AccessOrderRestriction(), p.AccessOrderRestrictionPlus()},
+	}
+	type acceptFn func(accltl.Info) bool
+	rows := []struct {
+		name    string
+		accepts acceptFn
+		want    map[string]bool // DjC FD DF AccOr
+	}{
+		{
+			"AccLTL(FO∃+,≠_Acc)",
+			func(i accltl.Info) bool { return i.EmbeddedPositive && !i.HasPast },
+			map[string]bool{"DjC": true, "FD": true, "DF": true, "AccOr": true},
+		},
+		{
+			"AccLTL(FO∃+_Acc)",
+			func(i accltl.Info) bool { return i.EmbeddedPositive && !i.HasInequality && !i.HasPast },
+			map[string]bool{"DjC": true, "FD": false, "DF": true, "AccOr": true},
+		},
+		{
+			"AccLTL+",
+			func(i accltl.Info) bool {
+				return i.EmbeddedPositive && !i.HasInequality && i.BindingPositive && !i.HasPast
+			},
+			map[string]bool{"DjC": true, "FD": false, "DF": true, "AccOr": true},
+		},
+		{
+			"AccLTL(FO∃+_0-Acc)",
+			func(i accltl.Info) bool {
+				return i.EmbeddedPositive && !i.HasInequality && i.ZeroAcc && !i.HasPast
+			},
+			map[string]bool{"DjC": true, "FD": false, "DF": false, "AccOr": true},
+		},
+		{
+			"AccLTL(FO∃+,≠_0-Acc)",
+			func(i accltl.Info) bool { return i.EmbeddedPositive && i.ZeroAcc && !i.HasPast },
+			map[string]bool{"DjC": true, "FD": true, "DF": false, "AccOr": true},
+		},
+		{
+			"AccLTL(X)(FO∃+,≠_0-Acc)",
+			func(i accltl.Info) bool {
+				return i.EmbeddedPositive && i.ZeroAcc && i.OnlyNext && !i.HasPast
+			},
+			map[string]bool{"DjC": true, "FD": true, "DF": false, "AccOr": false},
+		},
+	}
+	for _, row := range rows {
+		for class, want := range row.want {
+			got := false
+			for _, f := range variants[class] {
+				if row.accepts(accltl.Classify(f)) {
+					got = true
+					break
+				}
+			}
+			if got != want {
+				t.Errorf("%s / %s: expressible=%v, paper says %v", row.name, class, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package workload provides the synthetic schemas, instances, queries and
+// formula families used across the test suite, the examples and the
+// benchmark harness: the paper's running phone-directory example, scalable
+// chain/star schemas for complexity-shaped benchmarks, and the formula
+// families that realize the restriction classes of Table 1 (disjointness
+// constraints, functional dependencies, dataflow restrictions, access-order
+// restrictions).
+package workload
+
+import (
+	"fmt"
+
+	"accltl/internal/accltl"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// Phone is the paper's running example (Section 1): Mobile#(name, postcode,
+// street, phoneno) with access method AcM1 binding name, and Address(street,
+// postcode, name, houseno) with access method AcM2 binding street and
+// postcode.
+type Phone struct {
+	Schema  *schema.Schema
+	Mobile  *schema.Relation
+	Address *schema.Relation
+	AcM1    *schema.AccessMethod
+	AcM2    *schema.AccessMethod
+}
+
+// NewPhone builds the phone-directory schema.
+func NewPhone() (*Phone, error) {
+	mobile, err := schema.NewRelation("Mobile#",
+		schema.TypeString, schema.TypeString, schema.TypeString, schema.TypeInt)
+	if err != nil {
+		return nil, err
+	}
+	address, err := schema.NewRelation("Address",
+		schema.TypeString, schema.TypeString, schema.TypeString, schema.TypeInt)
+	if err != nil {
+		return nil, err
+	}
+	acm1, err := schema.NewAccessMethod("AcM1", mobile, 0)
+	if err != nil {
+		return nil, err
+	}
+	acm2, err := schema.NewAccessMethod("AcM2", address, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	s := schema.New()
+	for _, e := range []error{s.AddRelation(mobile), s.AddRelation(address), s.AddMethod(acm1), s.AddMethod(acm2)} {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return &Phone{Schema: s, Mobile: mobile, Address: address, AcM1: acm1, AcM2: acm2}, nil
+}
+
+// MustPhone is NewPhone that panics on error.
+func MustPhone() *Phone {
+	p, err := NewPhone()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Universe builds a hidden instance with n residents: person i has a mobile
+// tuple and an address tuple sharing street/postcode with person i+1, so
+// iterated accesses uncover the neighbourhood one person at a time.
+func (p *Phone) Universe(n int) *instance.Instance {
+	u := instance.NewInstance(p.Schema)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("person%d", i)
+		street := fmt.Sprintf("street%d", i/2)
+		pc := fmt.Sprintf("pc%d", i/2)
+		u.MustAdd("Mobile#", instance.Str(name), instance.Str(pc), instance.Str(street), instance.Int(int64(5550000+i)))
+		u.MustAdd("Address", instance.Str(street), instance.Str(pc), instance.Str(name), instance.Int(int64(i)))
+	}
+	return u
+}
+
+// SmithJonesUniverse is the concrete Figure 1 scenario: Smith's mobile tuple
+// plus Smith and Jones sharing a street.
+func (p *Phone) SmithJonesUniverse() *instance.Instance {
+	u := instance.NewInstance(p.Schema)
+	u.MustAdd("Mobile#", instance.Str("Smith"), instance.Str("OX13QD"), instance.Str("Parks Rd"), instance.Int(5551212))
+	u.MustAdd("Address", instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Smith"), instance.Int(13))
+	u.MustAdd("Address", instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Jones"), instance.Int(16))
+	return u
+}
+
+// Chain builds a dataflow-chain schema of length k: unary relations
+// R0..Rk-1 and binary Link0..Linkk-2(from,to); R0 has a free-scan method,
+// each Linki has an input on position 0, and each Ri (i>0) has a boolean
+// membership method. Reaching Rk-1 facts requires walking the chain.
+type Chain struct {
+	Schema *schema.Schema
+	K      int
+}
+
+// NewChain builds the chain schema.
+func NewChain(k int) (*Chain, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("workload: chain length must be >= 1")
+	}
+	s := schema.New()
+	for i := 0; i < k; i++ {
+		r, err := schema.NewRelation(fmt.Sprintf("R%d", i), schema.TypeInt)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddRelation(r); err != nil {
+			return nil, err
+		}
+		var m *schema.AccessMethod
+		if i == 0 {
+			m, err = schema.NewAccessMethod("scanR0", r)
+		} else {
+			m, err = schema.NewAccessMethod(fmt.Sprintf("chkR%d", i), r, 0)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddMethod(m); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i+1 < k; i++ {
+		l, err := schema.NewRelation(fmt.Sprintf("Link%d", i), schema.TypeInt, schema.TypeInt)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddRelation(l); err != nil {
+			return nil, err
+		}
+		m, err := schema.NewAccessMethod(fmt.Sprintf("followLink%d", i), l, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddMethod(m); err != nil {
+			return nil, err
+		}
+	}
+	return &Chain{Schema: s, K: k}, nil
+}
+
+// MustChain is NewChain that panics on error.
+func MustChain(k int) *Chain {
+	c, err := NewChain(k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Universe populates the chain with one element per level, linked linearly.
+func (c *Chain) Universe() *instance.Instance {
+	u := instance.NewInstance(c.Schema)
+	for i := 0; i < c.K; i++ {
+		u.MustAdd(fmt.Sprintf("R%d", i), instance.Int(int64(i)))
+	}
+	for i := 0; i+1 < c.K; i++ {
+		u.MustAdd(fmt.Sprintf("Link%d", i), instance.Int(int64(i)), instance.Int(int64(i+1)))
+	}
+	return u
+}
+
+// ReachLastFormula is the AccLTL(FO∃+_0-Acc) formula "eventually some
+// R_{k-1} fact is revealed".
+func (c *Chain) ReachLastFormula() accltl.Formula {
+	last := fmt.Sprintf("R%d", c.K-1)
+	q := fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PostPred(last), Args: []fo.Term{fo.Var("x")}})
+	return accltl.F(accltl.Atom{Sentence: q})
+}
+
+// NestedEventually builds the scaled 0-Acc family F(q0 ∧ F(q1 ∧ ... F(qn)))
+// over the chain: q_i = "some R_i fact revealed". Temporal depth and
+// sentence count grow with n, exercising the PSPACE row of Table 1.
+func (c *Chain) NestedEventually(n int) accltl.Formula {
+	if n >= c.K {
+		n = c.K - 1
+	}
+	q := func(i int) accltl.Formula {
+		return accltl.Atom{Sentence: fo.Ex([]string{"x"},
+			fo.Atom{Pred: fo.PostPred(fmt.Sprintf("R%d", i)), Args: []fo.Term{fo.Var("x")}})}
+	}
+	f := accltl.F(q(n))
+	for i := n - 1; i >= 0; i-- {
+		f = accltl.F(accltl.Conj(q(i), f))
+	}
+	return f
+}
+
+// XTower builds the scaled X-only family X(q0 & X(q1 & ... X(qn))) over the
+// chain, exercising the ΣP2 row of Table 1.
+func (c *Chain) XTower(n int) accltl.Formula {
+	if n >= c.K {
+		n = c.K - 1
+	}
+	q := func(i int) accltl.Formula {
+		return accltl.Atom{Sentence: fo.Ex([]string{"x"},
+			fo.Atom{Pred: fo.PostPred(fmt.Sprintf("R%d", i)), Args: []fo.Term{fo.Var("x")}})}
+	}
+	f := q(n)
+	for i := n - 1; i >= 0; i-- {
+		f = accltl.Conj(q(i), accltl.Next{F: f})
+	}
+	return accltl.Next{F: f}
+}

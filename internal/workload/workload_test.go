@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"accltl/internal/accltl"
+	"accltl/internal/relevance"
+)
+
+func TestPhoneSchemaShape(t *testing.T) {
+	p := MustPhone()
+	if p.Schema.NumRelations() != 2 || p.Schema.NumMethods() != 2 {
+		t.Fatalf("schema shape: %s", p.Schema)
+	}
+	if p.AcM1.NumInputs() != 1 || p.AcM2.NumInputs() != 2 {
+		t.Error("method inputs wrong")
+	}
+	if err := p.Schema.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhoneUniverses(t *testing.T) {
+	p := MustPhone()
+	u := p.Universe(4)
+	if u.Count("Mobile#") != 4 || u.Count("Address") != 4 {
+		t.Errorf("universe counts: %d / %d", u.Count("Mobile#"), u.Count("Address"))
+	}
+	sj := p.SmithJonesUniverse()
+	if sj.Count("Address") != 2 || sj.Count("Mobile#") != 1 {
+		t.Errorf("smith/jones universe: %s", sj)
+	}
+}
+
+func TestPhoneUniverseIsIterable(t *testing.T) {
+	// The universe is built so neighbours share street/postcode: from any
+	// one person the accessible part reaches at least their street-mate.
+	p := MustPhone()
+	u := p.Universe(4)
+	seed := u.Clone()
+	// Restrict the seed to person0's mobile row only.
+	seed2 := p.Universe(0)
+	for _, tup := range seed.Tuples("Mobile#") {
+		if tup[0].AsString() == "person0" {
+			seed2.MustAdd("Mobile#", tup[0], tup[1], tup[2], tup[3])
+		}
+	}
+	acc, err := relevance.AccessiblePart(p.Schema, u, seed2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Count("Address") < 2 {
+		t.Errorf("accessible addresses = %d, want ≥ 2 (street-mates)", acc.Count("Address"))
+	}
+}
+
+func TestSpecClassifications(t *testing.T) {
+	p := MustPhone()
+	cases := []struct {
+		name string
+		f    accltl.Formula
+		want func(accltl.Info) bool
+	}{
+		{"DjC is pure-positive without binds", p.DisjointnessConstraint(), func(i accltl.Info) bool {
+			return i.EmbeddedPositive && !i.HasInequality && !i.MentionsBind
+		}},
+		{"FD needs inequality", p.FDConstraint(), func(i accltl.Info) bool {
+			return i.HasInequality
+		}},
+		{"DF uses n-ary binds", p.DataflowRestriction(), func(i accltl.Info) bool {
+			return i.MentionsBind && !i.ZeroAcc
+		}},
+		{"DF+ is binding-positive", p.DataflowRestrictionPlus(), func(i accltl.Info) bool {
+			return i.BindingPositive && !i.ZeroAcc
+		}},
+		{"AccOr is zero-acc with U", p.AccessOrderRestriction(), func(i accltl.Info) bool {
+			return i.ZeroAcc && !i.OnlyNext
+		}},
+		{"AccOr+ is binding-positive", p.AccessOrderRestrictionPlus(), func(i accltl.Info) bool {
+			return i.BindingPositive
+		}},
+		{"DjC-X is X-only", p.DisjointnessConstraintX(3), func(i accltl.Info) bool {
+			return i.OnlyNext && i.ZeroAcc
+		}},
+		{"FD-X is X-only with ≠", p.FDConstraintX(3), func(i accltl.Info) bool {
+			return i.OnlyNext && i.HasInequality
+		}},
+		{"Groundedness is binding-positive", p.GroundednessFormula(), func(i accltl.Info) bool {
+			return i.BindingPositive && i.EmbeddedPositive
+		}},
+		{"Intro is AccLTL+", p.IntroFormula(), func(i accltl.Info) bool {
+			frag, ok := i.Fragment()
+			return ok && frag == accltl.FragPlus
+		}},
+	}
+	for _, c := range cases {
+		info := accltl.Classify(c.f)
+		if !c.want(info) {
+			t.Errorf("%s: classification %+v", c.name, info)
+		}
+	}
+}
+
+func TestChainConstruction(t *testing.T) {
+	c := MustChain(3)
+	if c.Schema.NumRelations() != 5 { // R0..R2 + Link0,Link1
+		t.Errorf("relations = %d", c.Schema.NumRelations())
+	}
+	u := c.Universe()
+	if u.Count("R2") != 1 || u.Count("Link1") != 1 {
+		t.Errorf("universe: %s", u)
+	}
+	if _, err := NewChain(0); err == nil {
+		t.Error("zero-length chain accepted")
+	}
+}
+
+func TestChainFormulas(t *testing.T) {
+	c := MustChain(3)
+	reach := c.ReachLastFormula()
+	if !accltl.Classify(reach).ZeroAcc {
+		t.Error("reach formula not zero-acc")
+	}
+	nested := c.NestedEventually(2)
+	if accltl.CountUntils(nested) != 3 {
+		t.Errorf("nested untils = %d", accltl.CountUntils(nested))
+	}
+	tower := c.XTower(2)
+	if !accltl.Classify(tower).OnlyNext {
+		t.Error("X tower uses non-X operators")
+	}
+	if accltl.TemporalDepth(tower) != 3 {
+		t.Errorf("tower depth = %d", accltl.TemporalDepth(tower))
+	}
+	// Clamping: requesting deeper than the chain works.
+	if accltl.TemporalDepth(c.XTower(99)) != 3 {
+		t.Error("XTower did not clamp")
+	}
+}
+
+func TestChainReachSatisfiable(t *testing.T) {
+	c := MustChain(2)
+	res, err := accltl.SolveZeroAcc(c.ReachLastFormula(), accltl.SolveOptions{Schema: c.Schema})
+	if err != nil || !res.Satisfiable {
+		t.Errorf("reach-last unsat: %v, %v", res.Satisfiable, err)
+	}
+}

@@ -1,0 +1,485 @@
+// Package accesscheck is the public entry point of the repository: one
+// context-aware facade over the schema → formula → solver pipeline of
+// Benedikt–Bourhis–Ley, "Querying Schemas With Access Restrictions".
+//
+// The intended flow is
+//
+//	sch, err := accesscheck.ParseSchema(relDecls, methodDecls)
+//	f, err := accesscheck.ParseFormula(src)
+//	chk, err := accesscheck.NewChecker(accesscheck.WithGrounded())
+//	res, err := chk.Check(ctx, sch, f)
+//
+// Check classifies the formula into its Table 1 fragment, dispatches the
+// matching decision procedure (or the bounded semi-decision outside the
+// decidable fragments), and returns a structured Result: verdict, witness
+// access path, search statistics and wall time. The context is honoured
+// throughout the search loops, so a deadline or cancellation stops the
+// solver promptly — a prerequisite for serving checks under a response-time
+// budget.
+//
+// Everything under internal/ is an implementation detail; consumers (the
+// cmd/ tools, the examples, and any future server frontend) build against
+// this package only.
+package accesscheck
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"accltl/internal/access"
+	"accltl/internal/accltl"
+	"accltl/internal/autom"
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// Core domain types, re-exported so consumers never import internal/
+// packages for the main pipeline.
+type (
+	// Formula is an AccLTL formula (build with the combinators below or
+	// ParseFormula).
+	Formula = accltl.Formula
+	// Sentence is an embedded first-order sentence.
+	Sentence = fo.Formula
+	// Info is the fragment-relevant feature vector of a formula.
+	Info = accltl.Info
+	// Fragment names a sublanguage of Table 1.
+	Fragment = accltl.Fragment
+	// Schema is a relational schema with access methods.
+	Schema = schema.Schema
+	// Relation is a relation of a schema.
+	Relation = schema.Relation
+	// AccessMethod is an access method of a schema.
+	AccessMethod = schema.AccessMethod
+	// Path is an access path (a sequence of accesses with responses).
+	Path = access.Path
+	// Instance is a set of facts over a schema.
+	Instance = instance.Instance
+)
+
+// The Table 1 fragments.
+const (
+	FragFullNeq    = accltl.FragFullNeq
+	FragFull       = accltl.FragFull
+	FragPlus       = accltl.FragPlus
+	FragZeroAcc    = accltl.FragZeroAcc
+	FragZeroAccNeq = accltl.FragZeroAccNeq
+	FragXZeroAcc   = accltl.FragXZeroAcc
+)
+
+// Formula combinators (the textual front-end ParseFormula covers the same
+// language; these exist for programmatic construction).
+
+// Atom embeds a first-order sentence as an AccLTL atom.
+func Atom(s Sentence) Formula { return accltl.Atom{Sentence: s} }
+
+// Not negates a formula.
+func Not(f Formula) Formula { return accltl.Not{F: f} }
+
+// And is flattened n-ary conjunction (true when empty).
+func And(fs ...Formula) Formula { return accltl.Conj(fs...) }
+
+// Or is flattened n-ary disjunction (false when empty).
+func Or(fs ...Formula) Formula { return accltl.Disj(fs...) }
+
+// Next is the temporal X operator.
+func Next(f Formula) Formula { return accltl.Next{F: f} }
+
+// Until is the temporal U operator.
+func Until(l, r Formula) Formula { return accltl.Until{L: l, R: r} }
+
+// Eventually is the derived F operator.
+func Eventually(f Formula) Formula { return accltl.F(f) }
+
+// Always is the derived G operator.
+func Always(f Formula) Formula { return accltl.G(f) }
+
+// Classify computes the fragment-relevant features of a formula; use
+// Info.Fragment for the smallest Table 1 fragment containing it.
+func Classify(f Formula) Info { return accltl.Classify(f) }
+
+// Engine selects a decision procedure. The zero value EngineAuto dispatches
+// on the formula's fragment, which is what almost every caller wants; the
+// explicit engines exist for cross-checking solvers against each other
+// (Figure 2) and for forcing the bounded semi-decision.
+type Engine int
+
+const (
+	// EngineAuto picks the engine from the fragment classification.
+	EngineAuto Engine = iota
+	// EngineX is the AccLTL(X) solver (Theorem 4.14).
+	EngineX
+	// EngineZeroAcc is the 0-Acc solver (Theorems 4.12 / 5.1).
+	EngineZeroAcc
+	// EnginePlus is the direct AccLTL+ solver (Theorem 4.2 family).
+	EnginePlus
+	// EngineBounded is the unrestricted bounded semi-decision.
+	EngineBounded
+	// EngineAutomaton compiles to an A-automaton (Lemma 4.5) and decides
+	// language emptiness.
+	EngineAutomaton
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineX:
+		return "x"
+	case EngineZeroAcc:
+		return "0-acc"
+	case EnginePlus:
+		return "plus"
+	case EngineBounded:
+		return "bounded"
+	case EngineAutomaton:
+		return "automaton"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Checker is a reusable, immutable-after-construction configuration of the
+// decision pipeline. A zero-option checker runs the fragment-dispatched
+// search with formula-derived bounds.
+type Checker struct {
+	engine             Engine
+	grounded           bool
+	idempotentOnly     bool
+	exactMethods       map[string]bool
+	allExact           bool
+	maxDepth           int
+	maxPaths           int
+	maxResponseChoices int
+	initial            *Instance
+	universe           *Instance
+}
+
+// Option configures a Checker; invalid settings surface as errors from
+// NewChecker rather than misbehaving searches.
+type Option func(*Checker) error
+
+// NewChecker builds a Checker from functional options.
+func NewChecker(opts ...Option) (*Checker, error) {
+	c := &Checker{}
+	for _, o := range opts {
+		if o == nil {
+			return nil, fmt.Errorf("accesscheck: nil Option")
+		}
+		if err := o(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// WithGrounded restricts the search to grounded access paths: every binding
+// value must occur in the initial instance or an earlier response.
+func WithGrounded() Option {
+	return func(c *Checker) error { c.grounded = true; return nil }
+}
+
+// WithIdempotentOnly restricts the search to idempotent paths (repeating an
+// access yields the same response).
+func WithIdempotentOnly() Option {
+	return func(c *Checker) error { c.idempotentOnly = true; return nil }
+}
+
+// WithExactMethods restricts the named methods to exact responses (all
+// matching tuples of the hidden instance).
+func WithExactMethods(names ...string) Option {
+	return func(c *Checker) error {
+		if len(names) == 0 {
+			return fmt.Errorf("accesscheck: WithExactMethods needs at least one method name")
+		}
+		if c.exactMethods == nil {
+			c.exactMethods = make(map[string]bool, len(names))
+		}
+		for _, n := range names {
+			if n == "" {
+				return fmt.Errorf("accesscheck: WithExactMethods: empty method name")
+			}
+			c.exactMethods[n] = true
+		}
+		return nil
+	}
+}
+
+// WithAllExact restricts every method to exact responses.
+func WithAllExact() Option {
+	return func(c *Checker) error { c.allExact = true; return nil }
+}
+
+// WithMaxDepth bounds witness path length; 0 (the default) derives a bound
+// from the formula.
+func WithMaxDepth(n int) Option {
+	return func(c *Checker) error {
+		if n < 0 {
+			return fmt.Errorf("accesscheck: WithMaxDepth(%d): depth must be non-negative", n)
+		}
+		c.maxDepth = n
+		return nil
+	}
+}
+
+// WithMaxPaths aborts the search after visiting this many path prefixes;
+// 0 keeps the engine default.
+func WithMaxPaths(n int) Option {
+	return func(c *Checker) error {
+		if n < 0 {
+			return fmt.Errorf("accesscheck: WithMaxPaths(%d): cap must be non-negative", n)
+		}
+		c.maxPaths = n
+		return nil
+	}
+}
+
+// WithMaxResponseChoices caps the matching tuples considered per subset
+// response (fan-out per access is 2^n); 0 keeps the engine default.
+func WithMaxResponseChoices(n int) Option {
+	return func(c *Checker) error {
+		if n < 0 {
+			return fmt.Errorf("accesscheck: WithMaxResponseChoices(%d): cap must be non-negative", n)
+		}
+		c.maxResponseChoices = n
+		return nil
+	}
+}
+
+// WithInitialInstance sets the initially known instance I0.
+func WithInitialInstance(i *Instance) Option {
+	return func(c *Checker) error {
+		if i == nil {
+			return fmt.Errorf("accesscheck: WithInitialInstance(nil); omit the option for an empty I0")
+		}
+		c.initial = i
+		return nil
+	}
+}
+
+// WithUniverse overrides the hidden-instance universe the search draws
+// responses from (the default is assembled from the formula).
+func WithUniverse(u *Instance) Option {
+	return func(c *Checker) error {
+		if u == nil {
+			return fmt.Errorf("accesscheck: WithUniverse(nil); omit the option for the formula-derived universe")
+		}
+		c.universe = u
+		return nil
+	}
+}
+
+// WithEngine forces a specific decision procedure instead of dispatching on
+// the fragment.
+func WithEngine(e Engine) Option {
+	return func(c *Checker) error {
+		if e < EngineAuto || e > EngineAutomaton {
+			return fmt.Errorf("accesscheck: WithEngine(%d): unknown engine", int(e))
+		}
+		c.engine = e
+		return nil
+	}
+}
+
+// WithExactSpec parses the CLI-style exact-response spec: "" restricts
+// nothing, "*" makes every method exact, anything else is a comma-separated
+// method list.
+func WithExactSpec(spec string) Option {
+	return func(c *Checker) error {
+		all, names, err := parseExactSpec(spec)
+		if err != nil {
+			return err
+		}
+		if all {
+			c.allExact = true
+			return nil
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		return WithExactMethods(names...)(c)
+	}
+}
+
+// Result is the structured outcome of a Check call.
+type Result struct {
+	// Info is the formula's feature vector; Fragment/InFragment locate it
+	// in Table 1 (InFragment is false for formulas outside every fragment,
+	// e.g. with past operators — those run through the bounded engine).
+	Info       Info
+	Fragment   Fragment
+	InFragment bool
+	// Decidable reports whether the fragment's satisfiability problem is
+	// decidable; when false, an unsatisfiable verdict only means "no
+	// witness within the depth bound".
+	Decidable bool
+	// Engine is the decision procedure that actually ran.
+	Engine Engine
+	// Satisfiable is the verdict; Witness is a satisfying access path when
+	// true.
+	Satisfiable bool
+	Witness     *Path
+	// PathsExplored counts visited path prefixes; Depth is the bound used.
+	PathsExplored int
+	Depth         int
+	// Truncated reports that the search hit its path cap (WithMaxPaths or
+	// the engine default) before exhausting the space up to Depth: an
+	// unsatisfiable verdict is then cap-relative even when Decidable.
+	Truncated bool
+	// AutomatonStates is the compiled state count (EngineAutomaton only).
+	AutomatonStates int
+	// Elapsed is the wall time of the solve.
+	Elapsed time.Duration
+}
+
+// Check decides satisfiability of f over the schema's access paths. It
+// classifies f, dispatches the matching engine (unless WithEngine forced
+// one), and honours ctx throughout: a context that is already cancelled or
+// past its deadline returns ctx's error before the search loop is entered,
+// and expiry mid-search aborts promptly.
+func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("accesscheck: Check: nil schema")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("accesscheck: Check: nil formula")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("accesscheck: Check: %w", err)
+	}
+
+	info := accltl.Classify(f)
+	frag, inFragment := info.Fragment()
+	res := &Result{
+		Info:       info,
+		Fragment:   frag,
+		InFragment: inFragment,
+		Decidable:  inFragment && frag.Decidable(),
+	}
+	engine := c.engine
+	if engine == EngineAuto {
+		switch {
+		case !inFragment:
+			engine = EngineBounded
+		case frag == FragXZeroAcc:
+			engine = EngineX
+		case frag == FragZeroAcc || frag == FragZeroAccNeq:
+			engine = EngineZeroAcc
+		case frag == FragPlus:
+			engine = EnginePlus
+		default:
+			engine = EngineBounded
+		}
+	}
+	res.Engine = engine
+
+	opts := accltl.SolveOptions{
+		Context:            ctx,
+		Schema:             sch,
+		Initial:            c.initial,
+		Grounded:           c.grounded,
+		IdempotentOnly:     c.idempotentOnly,
+		ExactMethods:       c.exactMethods,
+		AllExact:           c.allExact,
+		MaxDepth:           c.maxDepth,
+		Universe:           c.universe,
+		MaxResponseChoices: c.maxResponseChoices,
+		MaxPaths:           c.maxPaths,
+	}
+
+	start := time.Now()
+	var sr accltl.SolveResult
+	var err error
+	switch engine {
+	case EngineX:
+		sr, err = accltl.SolveX(f, opts)
+	case EngineZeroAcc:
+		sr, err = accltl.SolveZeroAcc(f, opts)
+	case EnginePlus:
+		sr, err = accltl.SolvePlusDirect(f, opts)
+	case EngineBounded:
+		sr, err = accltl.SolveBounded(f, opts)
+	case EngineAutomaton:
+		var a *autom.Automaton
+		a, err = autom.CompileAccLTLPlus(sch, f)
+		if err == nil {
+			res.AutomatonStates = a.NumStates
+			var er autom.EmptinessResult
+			er, err = a.IsEmpty(autom.EmptinessOptions{
+				Context:            ctx,
+				Initial:            c.initial,
+				Grounded:           c.grounded,
+				IdempotentOnly:     c.idempotentOnly,
+				ExactMethods:       c.exactMethods,
+				AllExact:           c.allExact,
+				MaxDepth:           c.maxDepth,
+				MaxResponseChoices: c.maxResponseChoices,
+				MaxPaths:           c.maxPaths,
+				Universe:           c.universe,
+			})
+			sr = accltl.SolveResult{
+				Satisfiable:   !er.Empty,
+				Witness:       er.Witness,
+				PathsExplored: er.PathsExplored,
+				Depth:         er.Depth,
+				Truncated:     er.Truncated,
+			}
+		}
+	default:
+		err = fmt.Errorf("accesscheck: Check: unknown engine %v", engine)
+	}
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	res.Satisfiable = sr.Satisfiable
+	res.Witness = sr.Witness
+	res.PathsExplored = sr.PathsExplored
+	res.Depth = sr.Depth
+	res.Truncated = sr.Truncated
+	return res, nil
+}
+
+// Check is the one-shot form: build a throwaway Checker from opts and run
+// it.
+func Check(ctx context.Context, sch *Schema, f Formula, opts ...Option) (*Result, error) {
+	c, err := NewChecker(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return c.Check(ctx, sch, f)
+}
+
+// Holds evaluates f on a concrete access path under the direct semantics
+// (Definition 2.1), starting from the checker's initial instance. The
+// vocabulary follows the formula: 0-Acc formulas see the Sch_0-Acc view,
+// everything else the full Sch_Acc view — matching what Check's dispatched
+// engine would use.
+func (c *Checker) Holds(f Formula, p *Path) (bool, error) {
+	if f == nil {
+		return false, fmt.Errorf("accesscheck: Holds: nil formula")
+	}
+	if p == nil {
+		return false, fmt.Errorf("accesscheck: Holds: nil path")
+	}
+	ts, err := p.Transitions(c.initial)
+	if err != nil {
+		return false, err
+	}
+	voc := accltl.FullAcc
+	if accltl.Classify(f).ZeroAcc {
+		voc = accltl.ZeroAcc
+	}
+	return accltl.Satisfied(f, ts, voc)
+}
+
+// Holds is the one-shot form with an empty initial instance.
+func Holds(f Formula, p *Path) (bool, error) {
+	return (&Checker{}).Holds(f, p)
+}

@@ -1,0 +1,284 @@
+package accesscheck_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"accltl/accesscheck"
+	"accltl/internal/accltl"
+	"accltl/internal/workload"
+)
+
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  accesscheck.Option
+	}{
+		{"negative depth", accesscheck.WithMaxDepth(-1)},
+		{"negative path cap", accesscheck.WithMaxPaths(-1)},
+		{"negative response cap", accesscheck.WithMaxResponseChoices(-1)},
+		{"no exact methods", accesscheck.WithExactMethods()},
+		{"empty exact method name", accesscheck.WithExactMethods("AcM1", "")},
+		{"nil initial instance", accesscheck.WithInitialInstance(nil)},
+		{"nil universe", accesscheck.WithUniverse(nil)},
+		{"unknown engine", accesscheck.WithEngine(accesscheck.Engine(42))},
+		{"bad exact spec", accesscheck.WithExactSpec("AcM1,,AcM2")},
+		{"nil option", nil},
+	}
+	for _, tc := range cases {
+		if _, err := accesscheck.NewChecker(tc.opt); err == nil {
+			t.Errorf("%s: NewChecker accepted an invalid option", tc.name)
+		}
+	}
+	// And the valid combinations still construct.
+	if _, err := accesscheck.NewChecker(
+		accesscheck.WithGrounded(),
+		accesscheck.WithIdempotentOnly(),
+		accesscheck.WithExactMethods("AcM1"),
+		accesscheck.WithExactSpec("*"),
+		accesscheck.WithMaxDepth(3),
+		accesscheck.WithMaxPaths(1000),
+		accesscheck.WithEngine(accesscheck.EngineBounded),
+	); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+func TestCheckNilArguments(t *testing.T) {
+	phone := workload.MustPhone()
+	ctx := context.Background()
+	if _, err := accesscheck.Check(ctx, nil, phone.IntroFormula()); err == nil {
+		t.Error("Check accepted a nil schema")
+	}
+	if _, err := accesscheck.Check(ctx, phone.Schema, nil); err == nil {
+		t.Error("Check accepted a nil formula")
+	}
+}
+
+// TestFragmentDispatchParity pins the facade to the direct internal solvers
+// on the paper's worked examples: same engine choice, same verdict.
+func TestFragmentDispatchParity(t *testing.T) {
+	phone := workload.MustPhone()
+	ctx := context.Background()
+
+	cases := []struct {
+		name       string
+		formula    accesscheck.Formula
+		wantEngine accesscheck.Engine
+		direct     func(f accltl.Formula) (accltl.SolveResult, error)
+	}{
+		{
+			"intro formula → plus solver",
+			phone.IntroFormula(),
+			accesscheck.EnginePlus,
+			func(f accltl.Formula) (accltl.SolveResult, error) {
+				return accltl.SolvePlusDirect(f, accltl.SolveOptions{Schema: phone.Schema})
+			},
+		},
+		{
+			"X formula → X solver",
+			accesscheck.Next(accesscheck.Atom(phone.MobileNonEmptyPost())),
+			accesscheck.EngineX,
+			func(f accltl.Formula) (accltl.SolveResult, error) {
+				return accltl.SolveX(f, accltl.SolveOptions{Schema: phone.Schema})
+			},
+		},
+		{
+			"0-Acc formula → 0-Acc solver",
+			accesscheck.MustParseFormula(`F [bind AcM1]`),
+			accesscheck.EngineZeroAcc,
+			func(f accltl.Formula) (accltl.SolveResult, error) {
+				return accltl.SolveZeroAcc(f, accltl.SolveOptions{Schema: phone.Schema})
+			},
+		},
+	}
+	for _, tc := range cases {
+		res, err := accesscheck.Check(ctx, phone.Schema, tc.formula)
+		if err != nil {
+			t.Fatalf("%s: facade: %v", tc.name, err)
+		}
+		if res.Engine != tc.wantEngine {
+			t.Errorf("%s: dispatched %v, want %v", tc.name, res.Engine, tc.wantEngine)
+		}
+		direct, err := tc.direct(tc.formula)
+		if err != nil {
+			t.Fatalf("%s: direct: %v", tc.name, err)
+		}
+		if res.Satisfiable != direct.Satisfiable {
+			t.Errorf("%s: facade=%v direct=%v", tc.name, res.Satisfiable, direct.Satisfiable)
+		}
+		if res.Depth != direct.Depth {
+			t.Errorf("%s: facade depth=%d direct depth=%d", tc.name, res.Depth, direct.Depth)
+		}
+	}
+}
+
+// TestCombinatorsMatchParser: the programmatic combinators and the textual
+// front-end build the same formulas.
+func TestCombinatorsMatchParser(t *testing.T) {
+	phone := workload.MustPhone()
+	post := accesscheck.Atom(phone.MobileNonEmptyPost())
+	cases := []struct {
+		src  string
+		want accesscheck.Formula
+	}{
+		{`F [exists n,p,s,ph. post Mobile#(n,p,s,ph)]`, accesscheck.Eventually(post)},
+		{`G ![exists n,p,s,ph. post Mobile#(n,p,s,ph)]`, accesscheck.Always(accesscheck.Not(post))},
+		{`X [exists n,p,s,ph. post Mobile#(n,p,s,ph)]`, accesscheck.Next(post)},
+		{`true U [exists n,p,s,ph. post Mobile#(n,p,s,ph)]`, accesscheck.Until(accesscheck.And(), post)},
+	}
+	for _, tc := range cases {
+		got, err := accesscheck.ParseFormula(tc.src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if got.String() != tc.want.String() {
+			t.Errorf("%q: parsed %s, combinators built %s", tc.src, got, tc.want)
+		}
+	}
+}
+
+// TestCheckCancelledContext: an already-cancelled context must surface its
+// error before the search loop is entered.
+func TestCheckCancelledContext(t *testing.T) {
+	phone := workload.MustPhone()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := accesscheck.Check(ctx, phone.Schema, phone.IntroFormula())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled Check returned a result: %+v", res)
+	}
+}
+
+// TestCheckExpiredDeadline: a deadline already in the past behaves like
+// cancellation.
+func TestCheckExpiredDeadline(t *testing.T) {
+	phone := workload.MustPhone()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := accesscheck.Check(ctx, phone.Schema, phone.IntroFormula()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestCheckDeadlineStopsSearchPromptly: a search whose full exploration
+// would take far longer than the budget must return with the context's
+// error shortly after the deadline, proving the hot loops poll the context.
+func TestCheckDeadlineStopsSearchPromptly(t *testing.T) {
+	phone := workload.MustPhone()
+	// Unsatisfiable conjunction: the search must exhaust the space, and an
+	// 8-resident universe at depth 6 is astronomically larger than the
+	// budget allows.
+	post := accesscheck.Atom(phone.MobileNonEmptyPost())
+	unsat := accesscheck.And(accesscheck.Eventually(post), accesscheck.Always(accesscheck.Not(post)))
+
+	const budget = 100 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	start := time.Now()
+	_, err := accesscheck.Check(ctx, phone.Schema, unsat,
+		accesscheck.WithEngine(accesscheck.EngineBounded),
+		accesscheck.WithUniverse(phone.Universe(8)),
+		accesscheck.WithMaxDepth(6))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v after %s, want context.DeadlineExceeded", err, elapsed)
+	}
+	// Generous CI margin: the poll interval is every 64 visited prefixes,
+	// so the overshoot should be microseconds, not seconds.
+	if elapsed > 10*time.Second {
+		t.Fatalf("Check took %s to honour a %s deadline", elapsed, budget)
+	}
+}
+
+// TestTruncatedReportedOnPathCap: a search cut off by WithMaxPaths must
+// flag its unsatisfiable verdict as cap-relative instead of presenting it
+// as definitive.
+func TestTruncatedReportedOnPathCap(t *testing.T) {
+	phone := workload.MustPhone()
+	f := accesscheck.MustParseFormula(`F [exists n,p,s,ph. post Mobile#(n,p,s,ph)]`)
+	ctx := context.Background()
+	full, err := accesscheck.Check(ctx, phone.Schema, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Satisfiable || full.Truncated {
+		t.Fatalf("uncapped check: satisfiable=%v truncated=%v", full.Satisfiable, full.Truncated)
+	}
+	capped, err := accesscheck.Check(ctx, phone.Schema, f, accesscheck.WithMaxPaths(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Satisfiable {
+		t.Fatalf("cap of 2 should not find the witness (%d prefixes needed)", full.PathsExplored)
+	}
+	if !capped.Truncated {
+		t.Error("capped unsatisfiable verdict not flagged as Truncated")
+	}
+}
+
+// TestPathTreeCancelledContext: the exploration facade honours the context
+// too.
+func TestPathTreeCancelledContext(t *testing.T) {
+	phone := workload.MustPhone()
+	chk, err := accesscheck.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := chk.PathTree(ctx, phone.Schema, phone.SmithJonesUniverse(), 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PathTree err = %v, want context.Canceled", err)
+	}
+	if _, err := chk.PathStats(ctx, phone.Schema, phone.SmithJonesUniverse(), 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PathStats err = %v, want context.Canceled", err)
+	}
+}
+
+// TestHoldsAgreesWithSolverWitness: any witness Check returns must satisfy
+// the formula under the facade's direct-semantics evaluation.
+func TestHoldsAgreesWithSolverWitness(t *testing.T) {
+	phone := workload.MustPhone()
+	for _, f := range []accesscheck.Formula{
+		phone.IntroFormula(),
+		accesscheck.MustParseFormula(`F [bind AcM1]`),
+	} {
+		res, err := accesscheck.Check(context.Background(), phone.Schema, f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !res.Satisfiable {
+			t.Fatalf("%s: expected satisfiable", f)
+		}
+		ok, err := accesscheck.Holds(f, res.Witness)
+		if err != nil {
+			t.Fatalf("%s: Holds: %v", f, err)
+		}
+		if !ok {
+			t.Errorf("%s: witness rejected by direct semantics", f)
+		}
+	}
+}
+
+// TestEngineStrings keeps the engine names stable (they appear in CLI
+// output and logs).
+func TestEngineStrings(t *testing.T) {
+	want := map[accesscheck.Engine]string{
+		accesscheck.EngineAuto:      "auto",
+		accesscheck.EngineX:         "x",
+		accesscheck.EngineZeroAcc:   "0-acc",
+		accesscheck.EnginePlus:      "plus",
+		accesscheck.EngineBounded:   "bounded",
+		accesscheck.EngineAutomaton: "automaton",
+	}
+	for e, s := range want {
+		if e.String() != s {
+			t.Errorf("Engine(%d).String() = %q, want %q", int(e), e.String(), s)
+		}
+	}
+}

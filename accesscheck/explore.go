@@ -1,0 +1,72 @@
+package accesscheck
+
+import (
+	"context"
+	"fmt"
+
+	"accltl/internal/lts"
+)
+
+// PathTree is the tree of possible access paths (Figure 1): nodes are
+// "Known Facts" configurations, edges are accesses with one well-formed
+// response each.
+type PathTree = lts.TreeNode
+
+// PathStats summarizes an exploration: paths and distinct configurations
+// reached per depth.
+type PathStats = lts.Stats
+
+// ltsOptions translates the checker's configuration into exploration
+// options against an explicit hidden universe.
+func (c *Checker) ltsOptions(ctx context.Context, universe *Instance, depth int) lts.Options {
+	return lts.Options{
+		Context:            ctx,
+		Universe:           universe,
+		Initial:            c.initial,
+		MaxDepth:           depth,
+		GroundedOnly:       c.grounded,
+		IdempotentOnly:     c.idempotentOnly,
+		ExactMethods:       c.exactMethods,
+		AllExact:           c.allExact,
+		MaxResponseChoices: c.maxResponseChoices,
+		MaxPaths:           c.maxPaths,
+	}
+}
+
+// PathTree materializes the tree of possible paths of the schema against a
+// hidden universe, up to the given depth. The checker's restrictions
+// (grounded, exact, idempotent, initial instance) apply, and ctx bounds the
+// exploration.
+func (c *Checker) PathTree(ctx context.Context, sch *Schema, universe *Instance, depth int) (*PathTree, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("accesscheck: PathTree: nil schema")
+	}
+	if universe == nil {
+		return nil, fmt.Errorf("accesscheck: PathTree: nil universe")
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("accesscheck: PathTree: negative depth %d", depth)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return lts.BuildTree(sch, c.ltsOptions(ctx, universe, depth))
+}
+
+// PathStats explores the schema's paths against a hidden universe and
+// returns per-depth path and configuration counts.
+func (c *Checker) PathStats(ctx context.Context, sch *Schema, universe *Instance, depth int) (PathStats, error) {
+	if sch == nil {
+		return PathStats{}, fmt.Errorf("accesscheck: PathStats: nil schema")
+	}
+	if universe == nil {
+		return PathStats{}, fmt.Errorf("accesscheck: PathStats: nil universe")
+	}
+	if depth < 0 {
+		return PathStats{}, fmt.Errorf("accesscheck: PathStats: negative depth %d", depth)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return lts.Collect(sch, c.ltsOptions(ctx, universe, depth))
+}

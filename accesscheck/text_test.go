@@ -1,0 +1,117 @@
+package accesscheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"accltl/accesscheck"
+)
+
+func TestParseSchema(t *testing.T) {
+	sch, err := accesscheck.ParseSchema(
+		[]string{"Mobile#:string,string,string,int", "Address:string,string,string,int", "Flag:bool"},
+		[]string{"AcM1:Mobile#:0", "AcM2:Address:0,1", "scanFlag:Flag", "scanFlag2:Flag:"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sch.Relation("Mobile#"); !ok {
+		t.Error("Mobile# relation missing")
+	}
+	if got := len(sch.Methods()); got != 4 {
+		t.Errorf("methods = %d, want 4", got)
+	}
+	for _, name := range []string{"scanFlag", "scanFlag2"} {
+		m, ok := sch.Method(name)
+		if !ok {
+			t.Fatalf("method %s missing", name)
+		}
+		if len(m.InputTypes()) != 0 {
+			t.Errorf("%s should be a free scan, has %d inputs", name, len(m.InputTypes()))
+		}
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		rels    []string
+		methods []string
+	}{
+		{"no relations", nil, nil},
+		{"missing colon", []string{"Mobile"}, nil},
+		{"unknown type", []string{"R:float"}, nil},
+		{"method on unknown relation", []string{"R:int"}, []string{"m:S:0"}},
+		{"bad position", []string{"R:int"}, []string{"m:R:x"}},
+		{"too many colons", []string{"R:int"}, []string{"m:R:0:1"}},
+	}
+	for _, tc := range cases {
+		if _, err := accesscheck.ParseSchema(tc.rels, tc.methods); err == nil {
+			t.Errorf("%s: ParseSchema accepted %v / %v", tc.name, tc.rels, tc.methods)
+		}
+	}
+}
+
+func TestAddMethodReturnsHandle(t *testing.T) {
+	sch, err := accesscheck.ParseSchema([]string{"R:int,int"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := accesscheck.AddMethod(sch, "probe:R:0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "probe" || len(m.InputTypes()) != 2 {
+		t.Errorf("handle wrong: %s with %d inputs", m.Name(), len(m.InputTypes()))
+	}
+}
+
+func TestParseSentencePlainAtoms(t *testing.T) {
+	s, err := accesscheck.ParseSentence(`exists x,y. R(x,y) & x != y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.String(), "R(") {
+		t.Errorf("plain atom lost: %s", s)
+	}
+	// Staged atoms still parse.
+	if _, err := accesscheck.ParseSentence(`exists x. pre R(x)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseFormulaRejectsPlainAtoms: the plain-atom query syntax is for
+// ParseSentence only — in a solver-bound formula an unstaged atom is almost
+// certainly a pre/post typo and would evaluate to a silent false, so the
+// formula parser must fail fast on it.
+func TestParseFormulaRejectsPlainAtoms(t *testing.T) {
+	_, err := accesscheck.ParseFormula(`F [exists x. R(x)]`)
+	if err == nil {
+		t.Fatal("ParseFormula accepted an unstaged atom")
+	}
+	if !strings.Contains(err.Error(), "pre") {
+		t.Errorf("error %q should hint at the stage keywords", err)
+	}
+}
+
+func TestMustParseFormulaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseFormula did not panic on garbage")
+		}
+	}()
+	accesscheck.MustParseFormula(`U U U`)
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m accesscheck.MultiFlag
+	if err := m.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m.String() != "a;b" {
+		t.Errorf("MultiFlag = %v (%q)", m, m.String())
+	}
+}

@@ -1,7 +1,8 @@
 // acclcheck is the satisfiability checker CLI: declare a schema with access
-// methods, give an AccLTL formula in the textual syntax of accltl.Parse,
-// and the tool classifies the formula into its Table 1 fragment, dispatches
-// the matching solver, and prints the verdict with a witness path.
+// methods, give an AccLTL formula in the textual syntax of
+// accesscheck.ParseFormula, and the tool classifies the formula into its
+// Table 1 fragment, dispatches the matching solver, and prints the verdict
+// with a witness path.
 //
 // Example (the introduction's query on the phone-directory schema):
 //
@@ -14,30 +15,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"strconv"
-	"strings"
+	"time"
 
-	"accltl/internal/accltl"
-	"accltl/internal/schema"
+	"accltl/accesscheck"
 )
 
-type multiFlag []string
-
-func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
-func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
-
 func main() {
-	var rels, methods multiFlag
+	var rels, methods accesscheck.MultiFlag
 	flag.Var(&rels, "rel", "relation declaration Name:type,type,... (repeatable)")
 	flag.Var(&methods, "method", "access method declaration Name:Relation:pos,pos,... (repeatable; empty position list = free scan)")
-	formula := flag.String("f", "", "AccLTL formula (see accltl.Parse syntax)")
+	formula := flag.String("f", "", "AccLTL formula (see accesscheck.ParseFormula syntax)")
 	grounded := flag.Bool("grounded", false, "restrict to grounded access paths")
 	idempotent := flag.Bool("idempotent", false, "restrict to idempotent paths")
 	exact := flag.String("exact", "", "comma-separated methods restricted to exact responses ('*' = all)")
 	depth := flag.Int("depth", 0, "witness length bound (0 = derived from the formula)")
+	timeout := flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 	flag.Parse()
 
 	if *formula == "" || len(rels) == 0 {
@@ -45,17 +41,38 @@ func main() {
 		log.Fatal("acclcheck: -f and at least one -rel are required")
 	}
 
-	sch, err := buildSchema(rels, methods)
+	sch, err := accesscheck.ParseSchema(rels, methods)
 	if err != nil {
 		log.Fatal(err)
 	}
-	f, err := accltl.Parse(*formula)
+	f, err := accesscheck.ParseFormula(*formula)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	info := accltl.Classify(f)
-	frag, ok := info.Fragment()
+	opts := []accesscheck.Option{
+		accesscheck.WithExactSpec(*exact),
+		accesscheck.WithMaxDepth(*depth),
+	}
+	if *grounded {
+		opts = append(opts, accesscheck.WithGrounded())
+	}
+	if *idempotent {
+		opts = append(opts, accesscheck.WithIdempotentOnly())
+	}
+	chk, err := accesscheck.NewChecker(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	frag, ok := accesscheck.Classify(f).Fragment()
 	if !ok {
 		log.Fatalf("acclcheck: formula is outside every fragment of Table 1 (past operators or non-positive sentences)")
 	}
@@ -66,34 +83,7 @@ func main() {
 		fmt.Println("      running the bounded semi-decision — 'unsat' means 'no witness within the bound'")
 	}
 
-	opts := accltl.SolveOptions{
-		Schema:         sch,
-		Grounded:       *grounded,
-		IdempotentOnly: *idempotent,
-		MaxDepth:       *depth,
-	}
-	switch *exact {
-	case "":
-	case "*":
-		opts.AllExact = true
-	default:
-		opts.ExactMethods = map[string]bool{}
-		for _, m := range strings.Split(*exact, ",") {
-			opts.ExactMethods[strings.TrimSpace(m)] = true
-		}
-	}
-
-	var res accltl.SolveResult
-	switch frag {
-	case accltl.FragXZeroAcc:
-		res, err = accltl.SolveX(f, opts)
-	case accltl.FragZeroAcc, accltl.FragZeroAccNeq:
-		res, err = accltl.SolveZeroAcc(f, opts)
-	case accltl.FragPlus:
-		res, err = accltl.SolvePlusDirect(f, opts)
-	default:
-		res, err = accltl.SolveBounded(f, opts)
-	}
+	res, err := chk.Check(ctx, sch, f)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,64 +93,11 @@ func main() {
 		fmt.Println("witness: ", res.Witness)
 	} else {
 		fmt.Printf("verdict:  UNSATISFIABLE (within depth %d)\n", res.Depth)
-	}
-	fmt.Printf("explored %d path prefixes\n", res.PathsExplored)
-}
-
-func buildSchema(rels, methods multiFlag) (*schema.Schema, error) {
-	sch := schema.New()
-	for _, decl := range rels {
-		parts := strings.SplitN(decl, ":", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("acclcheck: bad -rel %q (want Name:type,...)", decl)
-		}
-		var types []schema.Type
-		for _, t := range strings.Split(parts[1], ",") {
-			switch strings.TrimSpace(t) {
-			case "int":
-				types = append(types, schema.TypeInt)
-			case "string":
-				types = append(types, schema.TypeString)
-			case "bool":
-				types = append(types, schema.TypeBool)
-			default:
-				return nil, fmt.Errorf("acclcheck: unknown type %q in %q", t, decl)
-			}
-		}
-		r, err := schema.NewRelation(parts[0], types...)
-		if err != nil {
-			return nil, err
-		}
-		if err := sch.AddRelation(r); err != nil {
-			return nil, err
+		if res.Truncated {
+			fmt.Println("note: the search hit its path cap before exhausting the space —")
+			fmt.Println("      the verdict is relative to the cap, not just the depth bound")
 		}
 	}
-	for _, decl := range methods {
-		parts := strings.Split(decl, ":")
-		if len(parts) != 2 && len(parts) != 3 {
-			return nil, fmt.Errorf("acclcheck: bad -method %q (want Name:Relation:pos,...)", decl)
-		}
-		rel, ok := sch.Relation(parts[1])
-		if !ok {
-			return nil, fmt.Errorf("acclcheck: method %q names unknown relation %q", parts[0], parts[1])
-		}
-		var inputs []int
-		if len(parts) == 3 && strings.TrimSpace(parts[2]) != "" {
-			for _, p := range strings.Split(parts[2], ",") {
-				n, err := strconv.Atoi(strings.TrimSpace(p))
-				if err != nil {
-					return nil, fmt.Errorf("acclcheck: bad position %q in %q", p, decl)
-				}
-				inputs = append(inputs, n)
-			}
-		}
-		m, err := schema.NewAccessMethod(parts[0], rel, inputs...)
-		if err != nil {
-			return nil, err
-		}
-		if err := sch.AddMethod(m); err != nil {
-			return nil, err
-		}
-	}
-	return sch, nil
+	fmt.Printf("explored %d path prefixes in %s (engine %s)\n",
+		res.PathsExplored, res.Elapsed.Round(time.Microsecond), res.Engine)
 }

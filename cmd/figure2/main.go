@@ -6,16 +6,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"accltl/internal/accltl"
+	"accltl/accesscheck"
 	"accltl/internal/autom"
 	"accltl/internal/fo"
 	"accltl/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
 	phone := workload.MustPhone()
 	sch := phone.Schema
 
@@ -30,10 +32,12 @@ func main() {
 
 	// Edge 1: X-fragment ⊆ 0-Acc fragment — every X-only formula runs
 	// through both solvers with the same verdict.
-	xFormula := accltl.Next{F: accltl.Atom{Sentence: phone.MobileNonEmptyPost()}}
-	xRes, err := accltl.SolveX(xFormula, accltl.SolveOptions{Schema: sch})
+	xFormula := accesscheck.Next(accesscheck.Atom(phone.MobileNonEmptyPost()))
+	xRes, err := accesscheck.Check(ctx, sch, xFormula,
+		accesscheck.WithEngine(accesscheck.EngineX))
 	check(err)
-	zRes, err := accltl.SolveZeroAcc(xFormula, accltl.SolveOptions{Schema: sch})
+	zRes, err := accesscheck.Check(ctx, sch, xFormula,
+		accesscheck.WithEngine(accesscheck.EngineZeroAcc))
 	check(err)
 	fmt.Printf("[X ⊆ 0-Acc]    %s: X-solver=%v 0-Acc-solver=%v\n", xFormula, xRes.Satisfiable, zRes.Satisfiable)
 	if xRes.Satisfiable != zRes.Satisfiable {
@@ -43,7 +47,8 @@ func main() {
 	// Strictness: U is not expressible with X alone — the access-order
 	// spec needs U and is rejected by the X solver.
 	accOr := phone.AccessOrderRestriction()
-	if _, err := accltl.SolveX(accOr, accltl.SolveOptions{Schema: sch}); err == nil {
+	if _, err := accesscheck.Check(ctx, sch, accOr,
+		accesscheck.WithEngine(accesscheck.EngineX)); err == nil {
 		log.Fatal("U formula accepted by X solver")
 	}
 	fmt.Printf("[X ⊂ 0-Acc]    separator: %s (uses U; rejected by the X fragment)\n", accOr)
@@ -51,12 +56,13 @@ func main() {
 	// Edge 2: 0-Acc ⊆ AccLTL+ — the Section 6 rewriting: 0-ary IsBind
 	// predicates become existentially quantified n-ary ones (negated 0-ary
 	// IsBind rewrites through the disjunction over the other methods).
-	zero := accltl.F(accltl.Atom{Sentence: fo.Atom{Pred: fo.IsBindPred("AcM1")}})
-	lifted := accltl.F(accltl.Atom{Sentence: fo.Ex([]string{"x"},
-		fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("x")}})})
-	zr, err := accltl.SolveZeroAcc(zero, accltl.SolveOptions{Schema: sch})
+	zero := accesscheck.MustParseFormula(`F [bind AcM1]`)
+	lifted := accesscheck.MustParseFormula(`F [exists x. bind AcM1(x)]`)
+	zr, err := accesscheck.Check(ctx, sch, zero,
+		accesscheck.WithEngine(accesscheck.EngineZeroAcc))
 	check(err)
-	pr, err := accltl.SolvePlusDirect(lifted, accltl.SolveOptions{Schema: sch})
+	pr, err := accesscheck.Check(ctx, sch, lifted,
+		accesscheck.WithEngine(accesscheck.EnginePlus))
 	check(err)
 	fmt.Printf("[0-Acc ⊆ +]    0-ary IsBind lifted to ∃-quantified: %v / %v\n", zr.Satisfiable, pr.Satisfiable)
 	if zr.Satisfiable != pr.Satisfiable {
@@ -66,16 +72,15 @@ func main() {
 	// Strictness: dataflow restrictions need n-ary bindings (Table 1 DF
 	// column): the DF spec is outside 0-Acc.
 	df := phone.DataflowRestriction()
-	if accltl.Classify(df).ZeroAcc {
+	if accesscheck.Classify(df).ZeroAcc {
 		log.Fatal("DF spec wrongly classified 0-Acc")
 	}
 	fmt.Printf("[0-Acc ⊂ +]    separator: dataflow spec %s\n", df)
 
 	// Edge 3: AccLTL+ ⊆ AccLTL(FO∃+_Acc) — syntactic (binding-positive is
 	// a restriction); the full class additionally admits negated IsBind.
-	negBind := accltl.F(accltl.Not{F: accltl.Atom{Sentence: fo.Ex([]string{"x"},
-		fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("x")}})}})
-	info := accltl.Classify(negBind)
+	negBind := accesscheck.MustParseFormula(`![exists x. bind AcM1(x)]`)
+	info := accesscheck.Classify(negBind)
 	if info.BindingPositive {
 		log.Fatal("negated IsBind classified binding-positive")
 	}
@@ -85,25 +90,27 @@ func main() {
 	// Edge 4: AccLTL+ ⊆ A-automata — Lemma 4.5 compilation, verdict
 	// agreement between the direct solver and automaton emptiness.
 	intro := phone.IntroFormula()
-	a, err := autom.CompileAccLTLPlus(sch, intro)
+	ar, err := accesscheck.Check(ctx, sch, intro,
+		accesscheck.WithEngine(accesscheck.EngineAutomaton))
 	check(err)
-	er, err := a.IsEmpty(autom.EmptinessOptions{})
-	check(err)
-	dr, err := accltl.SolvePlusDirect(intro, accltl.SolveOptions{Schema: sch})
+	dr, err := accesscheck.Check(ctx, sch, intro,
+		accesscheck.WithEngine(accesscheck.EnginePlus))
 	check(err)
 	fmt.Printf("[+ ⊆ A-autom.] intro formula compiled to %d states: nonempty=%v direct=%v\n",
-		a.NumStates, !er.Empty, dr.Satisfiable)
-	if er.Empty == dr.Satisfiable {
+		ar.AutomatonStates, ar.Satisfiable, dr.Satisfiable)
+	if ar.Satisfiable != dr.Satisfiable {
 		log.Fatal("compilation inclusion broken")
 	}
 
 	// Strictness: A-automata express parity of path length, which no
-	// first-order AccLTL formula can (Section 6). Exhibit the automaton.
+	// first-order AccLTL formula can (Section 6). Exhibit the automaton —
+	// built directly against the automaton layer, since parity is exactly
+	// what the AccLTL facade cannot say.
 	parity := autom.New(sch, 2, 0)
 	parity.MustAddTransition(0, fo.Truth{Val: true}, 1)
 	parity.MustAddTransition(1, fo.Truth{Val: true}, 0)
 	parity.SetAccepting(1)
-	res, err := parity.IsEmpty(autom.EmptinessOptions{MaxDepth: 3})
+	res, err := parity.IsEmpty(autom.EmptinessOptions{Context: ctx, MaxDepth: 3})
 	check(err)
 	fmt.Printf("[+ ⊂ A-autom.] separator: odd-length parity automaton (nonempty=%v, witness length %d)\n",
 		!res.Empty, res.Witness.Len())

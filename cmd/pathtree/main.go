@@ -8,13 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"accltl/accesscheck"
 	"accltl/internal/instance"
-	"accltl/internal/lts"
 	"accltl/internal/workload"
 )
 
@@ -30,21 +31,23 @@ func main() {
 
 	// Figure 1 explores from the empty known-facts node; seeding the name
 	// "Smith" makes the grounded variant interesting.
-	seed := instance.NewInstance(phone.Schema)
+	var opts []accesscheck.Option
 	if *grounded {
+		seed := instance.NewInstance(phone.Schema)
 		seed.MustAdd("Mobile#", instance.Str("Smith"), instance.Str("OX13QD"), instance.Str("Parks Rd"), instance.Int(5551212))
+		opts = append(opts, accesscheck.WithGrounded(), accesscheck.WithInitialInstance(seed))
 	}
-
-	opts := lts.Options{
-		Universe:     universe,
-		Initial:      seed,
-		MaxDepth:     *depth,
-		GroundedOnly: *grounded,
-		AllExact:     *exact,
+	if *exact {
+		opts = append(opts, accesscheck.WithAllExact())
 	}
+	chk, err := accesscheck.NewChecker(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	if *stats {
-		st, err := lts.Collect(phone.Schema, opts)
+		st, err := chk.PathStats(ctx, phone.Schema, universe, *depth)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,7 +60,7 @@ func main() {
 		return
 	}
 
-	tree, err := lts.BuildTree(phone.Schema, opts)
+	tree, err := chk.PathTree(ctx, phone.Schema, universe, *depth)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,13 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"accltl/internal/accltl"
-	"accltl/internal/autom"
+	"accltl/accesscheck"
 	"accltl/internal/workload"
 )
 
@@ -24,30 +24,30 @@ type row struct {
 	decidable  bool
 	// accepts reports whether a formula with the given features fits the
 	// fragment.
-	accepts func(info accltl.Info) bool
+	accepts func(info accesscheck.Info) bool
 }
 
 var rows = []row{
-	{"AccLTL(FO∃+,≠_Acc)", "undecidable", false, func(i accltl.Info) bool {
+	{"AccLTL(FO∃+,≠_Acc)", "undecidable", false, func(i accesscheck.Info) bool {
 		return i.EmbeddedPositive && !i.HasPast
 	}},
-	{"AccLTL(FO∃+_Acc)", "undecidable", false, func(i accltl.Info) bool {
+	{"AccLTL(FO∃+_Acc)", "undecidable", false, func(i accesscheck.Info) bool {
 		return i.EmbeddedPositive && !i.HasInequality && !i.HasPast
 	}},
-	{"AccLTL+", "in 3EXPTIME", true, func(i accltl.Info) bool {
+	{"AccLTL+", "in 3EXPTIME", true, func(i accesscheck.Info) bool {
 		return i.EmbeddedPositive && !i.HasInequality && i.BindingPositive && !i.HasPast
 	}},
-	{"A-automata", "2EXPTIME-compl.", true, func(i accltl.Info) bool {
+	{"A-automata", "2EXPTIME-compl.", true, func(i accesscheck.Info) bool {
 		// Everything AccLTL+ compiles into A-automata (Lemma 4.5).
 		return i.EmbeddedPositive && !i.HasInequality && i.BindingPositive && !i.HasPast
 	}},
-	{"AccLTL(FO∃+_0-Acc)", "PSPACE-compl.", true, func(i accltl.Info) bool {
+	{"AccLTL(FO∃+_0-Acc)", "PSPACE-compl.", true, func(i accesscheck.Info) bool {
 		return i.EmbeddedPositive && !i.HasInequality && i.ZeroAcc && !i.HasPast
 	}},
-	{"AccLTL(FO∃+,≠_0-Acc)", "PSPACE-compl.", true, func(i accltl.Info) bool {
+	{"AccLTL(FO∃+,≠_0-Acc)", "PSPACE-compl.", true, func(i accesscheck.Info) bool {
 		return i.EmbeddedPositive && i.ZeroAcc && !i.HasPast
 	}},
-	{"AccLTL(X)(FO∃+,≠_0-Acc)", "ΣP2-compl.", true, func(i accltl.Info) bool {
+	{"AccLTL(X)(FO∃+,≠_0-Acc)", "ΣP2-compl.", true, func(i accesscheck.Info) bool {
 		return i.EmbeddedPositive && i.ZeroAcc && i.OnlyNext && !i.HasPast
 	}},
 }
@@ -69,16 +69,16 @@ func main() {
 	// Section 6 (negated IsBind as a disjunction over the other methods),
 	// and the bounded X-unrolling. A class is expressible in a row when
 	// some variant classifies into the row's fragment.
-	specs := map[string][]accltl.Formula{
+	specs := map[string][]accesscheck.Formula{
 		"DjC":   {phone.DisjointnessConstraint(), phone.DisjointnessConstraintX(3)},
 		"FD":    {phone.FDConstraint(), phone.FDConstraintX(3)},
 		"DF":    {phone.DataflowRestriction(), phone.DataflowRestrictionPlus()},
 		"AccOr": {phone.AccessOrderRestriction(), phone.AccessOrderRestrictionPlus()},
 	}
-	infos := map[string][]accltl.Info{}
+	infos := map[string][]accesscheck.Info{}
 	for k, fs := range specs {
 		for _, f := range fs {
-			infos[k] = append(infos[k], accltl.Classify(f))
+			infos[k] = append(infos[k], accesscheck.Classify(f))
 		}
 	}
 	expressible := func(r row, class string) bool {
@@ -106,6 +106,7 @@ func main() {
 		return
 	}
 
+	ctx := context.Background()
 	fmt.Println("\nEmpirical shape check (satisfiability wall-clock on scaled chains):")
 	fmt.Printf("%-26s %-8s %-14s %-10s\n", "Row", "n", "time", "verdict")
 	for _, n := range []int{1, 2, 3} {
@@ -114,14 +115,22 @@ func main() {
 		// chain level bounds the witness; the formula-derived default
 		// bound is far looser and only inflates the exhaustive search.
 		timeRow("AccLTL(FO∃+_0-Acc)", n, func() (bool, error) {
-			res, err := accltl.SolveZeroAcc(chain.NestedEventually(n),
-				accltl.SolveOptions{Schema: chain.Schema, MaxDepth: n + 2})
-			return res.Satisfiable, err
+			res, err := accesscheck.Check(ctx, chain.Schema, chain.NestedEventually(n),
+				accesscheck.WithEngine(accesscheck.EngineZeroAcc),
+				accesscheck.WithMaxDepth(n+2))
+			if err != nil {
+				return false, err
+			}
+			return res.Satisfiable, nil
 		})
 		// ΣP2 row: X-tower family (its bound is tight by construction).
 		timeRow("AccLTL(X)(FO∃+,≠_0-Acc)", n, func() (bool, error) {
-			res, err := accltl.SolveX(chain.XTower(n), accltl.SolveOptions{Schema: chain.Schema})
-			return res.Satisfiable, err
+			res, err := accesscheck.Check(ctx, chain.Schema, chain.XTower(n),
+				accesscheck.WithEngine(accesscheck.EngineX))
+			if err != nil {
+				return false, err
+			}
+			return res.Satisfiable, nil
 		})
 		// AccLTL+ row: reach-last through the automaton pipeline. One
 		// revealing access per level bounds the witness. This row pays an
@@ -129,12 +138,13 @@ func main() {
 		// (guard valuations × binding enumeration) that the 0-Acc rows
 		// don't — which is exactly the Table 1 complexity gap.
 		timeRow("AccLTL+ (via A-automata)", n, func() (bool, error) {
-			a, err := autom.CompileAccLTLPlus(chain.Schema, chain.NestedEventually(n))
+			res, err := accesscheck.Check(ctx, chain.Schema, chain.NestedEventually(n),
+				accesscheck.WithEngine(accesscheck.EngineAutomaton),
+				accesscheck.WithMaxDepth(n+2))
 			if err != nil {
 				return false, err
 			}
-			res, err := a.IsEmpty(autom.EmptinessOptions{MaxDepth: n + 2})
-			return !res.Empty, err
+			return res.Satisfiable, nil
 		})
 	}
 }

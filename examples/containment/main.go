@@ -10,30 +10,31 @@ import (
 	"fmt"
 	"log"
 
-	"accltl/internal/fo"
+	"accltl/accesscheck"
 	"accltl/internal/relevance"
-	"accltl/internal/schema"
 )
 
 func main() {
 	// Schema: Catalog(id) has a free-scan form; Detail(id) is only
-	// reachable by entering a known id.
-	catalog := schema.MustRelation("Catalog", schema.TypeInt)
-	detail := schema.MustRelation("Detail", schema.TypeInt)
-	s := schema.New()
-	for _, err := range []error{
-		s.AddRelation(catalog), s.AddRelation(detail),
-		s.AddMethod(schema.MustAccessMethod("scanCatalog", catalog)),
-		s.AddMethod(schema.MustAccessMethod("lookupDetail", detail, 0)),
-	} {
-		if err != nil {
-			log.Fatal(err)
-		}
+	// reachable by entering a known id — declared through the facade's
+	// text front-end.
+	s, err := accesscheck.ParseSchema(
+		[]string{"Catalog:int", "Detail:int"},
+		[]string{"scanCatalog:Catalog", "lookupDetail:Detail:0"},
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("schema:", s)
 
-	qCatalog := fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PlainPred("Catalog"), Args: []fo.Term{fo.Var("x")}})
-	qDetail := fo.Ex([]string{"x"}, fo.Atom{Pred: fo.PlainPred("Detail"), Args: []fo.Term{fo.Var("x")}})
+	qCatalog, err := accesscheck.ParseSentence(`exists x. Catalog(x)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qDetail, err := accesscheck.ParseSentence(`exists x. Detail(x)`)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Classically, "some Detail row" does not imply "some Catalog row".
 	// Under grounded access patterns it does: the only way to reveal a

@@ -1,15 +1,17 @@
 // Quickstart: the paper's running phone-directory example end to end —
 // build a schema with access restrictions, write the introduction's AccLTL
 // path query, evaluate it on a concrete access path, and ask the solver
-// whether any path at all satisfies it.
+// whether any path at all satisfies it, all through the public accesscheck
+// facade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"accltl/accesscheck"
 	"accltl/internal/access"
-	"accltl/internal/accltl"
 	"accltl/internal/instance"
 	"accltl/internal/workload"
 )
@@ -44,11 +46,7 @@ func main() {
 	fmt.Println("\nAccLTL query:")
 	fmt.Println(" ", f)
 
-	ts, err := p.Transitions(nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ok, err := accltl.Satisfied(f, ts, accltl.FullAcc)
+	ok, err := accesscheck.Holds(f, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,15 +54,18 @@ func main() {
 
 	// Satisfiability: is there ANY access path of this schema on which the
 	// query holds? (There is: query Address first, then feed a revealed
-	// name into AcM1.)
-	res, err := accltl.SolvePlusDirect(f, accltl.SolveOptions{Schema: phone.Schema})
+	// name into AcM1.) Check classifies the formula, dispatches the
+	// matching fragment solver, and honours the context's deadline.
+	res, err := accesscheck.Check(context.Background(), phone.Schema, f)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nsatisfiable:", res.Satisfiable)
+	fmt.Println("\nfragment:   ", res.Fragment)
+	fmt.Println("satisfiable:", res.Satisfiable)
 	if res.Satisfiable {
 		fmt.Println("witness path:")
 		fmt.Println(" ", res.Witness)
 	}
-	fmt.Printf("(explored %d path prefixes, depth bound %d)\n", res.PathsExplored, res.Depth)
+	fmt.Printf("(explored %d path prefixes, depth bound %d, engine %s, %s)\n",
+		res.PathsExplored, res.Depth, res.Engine, res.Elapsed)
 }

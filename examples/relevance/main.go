@@ -9,10 +9,10 @@ import (
 	"fmt"
 	"log"
 
+	"accltl/accesscheck"
 	"accltl/internal/fo"
 	"accltl/internal/instance"
 	"accltl/internal/relevance"
-	"accltl/internal/schema"
 	"accltl/internal/workload"
 )
 
@@ -45,12 +45,10 @@ func main() {
 
 	// Part 2 — long-term relevance via the Example 2.3 AccLTL formula
 	// F(¬Q^pre ∧ IsBind(b̄) ∧ Q^post). We add a boolean probe method on
-	// Address and ask whether probing a specific row is LTR for Q.
-	probe, err := schema.NewAccessMethod("probeAddr", phone.Address, 0, 1, 2, 3)
+	// Address (declared through the facade's text front-end) and ask
+	// whether probing a specific row is LTR for Q.
+	probe, err := accesscheck.AddMethod(phone.Schema, "probeAddr:Address:0,1,2,3")
 	if err != nil {
-		log.Fatal(err)
-	}
-	if err := phone.Schema.AddMethod(probe); err != nil {
 		log.Fatal(err)
 	}
 

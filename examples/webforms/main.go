@@ -6,19 +6,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"accltl/internal/accltl"
-	"accltl/internal/fo"
+	"accltl/accesscheck"
 	"accltl/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
 	phone := workload.MustPhone()
 
 	// Goal: eventually reveal some Mobile# tuple.
-	goal := accltl.F(accltl.Atom{Sentence: phone.MobileNonEmptyPost()})
+	goal := accesscheck.MustParseFormula(`F [exists n,p,s,ph. post Mobile#(n,p,s,ph)]`)
 
 	// Policy 1 (AccOr): the site requires at least one Address-form access
 	// before any Mobile#-form access.
@@ -36,14 +37,14 @@ func main() {
 	fmt.Println("DF:     ", dataflow)
 	fmt.Println("DjC:    ", disjoint)
 
-	check := func(label string, f accltl.Formula) {
-		info := accltl.Classify(f)
-		frag, _ := info.Fragment()
-		res, err := accltl.SolveBounded(f, accltl.SolveOptions{Schema: phone.Schema, MaxDepth: 4})
+	check := func(label string, f accesscheck.Formula) {
+		res, err := accesscheck.Check(ctx, phone.Schema, f,
+			accesscheck.WithEngine(accesscheck.EngineBounded),
+			accesscheck.WithMaxDepth(4))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\n[%s]\n  fragment:    %s\n  satisfiable: %v\n", label, frag, res.Satisfiable)
+		fmt.Printf("\n[%s]\n  fragment:    %s\n  satisfiable: %v\n", label, res.Fragment, res.Satisfiable)
 		if res.Satisfiable {
 			fmt.Println("  plan:       ", res.Witness)
 		}
@@ -51,20 +52,21 @@ func main() {
 
 	// Is the goal achievable at all? Under each policy? Under all three?
 	check("goal alone", goal)
-	check("goal + AccOr", accltl.Conj(goal, accOr))
-	check("goal + AccOr + DF", accltl.Conj(goal, accOr, dataflow))
-	check("goal + AccOr + DF + DjC", accltl.Conj(goal, accOr, dataflow, disjoint))
+	check("goal + AccOr", accesscheck.And(goal, accOr))
+	check("goal + AccOr + DF", accesscheck.And(goal, accOr, dataflow))
+	check("goal + AccOr + DF + DjC", accesscheck.And(goal, accOr, dataflow, disjoint))
 
 	// An inconsistent policy set: the goal plus "never reveal Mobile#".
-	never := accltl.G(accltl.Not{F: accltl.Atom{Sentence: phone.MobileNonEmptyPost()}})
-	check("goal + never-Mobile#", accltl.Conj(goal, never))
+	never := accesscheck.MustParseFormula(`G ![exists n,p,s,ph. post Mobile#(n,p,s,ph)]`)
+	check("goal + never-Mobile#", accesscheck.And(goal, never))
 
 	// Bonus: a dataflow-restricted plan must route through Address first;
 	// inspect the witness to see the ordering emerge.
-	res, err := accltl.SolveBounded(accltl.Conj(goal, dataflow,
-		accltl.F(accltl.Atom{Sentence: fo.Ex([]string{"n"},
-			fo.Atom{Pred: fo.IsBindPred("AcM1"), Args: []fo.Term{fo.Var("n")}})})),
-		accltl.SolveOptions{Schema: phone.Schema, MaxDepth: 4})
+	usesMobileForm := accesscheck.MustParseFormula(`F [exists n. bind AcM1(n)]`)
+	res, err := accesscheck.Check(ctx, phone.Schema,
+		accesscheck.And(goal, dataflow, usesMobileForm),
+		accesscheck.WithEngine(accesscheck.EngineBounded),
+		accesscheck.WithMaxDepth(4))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module accltl
+
+go 1.24

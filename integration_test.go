@@ -1,48 +1,45 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"accltl/accesscheck"
 	"accltl/internal/access"
-	"accltl/internal/accltl"
-	"accltl/internal/autom"
-	"accltl/internal/fo"
 	"accltl/internal/instance"
 	"accltl/internal/lts"
 	"accltl/internal/relevance"
 	"accltl/internal/workload"
 )
 
-// End-to-end integration tests across modules: parse → classify → solve →
-// verify, the full pipeline a downstream user runs.
+// End-to-end integration tests across modules, run through the public
+// accesscheck facade: parse → classify → solve → verify, the full pipeline
+// a downstream user runs.
 
 func TestIntegrationParseClassifySolveVerify(t *testing.T) {
 	phone := workload.MustPhone()
 	src := `(![exists n,p,s,ph. pre Mobile#(n,p,s,ph)]) U [exists n,s,pc,h. bind AcM1(n) & pre Address(s,pc,n,h)]`
-	f, err := accltl.Parse(src)
+	f, err := accesscheck.ParseFormula(src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	info := accltl.Classify(f)
-	frag, ok := info.Fragment()
-	if !ok || frag != accltl.FragPlus {
-		t.Fatalf("fragment = %v", frag)
-	}
-	res, err := accltl.SolvePlusDirect(f, accltl.SolveOptions{Schema: phone.Schema})
+	res, err := accesscheck.Check(context.Background(), phone.Schema, f)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !res.InFragment || res.Fragment != accesscheck.FragPlus {
+		t.Fatalf("fragment = %v (in fragment: %v)", res.Fragment, res.InFragment)
+	}
+	if res.Engine != accesscheck.EnginePlus {
+		t.Fatalf("auto dispatch chose %v, want %v", res.Engine, accesscheck.EnginePlus)
 	}
 	if !res.Satisfiable {
 		t.Fatal("intro formula unsatisfiable")
 	}
 	// Verify the witness against the direct semantics once more, from
 	// outside the solver.
-	ts, err := res.Witness.Transitions(nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	holds, err := accltl.Satisfied(f, ts, accltl.FullAcc)
+	holds, err := accesscheck.Holds(f, res.Witness)
 	if err != nil || !holds {
 		t.Fatalf("witness verification: %v, %v", holds, err)
 	}
@@ -54,32 +51,40 @@ func TestIntegrationParseClassifySolveVerify(t *testing.T) {
 }
 
 func TestIntegrationSolverAutomatonOracleAgree(t *testing.T) {
-	// Three engines on one battery over the phone schema: the direct
-	// AccLTL+ solver, the compiled A-automaton, and the exhaustive oracle.
+	// Two engines on one battery over the phone schema: the direct
+	// AccLTL+ solver and the compiled A-automaton, both dispatched
+	// through the facade.
 	phone := workload.MustPhone()
-	mobilePost := accltl.Atom{Sentence: phone.MobileNonEmptyPost()}
-	addrPre := accltl.Atom{Sentence: fo.Ex([]string{"a", "b", "c", "d"},
-		fo.Atom{Pred: fo.PrePred("Address"), Args: []fo.Term{fo.Var("a"), fo.Var("b"), fo.Var("c"), fo.Var("d")}})}
-	formulas := []accltl.Formula{
-		accltl.F(mobilePost),
-		accltl.Conj(accltl.F(mobilePost), accltl.G(accltl.Not{F: mobilePost})),
-		accltl.Until{L: accltl.Not{F: addrPre}, R: mobilePost},
+	mobilePost := accesscheck.Atom(phone.MobileNonEmptyPost())
+	addrPreSentence, err := accesscheck.ParseSentence(`exists a,b,c,d. pre Address(a,b,c,d)`)
+	if err != nil {
+		t.Fatal(err)
 	}
+	addrPre := accesscheck.Atom(addrPreSentence)
+	formulas := []accesscheck.Formula{
+		accesscheck.Eventually(mobilePost),
+		accesscheck.And(accesscheck.Eventually(mobilePost), accesscheck.Always(accesscheck.Not(mobilePost))),
+		accesscheck.Until(accesscheck.Not(addrPre), mobilePost),
+	}
+	ctx := context.Background()
 	for _, f := range formulas {
-		direct, err := accltl.SolvePlusDirect(f, accltl.SolveOptions{Schema: phone.Schema, MaxDepth: 3})
+		direct, err := accesscheck.Check(ctx, phone.Schema, f,
+			accesscheck.WithEngine(accesscheck.EnginePlus),
+			accesscheck.WithMaxDepth(3))
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
-		a, err := autom.CompileAccLTLPlus(phone.Schema, f)
+		viaAutomaton, err := accesscheck.Check(ctx, phone.Schema, f,
+			accesscheck.WithEngine(accesscheck.EngineAutomaton),
+			accesscheck.WithMaxDepth(3))
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
-		viaAutomaton, err := a.IsEmpty(autom.EmptinessOptions{MaxDepth: 3})
-		if err != nil {
-			t.Fatalf("%s: %v", f, err)
+		if direct.Satisfiable != viaAutomaton.Satisfiable {
+			t.Errorf("%s: direct=%v automaton=%v", f, direct.Satisfiable, viaAutomaton.Satisfiable)
 		}
-		if direct.Satisfiable == viaAutomaton.Empty {
-			t.Errorf("%s: direct=%v automaton-empty=%v", f, direct.Satisfiable, viaAutomaton.Empty)
+		if viaAutomaton.AutomatonStates == 0 {
+			t.Errorf("%s: automaton engine reported no states", f)
 		}
 	}
 }
@@ -90,15 +95,17 @@ func TestIntegrationFigure1OracleSatisfiability(t *testing.T) {
 	// with an explicit shared universe.
 	phone := workload.MustPhone()
 	u := phone.SmithJonesUniverse()
-	jonesRevealed := accltl.F(accltl.Atom{Sentence: fo.Ex([]string{"s", "p", "h"}, fo.Atom{
-		Pred: fo.PostPred("Address"),
-		Args: []fo.Term{fo.Var("s"), fo.Var("p"), fo.Const(instance.Str("Jones")), fo.Var("h")},
-	})})
-	res, err := accltl.SolveZeroAcc(jonesRevealed, accltl.SolveOptions{
-		Schema: phone.Schema, Universe: u, MaxDepth: 2,
-	})
+	jonesRevealed, err := accesscheck.ParseFormula(`F [exists s,p,h. post Address(s,p,"Jones",h)]`)
 	if err != nil {
 		t.Fatal(err)
+	}
+	res, err := accesscheck.Check(context.Background(), phone.Schema, jonesRevealed,
+		accesscheck.WithUniverse(u), accesscheck.WithMaxDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != accesscheck.EngineZeroAcc {
+		t.Fatalf("auto dispatch chose %v, want %v", res.Engine, accesscheck.EngineZeroAcc)
 	}
 	oracle := false
 	paths, err := lts.EnumeratePaths(phone.Schema, lts.Options{Universe: u, MaxDepth: 2})
@@ -109,11 +116,7 @@ func TestIntegrationFigure1OracleSatisfiability(t *testing.T) {
 		if p.Len() == 0 {
 			continue
 		}
-		ts, err := p.Transitions(nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ok, err := accltl.Satisfied(jonesRevealed, ts, accltl.ZeroAcc)
+		ok, err := accesscheck.Holds(jonesRevealed, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,10 +163,12 @@ func TestIntegrationGroundedWitnessIsGrounded(t *testing.T) {
 	// Grounded search needs witness tuples keyed to already-known values,
 	// which the formula-derived universe cannot anticipate — supply the
 	// chain's linked universe explicitly (see the WitnessUniverse note).
-	res, err := accltl.SolveZeroAcc(f, accltl.SolveOptions{
-		Schema: chain.Schema, Grounded: true, Initial: i0, MaxDepth: 3,
-		Universe: chain.Universe(),
-	})
+	res, err := accesscheck.Check(context.Background(), chain.Schema, f,
+		accesscheck.WithGrounded(),
+		accesscheck.WithInitialInstance(i0),
+		accesscheck.WithMaxDepth(3),
+		accesscheck.WithUniverse(chain.Universe()),
+		accesscheck.WithEngine(accesscheck.EngineZeroAcc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,17 +184,18 @@ func TestIntegrationExactWitnessIsExact(t *testing.T) {
 	chain := workload.MustChain(2)
 	u := chain.Universe()
 	f := chain.ReachLastFormula()
-	res, err := accltl.SolveZeroAcc(f, accltl.SolveOptions{
-		Schema: chain.Schema, Universe: u, AllExact: true, MaxDepth: 3,
-	})
+	res, err := accesscheck.Check(context.Background(), chain.Schema, f,
+		accesscheck.WithUniverse(u),
+		accesscheck.WithAllExact(),
+		accesscheck.WithMaxDepth(3),
+		accesscheck.WithEngine(accesscheck.EngineZeroAcc))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Satisfiable {
 		t.Fatal("exact reach unsatisfiable")
 	}
-	exact, err := res.Witness.IsExactFor(u, nil), error(nil)
-	if err != nil || !exact {
+	if !res.Witness.IsExactFor(u, nil) {
 		t.Errorf("exact solve returned non-exact witness %s", res.Witness)
 	}
 }
@@ -197,17 +203,21 @@ func TestIntegrationExactWitnessIsExact(t *testing.T) {
 func TestIntegrationPathTreeMatchesEnumeration(t *testing.T) {
 	phone := workload.MustPhone()
 	u := phone.SmithJonesUniverse()
-	opts := lts.Options{Universe: u, MaxDepth: 1}
-	tree, err := lts.BuildTree(phone.Schema, opts)
+	chk, err := accesscheck.NewChecker()
 	if err != nil {
 		t.Fatal(err)
 	}
-	paths, err := lts.EnumeratePaths(phone.Schema, opts)
+	ctx := context.Background()
+	tree, err := chk.PathTree(ctx, phone.Schema, u, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tree.CountNodes() != len(paths) {
-		t.Errorf("tree nodes %d != paths %d", tree.CountNodes(), len(paths))
+	st, err := chk.PathStats(ctx, phone.Schema, u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.CountNodes() != st.TotalPaths {
+		t.Errorf("tree nodes %d != paths %d", tree.CountNodes(), st.TotalPaths)
 	}
 	var b strings.Builder
 	tree.Render(&b)
@@ -220,7 +230,7 @@ func TestIntegrationWitnessPathsAreWellFormed(t *testing.T) {
 	// Every solver witness must be a valid access path: well-formed
 	// responses and consistent transitions.
 	phone := workload.MustPhone()
-	res, err := accltl.SolvePlusDirect(phone.IntroFormula(), accltl.SolveOptions{Schema: phone.Schema})
+	res, err := accesscheck.Check(context.Background(), phone.Schema, phone.IntroFormula())
 	if err != nil || !res.Satisfiable {
 		t.Fatal(err)
 	}

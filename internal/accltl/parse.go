@@ -50,8 +50,12 @@ func Parse(input string) (Formula, error) {
 }
 
 // ParseFO reads a bare first-order sentence (the [...] payload syntax).
+// Unlike the sentences embedded in Parse formulas, it additionally admits
+// plain (stage-less) atoms "Rel(terms)" — the query syntax of the
+// containment and relevance front-ends, which stage the predicates
+// themselves.
 func ParseFO(input string) (fo.Formula, error) {
-	p := &parser{toks: lex(input)}
+	p := &parser{toks: lex(input), allowPlain: true}
 	f, err := p.fo()
 	if err != nil {
 		return nil, err
@@ -127,6 +131,11 @@ func lex(s string) []token {
 type parser struct {
 	toks []token
 	i    int
+	// allowPlain admits stage-less atoms "Rel(terms)" (ParseFO only): the
+	// solvers evaluate sentences over access structures, where a plain
+	// predicate has no extension, so accepting one in a Parse formula would
+	// turn a pre/post typo into a silently-false atom.
+	allowPlain bool
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -368,6 +377,19 @@ func (p *parser) foUnary() (fo.Formula, error) {
 		}
 		return fo.Atom{Pred: fo.IsBindPred(t.text), Args: args}, nil
 	default:
+		// Bare Rel(terms) is a plain (stage-less) atom.
+		if t := p.peek(); t.kind == tokIdent && p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(" {
+			if !p.allowPlain {
+				return nil, fmt.Errorf("accltl: unstaged atom %q at offset %d (prefix with 'pre', 'post' or 'bind')", t.text, t.pos)
+			}
+			p.next()
+			p.next()
+			args, err := p.terms()
+			if err != nil {
+				return nil, err
+			}
+			return fo.Atom{Pred: fo.PlainPred(t.text), Args: args}, nil
+		}
 		// term (= | !=) term
 		l, err := p.term()
 		if err != nil {

@@ -1,6 +1,7 @@
 package accltl
 
 import (
+	"context"
 	"fmt"
 
 	"accltl/internal/access"
@@ -13,6 +14,11 @@ import (
 
 // SolveOptions configures a satisfiability search.
 type SolveOptions struct {
+	// Context, when non-nil, bounds the search by cancellation or deadline:
+	// the solver checks it before entering the search loop and the LTS
+	// exploration polls it, so an expired budget stops the search promptly
+	// with the context's error.
+	Context context.Context
 	// Schema is the schema with access methods (required).
 	Schema *schema.Schema
 	// Initial is the initially known instance I0 (nil = empty).
@@ -51,6 +57,10 @@ type SolveResult struct {
 	PathsExplored int
 	// Depth is the bound used.
 	Depth int
+	// Truncated reports that the search hit its path cap before exhausting
+	// the space up to Depth: an unsatisfiable verdict is then relative to
+	// the cap, not just the depth bound, even on decidable fragments.
+	Truncated bool
 }
 
 // SolveZeroAcc decides satisfiability of an AccLTL(FO∃+_0-Acc) or
@@ -159,6 +169,11 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 	if opts.Schema == nil {
 		return SolveResult{}, fmt.Errorf("accltl: SolveOptions.Schema is required")
 	}
+	if opts.Context != nil {
+		if err := opts.Context.Err(); err != nil {
+			return SolveResult{}, err
+		}
+	}
 	if err := CheckSentences(f); err != nil {
 		return SolveResult{}, err
 	}
@@ -223,6 +238,7 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 	}
 
 	ltsOpts := lts.Options{
+		Context:            opts.Context,
 		Universe:           universe,
 		Initial:            opts.Initial,
 		MaxDepth:           depth,
@@ -310,6 +326,9 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 	})
 	if searchErr != nil {
 		return res, searchErr
+	}
+	if !res.Satisfiable && res.PathsExplored >= maxPaths {
+		res.Truncated = true
 	}
 	if res.Satisfiable {
 		// Sanity: the witness must pass the direct semantics.

@@ -1,6 +1,7 @@
 package autom
 
 import (
+	"context"
 	"fmt"
 
 	"accltl/internal/access"
@@ -13,6 +14,10 @@ import (
 
 // EmptinessOptions configures the emptiness engines.
 type EmptinessOptions struct {
+	// Context, when non-nil, bounds the search by cancellation or deadline:
+	// checked before the product search starts and polled by the LTS
+	// exploration underneath it.
+	Context context.Context
 	// Initial is the initially known instance I0 (nil = empty).
 	Initial *instance.Instance
 	// Grounded / IdempotentOnly / ExactMethods / AllExact restrict the
@@ -26,6 +31,8 @@ type EmptinessOptions struct {
 	// MaxDepth bounds witness length for the direct engine (0 derives one
 	// from the automaton: states + distinct guards + 2).
 	MaxDepth int
+	// MaxResponseChoices caps response subset fan-out (0 = lts default).
+	MaxResponseChoices int
 	// MaxPaths caps exploration (0 = 2^22).
 	MaxPaths int
 	// Universe overrides the guard-derived witness universe.
@@ -43,6 +50,10 @@ type EmptinessResult struct {
 	PathsExplored int
 	// Depth is the bound used.
 	Depth int
+	// Truncated reports that the search hit its path cap before exhausting
+	// the space up to Depth: an "empty" verdict is then relative to the
+	// cap, not just the depth bound.
+	Truncated bool
 }
 
 // IsEmpty decides language emptiness with the direct bounded product
@@ -56,6 +67,11 @@ type EmptinessResult struct {
 func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 	if err := a.Validate(); err != nil {
 		return EmptinessResult{}, err
+	}
+	if opts.Context != nil {
+		if err := opts.Context.Err(); err != nil {
+			return EmptinessResult{}, err
+		}
 	}
 	depth := opts.MaxDepth
 	if depth == 0 {
@@ -98,6 +114,7 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 	// configuration and the automaton state set; prune dominated revisits.
 	seen := make(map[string]int)
 	err := lts.Explore(a.Schema, lts.Options{
+		Context:            opts.Context,
 		Universe:           universe,
 		Initial:            opts.Initial,
 		MaxDepth:           depth,
@@ -105,6 +122,7 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 		IdempotentOnly:     opts.IdempotentOnly,
 		ExactMethods:       opts.ExactMethods,
 		AllExact:           opts.AllExact,
+		MaxResponseChoices: opts.MaxResponseChoices,
 		MaxPaths:           maxPaths,
 		ExtraBindingValues: extraVals,
 	}, func(p *access.Path, conf *instance.Instance) (bool, error) {
@@ -153,6 +171,9 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 	})
 	if err != nil {
 		return res, err
+	}
+	if res.Empty && res.PathsExplored >= maxPaths {
+		res.Truncated = true
 	}
 	if !res.Empty && res.Witness.Len() > 0 {
 		ok, err := a.Accepts(res.Witness)

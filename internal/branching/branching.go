@@ -127,8 +127,15 @@ type Checker struct {
 
 // Holds decides (S, t) ⊧ ϕ for a transition t of the LTS. EX looks one
 // step ahead via lts.Successors; sentences are evaluated on the Sch_0-Acc
-// structure M'(t) as in Section 5.2.
+// structure M'(t) as in Section 5.2. When Opts.Context is set it is polled
+// across the recursion, so a cancelled or expired context aborts a deep EX
+// tower promptly with the context's error.
 func (c *Checker) Holds(f Formula, t access.Transition) (bool, error) {
+	if c.Opts.Context != nil {
+		if err := c.Opts.Context.Err(); err != nil {
+			return false, err
+		}
+	}
 	switch g := f.(type) {
 	case Atom:
 		return fo.Eval(g.Sentence, access.ZeroAccStructureOf(t))

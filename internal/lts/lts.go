@@ -12,6 +12,7 @@
 package lts
 
 import (
+	"context"
 	"fmt"
 
 	"accltl/internal/access"
@@ -21,6 +22,11 @@ import (
 
 // Options configures bounded exploration.
 type Options struct {
+	// Context, when non-nil, is polled during exploration: cancellation or
+	// deadline expiry aborts the search with the context's error. The full
+	// LTS is infinite, so a caller-imposed budget is the only way to stop a
+	// search that outgrows its bound.
+	Context context.Context
 	// Universe is the hidden instance: every response draws its tuples from
 	// the matching tuples of Universe. Exploration is complete relative to
 	// this choice of possible world.
@@ -73,6 +79,11 @@ func Explore(sch *schema.Schema, opts Options, visit Visitor) error {
 	if o.Universe == nil {
 		return fmt.Errorf("lts: Explore requires a Universe instance")
 	}
+	if o.Context != nil {
+		if err := o.Context.Err(); err != nil {
+			return err
+		}
+	}
 	init := o.Initial
 	if init == nil {
 		init = instance.NewInstance(sch)
@@ -102,6 +113,13 @@ func (e *explorer) rec(p *access.Path, conf *instance.Instance, known map[instan
 	e.paths++
 	if e.opts.MaxPaths > 0 && e.paths > e.opts.MaxPaths {
 		return ErrStop
+	}
+	// Poll the context periodically rather than per node: Err is cheap but
+	// not free, and the hot loop visits millions of prefixes.
+	if e.opts.Context != nil && e.paths&0x3f == 0 {
+		if err := e.opts.Context.Err(); err != nil {
+			return err
+		}
 	}
 	expand, err := e.visit(p, conf)
 	if err != nil {

@@ -18,6 +18,11 @@ func Successors(sch *schema.Schema, opts Options, conf *instance.Instance) ([]ac
 	if o.Universe == nil {
 		return nil, fmt.Errorf("lts: Successors requires a Universe instance")
 	}
+	if o.Context != nil {
+		if err := o.Context.Err(); err != nil {
+			return nil, err
+		}
+	}
 	e := &explorer{sch: sch, opts: o}
 	known := make(map[instance.Value]bool)
 	for _, v := range conf.ActiveDomain() {

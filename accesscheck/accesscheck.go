@@ -325,10 +325,26 @@ type Result struct {
 	// PathsExplored counts visited path prefixes; Depth is the bound used.
 	PathsExplored int
 	Depth         int
-	// Truncated reports that the search hit its path cap (WithMaxPaths or
-	// the engine default) before exhausting the space up to Depth: an
-	// unsatisfiable verdict is then cap-relative even when Decidable.
+	// Truncated reports that an unsatisfiable verdict is cap-relative
+	// rather than exact, even when Decidable. Three causes set it:
+	//
+	//  1. Path cap — the search hit WithMaxPaths (or the engine default)
+	//     before exhausting the space up to Depth.
+	//  2. Depth interplay — the path cap fires on *prefixes including the
+	//     empty root*, so a cap smaller than the space up to Depth cuts
+	//     deep paths first; verdicts near the cap say nothing about longer
+	//     witnesses even though Depth suggests they were in scope.
+	//  3. Response cap — some subset-response fan-out was cut to
+	//     WithMaxResponseChoices (engine default 3), so whole possible
+	//     worlds were never examined (ResponsesCapped below).
+	//
+	// A truncated result must never be treated — or cached — as exact;
+	// accesscheck/cache and accesscheck/server enforce this.
 	Truncated bool
+	// ResponsesCapped is cause 3 in isolation: the subset-response
+	// enumeration was cut. It is always false for satisfiable results
+	// (a verified witness is definitive regardless of caps).
+	ResponsesCapped bool
 	// AutomatonStates is the compiled state count (EngineAutomaton only).
 	AutomatonStates int
 	// Elapsed is the wall time of the solve.
@@ -424,11 +440,12 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 				Universe:           c.universe,
 			})
 			sr = accltl.SolveResult{
-				Satisfiable:   !er.Empty,
-				Witness:       er.Witness,
-				PathsExplored: er.PathsExplored,
-				Depth:         er.Depth,
-				Truncated:     er.Truncated,
+				Satisfiable:     !er.Empty,
+				Witness:         er.Witness,
+				PathsExplored:   er.PathsExplored,
+				Depth:           er.Depth,
+				Truncated:       er.Truncated,
+				ResponsesCapped: er.ResponsesCapped,
 			}
 		}
 	default:
@@ -442,7 +459,11 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 	res.Witness = sr.Witness
 	res.PathsExplored = sr.PathsExplored
 	res.Depth = sr.Depth
-	res.Truncated = sr.Truncated
+	res.ResponsesCapped = sr.ResponsesCapped
+	// A capped response fan-out undermines an unsat verdict exactly like a
+	// path cap: fold both into Truncated so no caller (or cache) mistakes
+	// a capped search for an exact one.
+	res.Truncated = sr.Truncated || sr.ResponsesCapped
 	return res, nil
 }
 

@@ -3,11 +3,13 @@ package accesscheck_test
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
 	"accltl/accesscheck"
 	"accltl/internal/accltl"
+	"accltl/internal/instance"
 	"accltl/internal/workload"
 )
 
@@ -280,5 +282,180 @@ func TestEngineStrings(t *testing.T) {
 		if e.String() != s {
 			t.Errorf("Engine(%d).String() = %q, want %q", int(e), e.String(), s)
 		}
+	}
+}
+
+// TestTruncatedReportedOnResponseCap: an unsat verdict reached while the
+// subset-response fan-out was being cut to MaxResponseChoices is not exact
+// and must say so — this is the silent-incompleteness regression test.
+func TestTruncatedReportedOnResponseCap(t *testing.T) {
+	sch, err := accesscheck.ParseSchema([]string{"R:int"}, []string{"Scan:R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := instance.NewInstance(sch)
+	for i := int64(1); i <= 5; i++ {
+		u.MustAdd("R", instance.Int(i))
+	}
+	// Propositionally unsatisfiable: the verdict is "no witness", reached
+	// while the free scan's 5 matching tuples were cut to the default cap
+	// of 3 per response.
+	f := accesscheck.MustParseFormula(`[exists x. post R(x)] & ![exists x. post R(x)]`)
+	ctx := context.Background()
+	res, err := accesscheck.Check(ctx, sch, f,
+		accesscheck.WithEngine(accesscheck.EngineBounded),
+		accesscheck.WithUniverse(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Fatal("contradiction reported satisfiable")
+	}
+	if !res.ResponsesCapped {
+		t.Error("5 matching tuples cut to 3 choices, but ResponsesCapped is false")
+	}
+	if !res.Truncated {
+		t.Error("response-capped unsat verdict not flagged Truncated")
+	}
+	// Raising the cap above the fan-out restores exactness.
+	res, err = accesscheck.Check(ctx, sch, f,
+		accesscheck.WithEngine(accesscheck.EngineBounded),
+		accesscheck.WithUniverse(u),
+		accesscheck.WithMaxResponseChoices(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Fatal("contradiction reported satisfiable under the raised cap")
+	}
+	if res.ResponsesCapped || res.Truncated {
+		t.Errorf("uncapped search flagged as capped: truncated=%v responsesCapped=%v",
+			res.Truncated, res.ResponsesCapped)
+	}
+}
+
+// TestCheckBatchMixedVerdicts: per-item results line up with requests, and
+// broken items fail without failing the batch.
+func TestCheckBatchMixedVerdicts(t *testing.T) {
+	phone := workload.MustPhone()
+	sat := accesscheck.MustParseFormula(`F [bind AcM1]`)
+	unsatPost := accesscheck.Atom(phone.MobileNonEmptyPost())
+	unsat := accesscheck.And(accesscheck.Eventually(unsatPost), accesscheck.Always(accesscheck.Not(unsatPost)))
+	items := accesscheck.CheckBatch(context.Background(), []accesscheck.Request{
+		{Schema: phone.Schema, Formula: sat},
+		{Schema: phone.Schema, Formula: unsat},
+		{Schema: nil, Formula: sat}, // broken: nil schema
+		{Schema: phone.Schema, Formula: sat},
+	}, accesscheck.WithEngine(accesscheck.EngineBounded))
+	if len(items) != 4 {
+		t.Fatalf("got %d items, want 4", len(items))
+	}
+	if it := items[0]; it.Err != nil || !it.Result.Satisfiable {
+		t.Errorf("item 0: %+v, want satisfiable", it)
+	}
+	if it := items[1]; it.Err != nil || it.Result.Satisfiable {
+		t.Errorf("item 1: %+v, want unsatisfiable", it)
+	}
+	if it := items[2]; it.Err == nil {
+		t.Error("item 2: nil schema did not fail")
+	}
+	if it := items[3]; it.Err != nil || !it.Result.Satisfiable {
+		t.Errorf("item 3: %+v, want satisfiable", it)
+	}
+}
+
+// TestCheckBatchSharedCheckerConcurrently: one immutable Checker must serve
+// overlapping CheckBatch calls; run under -race this is the facade-level
+// concurrency regression test.
+func TestCheckBatchSharedCheckerConcurrently(t *testing.T) {
+	phone := workload.MustPhone()
+	chk, err := accesscheck.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []accesscheck.Request{
+		{Schema: phone.Schema, Formula: accesscheck.MustParseFormula(`F [bind AcM1]`)},
+		{Schema: phone.Schema, Formula: phone.IntroFormula()},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, it := range chk.CheckBatch(context.Background(), reqs) {
+				if it.Err != nil {
+					t.Errorf("concurrent batch: %v", it.Err)
+				} else if !it.Result.Satisfiable {
+					t.Error("concurrent batch: lost a verdict")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCheckBatchCancelled: a dead context fails every item with its error
+// instead of solving.
+func TestCheckBatchCancelled(t *testing.T) {
+	phone := workload.MustPhone()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := accesscheck.CheckBatch(ctx, []accesscheck.Request{
+		{Schema: phone.Schema, Formula: phone.IntroFormula()},
+		{Schema: phone.Schema, Formula: phone.IntroFormula()},
+	})
+	for i, it := range items {
+		if !errors.Is(it.Err, context.Canceled) {
+			t.Errorf("item %d: err = %v, want context.Canceled", i, it.Err)
+		}
+	}
+}
+
+// TestFingerprint: equal configurations agree, and every ingredient that
+// changes what Check computes changes the key.
+func TestFingerprint(t *testing.T) {
+	phone := workload.MustPhone()
+	f := phone.IntroFormula()
+	base, err := accesscheck.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := accesscheck.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := base.Fingerprint(phone.Schema, f)
+	if fp == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if got := same.Fingerprint(phone.Schema, f); got != fp {
+		t.Errorf("identical configurations disagree: %s vs %s", fp, got)
+	}
+	variants := map[string]accesscheck.Option{
+		"grounded":    accesscheck.WithGrounded(),
+		"idempotent":  accesscheck.WithIdempotentOnly(),
+		"allExact":    accesscheck.WithAllExact(),
+		"exactMethod": accesscheck.WithExactMethods("AcM1"),
+		"maxDepth":    accesscheck.WithMaxDepth(7),
+		"maxPaths":    accesscheck.WithMaxPaths(99),
+		"respChoices": accesscheck.WithMaxResponseChoices(2),
+		"engine":      accesscheck.WithEngine(accesscheck.EngineBounded),
+		"universe":    accesscheck.WithUniverse(phone.SmithJonesUniverse()),
+		"initial":     accesscheck.WithInitialInstance(phone.SmithJonesUniverse()),
+	}
+	seen := map[string]string{fp: "base"}
+	for name, opt := range variants {
+		chk, err := accesscheck.NewChecker(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := chk.Fingerprint(phone.Schema, f)
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[got] = name
+	}
+	if got := base.Fingerprint(phone.Schema, accesscheck.MustParseFormula(`F [bind AcM1]`)); got == fp {
+		t.Error("different formulas share a fingerprint")
 	}
 }

@@ -1,0 +1,81 @@
+package accesscheck
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Request is one unit of batch work: a formula to decide over a schema's
+// access paths. The checker's configuration (engine, restrictions, bounds)
+// applies uniformly to every request in a batch.
+type Request struct {
+	Schema  *Schema
+	Formula Formula
+}
+
+// BatchItem is the per-request outcome of CheckBatch: exactly one of Result
+// and Err is meaningful. Items line up index-for-index with the request
+// slice, so callers can correlate without extra bookkeeping.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// CheckBatch runs Check over every request concurrently (bounded by
+// GOMAXPROCS workers) and returns one item per request, in request order.
+// The context applies to the whole batch: cancellation or deadline expiry
+// aborts in-flight checks with the context's error and fails not-yet-started
+// ones without running them. A Checker is immutable after construction, so
+// one checker may serve any number of concurrent CheckBatch (and Check)
+// calls.
+func (c *Checker) CheckBatch(ctx context.Context, reqs []Request) []BatchItem {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchItem, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchItem{Err: fmt.Errorf("accesscheck: CheckBatch: %w", err)}
+					continue
+				}
+				res, err := c.Check(ctx, reqs[i].Schema, reqs[i].Formula)
+				out[i] = BatchItem{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// CheckBatch is the one-shot form: build a throwaway Checker from opts and
+// run the batch through it. An option error fails every item.
+func CheckBatch(ctx context.Context, reqs []Request, opts ...Option) []BatchItem {
+	c, err := NewChecker(opts...)
+	if err != nil {
+		out := make([]BatchItem, len(reqs))
+		for i := range out {
+			out[i] = BatchItem{Err: err}
+		}
+		return out
+	}
+	return c.CheckBatch(ctx, reqs)
+}

@@ -1,0 +1,130 @@
+// Package cache is the result cache of the check server: a concurrency-safe
+// LRU keyed by Checker.Fingerprint, with an admission rule that protects
+// correctness — only exact results enter. A truncated result (path cap,
+// depth interplay, or response cap — see accesscheck.Result.Truncated) is a
+// verdict relative to a budget, and a later caller with a different budget
+// must not inherit it; cancelled or failed checks never produce a Result at
+// all. Admitting only Truncated == false entries makes a cache hit
+// semantically identical to re-running the solve.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"accltl/accesscheck"
+)
+
+// LRU is a fixed-capacity least-recently-used result cache. The zero value
+// is not usable; construct with New. All methods are safe for concurrent
+// use.
+type LRU struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	rejected  uint64
+	evictions uint64
+}
+
+type entry struct {
+	key string
+	res accesscheck.Result
+}
+
+// New builds an LRU holding at most capacity results; capacity < 1 is
+// treated as 1 so the cache is always well-formed.
+func New(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached result for the key, marking it most recently used.
+// The returned Result is a copy of the cached value — callers may not
+// observe each other's mutations — but Witness (when set) is shared and
+// must be treated as immutable, which every caller of Check already does.
+func (c *LRU) Get(key string) (*accesscheck.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	res := el.Value.(*entry).res
+	return &res, true
+}
+
+// Add admits the result under the key, evicting the least recently used
+// entry if the cache is full. It refuses — and reports false for — nil and
+// truncated results: a cap-relative verdict cached as exact would poison
+// every later identical request, which is precisely the failure mode the
+// server exists to avoid.
+func (c *LRU) Add(key string, res *accesscheck.Result) bool {
+	if res == nil || res.Truncated {
+		c.mu.Lock()
+		c.rejected++
+		c.mu.Unlock()
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).res = *res
+		c.ll.MoveToFront(el)
+		return true
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, res: *res})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+	return true
+}
+
+// Len reports the number of cached results.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Size and Capacity describe occupancy.
+	Size, Capacity int
+	// Hits and Misses count Get outcomes.
+	Hits, Misses uint64
+	// Rejected counts Add calls refused by the admission rule (nil or
+	// truncated results).
+	Rejected uint64
+	// Evictions counts entries displaced by capacity pressure.
+	Evictions uint64
+}
+
+// Stats snapshots the counters.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Size:      c.ll.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Rejected:  c.rejected,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"accltl/accesscheck"
+)
+
+func exact(sat bool) *accesscheck.Result {
+	return &accesscheck.Result{Satisfiable: sat}
+}
+
+func TestAddGetRoundTrip(t *testing.T) {
+	c := New(4)
+	if !c.Add("k1", exact(true)) {
+		t.Fatal("exact result refused")
+	}
+	got, ok := c.Get("k1")
+	if !ok || !got.Satisfiable {
+		t.Fatalf("Get(k1) = %+v, %v", got, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Error("hit on absent key")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTruncatedResultsRefused(t *testing.T) {
+	c := New(4)
+	if c.Add("t", &accesscheck.Result{Truncated: true}) {
+		t.Fatal("truncated result admitted")
+	}
+	if c.Add("n", nil) {
+		t.Fatal("nil result admitted")
+	}
+	if _, ok := c.Get("t"); ok {
+		t.Error("truncated result served from cache")
+	}
+	if st := c.Stats(); st.Rejected != 2 || st.Size != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Add("a", exact(true))
+	c.Add("b", exact(false))
+	c.Get("a") // a most recent; b is now the eviction candidate
+	c.Add("c", exact(true))
+	if _, ok := c.Get("b"); ok {
+		t.Error("least recently used entry survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("new entry missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c := New(2)
+	c.Add("k", exact(true))
+	r1, _ := c.Get("k")
+	r1.Satisfiable = false
+	r2, _ := c.Get("k")
+	if !r2.Satisfiable {
+		t.Error("mutating a returned result leaked into the cache")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%32)
+				c.Add(key, exact(i%2 == 0))
+				c.Get(key)
+				c.Len()
+				c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("cache overflowed capacity: %d", c.Len())
+	}
+}

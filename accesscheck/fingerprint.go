@@ -1,0 +1,67 @@
+package accesscheck
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Fingerprint returns a canonical key identifying what a Check on (sch, f)
+// under this checker's configuration computes: the schema's declaration
+// text, the formula's rendering, and every option that can change the
+// verdict or its exactness (engine, path restrictions, bounds, initial
+// instance and universe overrides). Two calls agree on the fingerprint iff
+// Check would run the same search, which makes it the cache key of
+// accesscheck/cache — identical requests served by accesscheck/server
+// collapse onto one entry.
+//
+// The key is a hex-encoded SHA-256, so it is safe to use in URLs, log
+// lines and on-disk layouts; it is not reversible.
+func (c *Checker) Fingerprint(sch *Schema, f Formula) string {
+	h := sha256.New()
+	field := func(name, value string) {
+		io.WriteString(h, name)
+		h.Write([]byte{0})
+		io.WriteString(h, value)
+		h.Write([]byte{0x1e})
+	}
+	if sch != nil {
+		field("schema", sch.String())
+	}
+	if f != nil {
+		field("formula", f.String())
+	}
+	field("engine", c.engine.String())
+	field("grounded", boolKey(c.grounded))
+	field("idempotent", boolKey(c.idempotentOnly))
+	field("allExact", boolKey(c.allExact))
+	if len(c.exactMethods) > 0 {
+		names := make([]string, 0, len(c.exactMethods))
+		for n := range c.exactMethods {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			field("exact", n)
+		}
+	}
+	field("maxDepth", fmt.Sprintf("%d", c.maxDepth))
+	field("maxPaths", fmt.Sprintf("%d", c.maxPaths))
+	field("maxResponseChoices", fmt.Sprintf("%d", c.maxResponseChoices))
+	if c.initial != nil {
+		field("initial", c.initial.Fingerprint())
+	}
+	if c.universe != nil {
+		field("universe", c.universe.Fingerprint())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func boolKey(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,459 @@
+// Package server is the HTTP frontend of the accesscheck facade: a batch
+// check service with bounded concurrency, per-request response-time budgets
+// and an exact-results-only LRU cache, in the spirit of bounded-response-
+// time query services (BlinkDB). It is the substrate later scaling work
+// (sharding, multi-backend dispatch) plugs into.
+//
+// Endpoints:
+//
+//	POST /v1/check   one check; body is a CheckRequest, reply a CheckResponse
+//	POST /v1/batch   many checks; body is a BatchRequest, reply a BatchResponse
+//	GET  /healthz    liveness probe
+//	GET  /metrics    Prometheus-style text counters (hits, misses,
+//	                 truncations, in-flight, ...)
+//
+// Budget semantics: every check runs under a deadline. The most specific
+// wins — the item's "budget" field, then the ?budget= query parameter, then
+// the server's default. The budget becomes a context.WithTimeout around the
+// solve, so an expired budget aborts the search loops promptly and the
+// request fails with 504 (single check) or a per-item error (batch) instead
+// of hanging.
+//
+// Cache-admission rule: only exact results are cached. A result with
+// Truncated set — path cap, depth interplay, or response cap — is relative
+// to this request's budget and caps, so it is returned to the caller but
+// never admitted to the cache; a later identical request re-solves.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"accltl/accesscheck"
+	"accltl/accesscheck/cache"
+)
+
+// Config sizes the server; zero values select sensible defaults.
+type Config struct {
+	// Workers bounds concurrent solves across all requests (default
+	// GOMAXPROCS). Queued work waits for a slot but keeps honouring its
+	// budget while waiting.
+	Workers int
+	// CacheSize is the LRU capacity in results (default 1024).
+	CacheSize int
+	// DefaultBudget applies when neither the request body nor the query
+	// string names one (default 5s). It must be positive: a server without
+	// deadlines cannot promise bounded response times.
+	DefaultBudget time.Duration
+	// MaxBatch caps the requests accepted in one /v1/batch call
+	// (default 256).
+	MaxBatch int
+	// MaxBodyBytes caps the request body size accepted by the JSON
+	// endpoints (default 8 MiB): oversized bodies answer 413 instead of
+	// being buffered into memory.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 5 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the HTTP handler. Construct with New; the zero value is not
+// usable.
+type Server struct {
+	cfg   Config
+	cache *cache.LRU
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	inFlight    atomic.Int64
+	checks      atomic.Uint64
+	truncations atomic.Uint64
+	deadlines   atomic.Uint64
+	cancels     atomic.Uint64
+	errs        atomic.Uint64
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: cache.New(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.Workers),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the server's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CheckRequest is the wire form of one check: a schema as textual
+// declarations (accesscheck.ParseSchema syntax), a formula
+// (accesscheck.ParseFormula syntax), solver options, and an optional
+// per-request budget ("250ms", "2s", ...).
+type CheckRequest struct {
+	Relations []string      `json:"relations"`
+	Methods   []string      `json:"methods,omitempty"`
+	Formula   string        `json:"formula"`
+	Options   *CheckOptions `json:"options,omitempty"`
+	Budget    string        `json:"budget,omitempty"`
+}
+
+// CheckOptions mirrors the facade's functional options on the wire.
+type CheckOptions struct {
+	Engine             string   `json:"engine,omitempty"`
+	Grounded           bool     `json:"grounded,omitempty"`
+	IdempotentOnly     bool     `json:"idempotent_only,omitempty"`
+	AllExact           bool     `json:"all_exact,omitempty"`
+	ExactMethods       []string `json:"exact_methods,omitempty"`
+	MaxDepth           int      `json:"max_depth,omitempty"`
+	MaxPaths           int      `json:"max_paths,omitempty"`
+	MaxResponseChoices int      `json:"max_response_choices,omitempty"`
+}
+
+// CheckResponse is the wire form of an accesscheck.Result.
+type CheckResponse struct {
+	Satisfiable     bool    `json:"satisfiable"`
+	Fragment        string  `json:"fragment"`
+	InFragment      bool    `json:"in_fragment"`
+	Decidable       bool    `json:"decidable"`
+	Engine          string  `json:"engine"`
+	Truncated       bool    `json:"truncated"`
+	ResponsesCapped bool    `json:"responses_capped,omitempty"`
+	PathsExplored   int     `json:"paths_explored"`
+	Depth           int     `json:"depth"`
+	Witness         string  `json:"witness,omitempty"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	Cached          bool    `json:"cached"`
+}
+
+// BatchRequest carries many checks; items are independent and answered in
+// order.
+type BatchRequest struct {
+	Requests []CheckRequest `json:"requests"`
+}
+
+// BatchItem is one per-item outcome: exactly one of Result and Error is
+// set.
+type BatchItem struct {
+	Result *CheckResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// BatchResponse lines up index-for-index with BatchRequest.Requests.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpError is an error with a dedicated HTTP status.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// resolveBudget picks the per-check deadline: item budget, then query
+// parameter, then server default.
+func (s *Server) resolveBudget(item string, r *http.Request) (time.Duration, error) {
+	for _, spec := range []string{item, r.URL.Query().Get("budget")} {
+		if spec == "" {
+			continue
+		}
+		d, err := time.ParseDuration(spec)
+		if err != nil {
+			return 0, badRequest("bad budget %q: %v", spec, err)
+		}
+		if d <= 0 {
+			return 0, badRequest("bad budget %q: must be positive", spec)
+		}
+		return d, nil
+	}
+	return s.cfg.DefaultBudget, nil
+}
+
+// checkerFor translates wire options into a Checker.
+func checkerFor(o *CheckOptions) (*accesscheck.Checker, error) {
+	if o == nil {
+		return accesscheck.NewChecker()
+	}
+	engine, err := accesscheck.ParseEngine(o.Engine)
+	if err != nil {
+		return nil, err
+	}
+	opts := []accesscheck.Option{
+		accesscheck.WithEngine(engine),
+		accesscheck.WithMaxDepth(o.MaxDepth),
+		accesscheck.WithMaxPaths(o.MaxPaths),
+		accesscheck.WithMaxResponseChoices(o.MaxResponseChoices),
+	}
+	if o.Grounded {
+		opts = append(opts, accesscheck.WithGrounded())
+	}
+	if o.IdempotentOnly {
+		opts = append(opts, accesscheck.WithIdempotentOnly())
+	}
+	if o.AllExact {
+		opts = append(opts, accesscheck.WithAllExact())
+	}
+	if len(o.ExactMethods) > 0 {
+		opts = append(opts, accesscheck.WithExactMethods(o.ExactMethods...))
+	}
+	return accesscheck.NewChecker(opts...)
+}
+
+// doCheck runs one check end to end: parse, cache probe, bounded solve,
+// cache admission. ctx must already carry the request's budget.
+func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse, error) {
+	if req.Formula == "" {
+		return nil, badRequest("missing formula")
+	}
+	if len(req.Relations) == 0 {
+		return nil, badRequest("missing relations")
+	}
+	chk, err := checkerFor(req.Options)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	sch, err := accesscheck.ParseSchema(req.Relations, req.Methods)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	f, err := accesscheck.ParseFormula(req.Formula)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	fp := chk.Fingerprint(sch, f)
+	if res, ok := s.cache.Get(fp); ok {
+		return wireResult(res, true), nil
+	}
+
+	// Acquire a worker slot without outliving the budget.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		err := ctx.Err()
+		s.countCtxErr(err)
+		return nil, err
+	}
+	s.inFlight.Add(1)
+	res, err := chk.Check(ctx, sch, f)
+	s.inFlight.Add(-1)
+	<-s.sem
+
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.countCtxErr(err)
+			return nil, err
+		}
+		s.errs.Add(1)
+		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
+	}
+	s.checks.Add(1)
+	if res.Truncated {
+		// Cap-relative verdict: served, counted, never cached.
+		s.truncations.Add(1)
+	} else {
+		s.cache.Add(fp, res)
+	}
+	return wireResult(res, false), nil
+}
+
+func wireResult(res *accesscheck.Result, cached bool) *CheckResponse {
+	out := &CheckResponse{
+		Satisfiable:     res.Satisfiable,
+		Fragment:        res.Fragment.String(),
+		InFragment:      res.InFragment,
+		Decidable:       res.Decidable,
+		Engine:          res.Engine.String(),
+		Truncated:       res.Truncated,
+		ResponsesCapped: res.ResponsesCapped,
+		PathsExplored:   res.PathsExplored,
+		Depth:           res.Depth,
+		ElapsedMS:       float64(res.Elapsed) / float64(time.Millisecond),
+		Cached:          cached,
+	}
+	if res.Witness != nil {
+		out.Witness = res.Witness.String()
+	}
+	return out
+}
+
+// countCtxErr keeps the headline metric meaningful: deadline expiries mean
+// "budgets too tight", cancellations mean "client went away" — conflating
+// them would let ordinary disconnects inflate the budget alarm.
+func (s *Server) countCtxErr(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.deadlines.Add(1)
+	} else {
+		s.cancels.Add(1)
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional status for a request
+// abandoned by the client; there is no standard constant.
+const statusClientClosedRequest = 499
+
+func statusOf(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return statusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// decodeBody reads the JSON body under the size cap; oversized bodies are
+// rejected with 413 before they can exhaust memory.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	budget, err := s.resolveBudget(req.Budget, r)
+	if err != nil {
+		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	res, err := s.doCheck(ctx, req)
+	if err != nil {
+		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("batch of %d exceeds the limit of %d", len(req.Requests), s.cfg.MaxBatch)})
+		return
+	}
+	out := BatchResponse{Results: make([]BatchItem, len(req.Requests))}
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			item := req.Requests[i]
+			budget, err := s.resolveBudget(item.Budget, r)
+			if err != nil {
+				out.Results[i] = BatchItem{Error: err.Error()}
+				return
+			}
+			// Deadlines are per item, all anchored at arrival: the worker
+			// pool bounds actual parallelism, and an item whose budget
+			// expires while queued fails fast instead of hogging a slot.
+			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			defer cancel()
+			res, err := s.doCheck(ctx, item)
+			if err != nil {
+				out.Results[i] = BatchItem{Error: err.Error()}
+				return
+			}
+			out.Results[i] = BatchItem{Result: res}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the counters in Prometheus exposition style: plain
+// text, one "name value" per line, scrape-friendly without pulling in a
+// client library.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "accserve_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "accserve_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "accserve_cache_rejected_total %d\n", cs.Rejected)
+	fmt.Fprintf(w, "accserve_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "accserve_cache_size %d\n", cs.Size)
+	fmt.Fprintf(w, "accserve_cache_capacity %d\n", cs.Capacity)
+	fmt.Fprintf(w, "accserve_checks_total %d\n", s.checks.Load())
+	fmt.Fprintf(w, "accserve_truncations_total %d\n", s.truncations.Load())
+	fmt.Fprintf(w, "accserve_deadline_exceeded_total %d\n", s.deadlines.Load())
+	fmt.Fprintf(w, "accserve_client_cancelled_total %d\n", s.cancels.Load())
+	fmt.Fprintf(w, "accserve_check_errors_total %d\n", s.errs.Load())
+	fmt.Fprintf(w, "accserve_in_flight %d\n", s.inFlight.Load())
+	fmt.Fprintf(w, "accserve_workers %d\n", s.cfg.Workers)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

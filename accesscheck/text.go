@@ -129,6 +129,28 @@ func MustParseFormula(src string) Formula {
 // syntax of ParseFormula).
 func ParseSentence(src string) (Sentence, error) { return accltl.ParseFO(src) }
 
+// ParseEngine reads an engine name as printed by Engine.String — "auto",
+// "x", "0-acc", "plus", "bounded", "automaton" — the form the server wire
+// format and CLI flags use. The empty string means EngineAuto.
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return EngineAuto, nil
+	case "x":
+		return EngineX, nil
+	case "0-acc", "zeroacc", "0acc":
+		return EngineZeroAcc, nil
+	case "plus":
+		return EnginePlus, nil
+	case "bounded":
+		return EngineBounded, nil
+	case "automaton":
+		return EngineAutomaton, nil
+	default:
+		return EngineAuto, fmt.Errorf("accesscheck: unknown engine %q (want auto, x, 0-acc, plus, bounded or automaton)", s)
+	}
+}
+
 // parseExactSpec interprets the CLI exact-response spec: "" restricts
 // nothing, "*" means all methods, otherwise a comma-separated method list.
 func parseExactSpec(spec string) (all bool, names []string, err error) {

@@ -1,0 +1,81 @@
+// accserve is the batch check server: an HTTP JSON API over the
+// accesscheck facade with a bounded worker pool, per-request response-time
+// budgets and an exact-results-only LRU cache.
+//
+//	accserve -addr :8080 -workers 8 -cache-size 4096 -default-budget 2s
+//
+// Endpoints (see accltl/accesscheck/server for the wire format):
+//
+//	POST /v1/check?budget=250ms   one check
+//	POST /v1/batch                many checks, answered in order
+//	GET  /healthz                 liveness
+//	GET  /metrics                 counters: cache hits/misses, truncations,
+//	                              in-flight solves, deadline expiries
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/check -d '{
+//	  "relations": ["Mobile#:string,string,string,int"],
+//	  "methods":   ["AcM1:Mobile#:0"],
+//	  "formula":   "[exists n. bind AcM1(n)]",
+//	  "budget":    "250ms"
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"accltl/accesscheck/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 1024, "LRU result cache capacity (entries)")
+	defaultBudget := flag.Duration("default-budget", 5*time.Second, "per-request deadline when the request names none")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: server.New(server.Config{
+			Workers:       *workers,
+			CacheSize:     *cacheSize,
+			DefaultBudget: *defaultBudget,
+		}),
+		// Bounds header+body reads against slow-trickle clients; solve time
+		// is governed by the per-request budget, not the read deadline.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("accserve listening on %s (workers=%d cache=%d default-budget=%s)",
+			*addr, *workers, *cacheSize, *defaultBudget)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case sig := <-sigc:
+		log.Printf("accserve: %s — draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("accserve: shutdown: %v", err)
+		}
+	}
+}

@@ -6,12 +6,19 @@
 package access
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"accltl/internal/instance"
 	"accltl/internal/schema"
 )
+
+// ErrTypeMismatch marks a NewAccess rejection caused by a binding value of
+// the wrong datatype for its input position. Enumeration loops that pair
+// candidate values with methods (package lts) treat this as an expected
+// skip; every other NewAccess error is a real fault and must propagate.
+var ErrTypeMismatch = errors.New("binding value type mismatch")
 
 // Access is an access method together with a binding for its input
 // positions: one lookup against the data source.
@@ -31,8 +38,8 @@ func NewAccess(m *schema.AccessMethod, binding instance.Tuple) (Access, error) {
 	}
 	for i, ty := range m.InputTypes() {
 		if binding[i].Kind() != ty {
-			return Access{}, fmt.Errorf("access: method %s input %d: value %s has type %s, want %s",
-				m.Name(), i, binding[i], binding[i].Kind(), ty)
+			return Access{}, fmt.Errorf("access: method %s input %d: value %s has type %s, want %s: %w",
+				m.Name(), i, binding[i], binding[i].Kind(), ty, ErrTypeMismatch)
 		}
 	}
 	return Access{Method: m, Binding: binding.Clone()}, nil

@@ -59,8 +59,15 @@ type SolveResult struct {
 	Depth int
 	// Truncated reports that the search hit its path cap before exhausting
 	// the space up to Depth: an unsatisfiable verdict is then relative to
-	// the cap, not just the depth bound, even on decidable fragments.
+	// the cap, not just the depth bound, even on decidable fragments. It is
+	// exact — a search that completes with exactly MaxPaths prefixes
+	// visited is not flagged.
 	Truncated bool
+	// ResponsesCapped reports that some subset-response fan-out was cut to
+	// MaxResponseChoices during the search, so possible worlds exist that
+	// were never examined: like Truncated, it demotes an unsatisfiable
+	// verdict from exact to cap-relative.
+	ResponsesCapped bool
 }
 
 // SolveZeroAcc decides satisfiability of an AccLTL(FO∃+_0-Acc) or
@@ -264,7 +271,7 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 	// when the same (config, obligation) pair was already explored with at
 	// least as much depth budget remaining.
 	seen := make(map[string]int)
-	searchErr := lts.Explore(opts.Schema, ltsOpts, func(p *access.Path, conf *instance.Instance) (bool, error) {
+	rep, searchErr := lts.Explore(opts.Schema, ltsOpts, func(p *access.Path, conf *instance.Instance) (bool, error) {
 		res.PathsExplored++
 		if p.Len() == 0 {
 			return true, nil
@@ -327,8 +334,9 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 	if searchErr != nil {
 		return res, searchErr
 	}
-	if !res.Satisfiable && res.PathsExplored >= maxPaths {
-		res.Truncated = true
+	if !res.Satisfiable {
+		res.Truncated = rep.PathsCapped
+		res.ResponsesCapped = rep.ResponsesCapped
 	}
 	if res.Satisfiable {
 		// Sanity: the witness must pass the direct semantics.

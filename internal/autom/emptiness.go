@@ -52,8 +52,12 @@ type EmptinessResult struct {
 	Depth int
 	// Truncated reports that the search hit its path cap before exhausting
 	// the space up to Depth: an "empty" verdict is then relative to the
-	// cap, not just the depth bound.
+	// cap, not just the depth bound. It is exact — completing the search
+	// with exactly MaxPaths prefixes visited does not set it.
 	Truncated bool
+	// ResponsesCapped reports that some subset-response fan-out was cut to
+	// MaxResponseChoices, so an "empty" verdict may have missed worlds.
+	ResponsesCapped bool
 }
 
 // IsEmpty decides language emptiness with the direct bounded product
@@ -113,7 +117,7 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 	// Memoization: emptiness from a node depends only on the revealed
 	// configuration and the automaton state set; prune dominated revisits.
 	seen := make(map[string]int)
-	err := lts.Explore(a.Schema, lts.Options{
+	rep, err := lts.Explore(a.Schema, lts.Options{
 		Context:            opts.Context,
 		Universe:           universe,
 		Initial:            opts.Initial,
@@ -172,8 +176,9 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 	if err != nil {
 		return res, err
 	}
-	if res.Empty && res.PathsExplored >= maxPaths {
-		res.Truncated = true
+	if res.Empty {
+		res.Truncated = rep.PathsCapped
+		res.ResponsesCapped = rep.ResponsesCapped
 	}
 	if !res.Empty && res.Witness.Len() > 0 {
 		ok, err := a.Accepts(res.Witness)

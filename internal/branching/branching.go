@@ -123,6 +123,11 @@ type Checker struct {
 	// Opts configures successor enumeration (universe, exactness,
 	// grounded bindings, response fan-out).
 	Opts lts.Options
+	// ResponsesCapped is set (sticky) when any successor enumeration
+	// during Holds or Satisfiable had its subset-response fan-out cut to
+	// Opts.MaxResponseChoices: verdicts reached after that are relative
+	// to the cap, not exact. Zero it before a run to scope the signal.
+	ResponsesCapped bool
 }
 
 // Holds decides (S, t) ⊧ ϕ for a transition t of the LTS. EX looks one
@@ -165,7 +170,10 @@ func (c *Checker) Holds(f Formula, t access.Transition) (bool, error) {
 		}
 		return false, nil
 	case EX:
-		succs, err := lts.Successors(c.Schema, c.Opts, t.After)
+		succs, rep, err := lts.Successors(c.Schema, c.Opts, t.After)
+		if rep.ResponsesCapped {
+			c.ResponsesCapped = true
+		}
 		if err != nil {
 			return false, err
 		}
@@ -193,7 +201,10 @@ func (c *Checker) Satisfiable(f Formula, initial *instance.Instance) (bool, acce
 	if initial == nil {
 		initial = instance.NewInstance(c.Schema)
 	}
-	succs, err := lts.Successors(c.Schema, c.Opts, initial)
+	succs, rep, err := lts.Successors(c.Schema, c.Opts, initial)
+	if rep.ResponsesCapped {
+		c.ResponsesCapped = true
+	}
 	if err != nil {
 		return false, access.Transition{}, err
 	}

@@ -13,6 +13,7 @@ package lts
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"accltl/internal/access"
@@ -52,7 +53,10 @@ type Options struct {
 	// active domain (used for non-grounded exploration with constants from
 	// a formula).
 	ExtraBindingValues []instance.Value
-	// MaxPaths aborts exploration after this many paths (0 = unlimited).
+	// MaxPaths aborts exploration after visiting this many path prefixes
+	// (0 = unlimited). The empty root prefix counts as the first, so
+	// MaxPaths=n visits the root plus at most n-1 proper paths; when the
+	// cap actually cuts the search short, Report.PathsCapped is set.
 	MaxPaths int
 }
 
@@ -72,16 +76,34 @@ type Visitor func(p *access.Path, conf *instance.Instance) (expand bool, err err
 // ErrStop can be returned by a Visitor to abort exploration without error.
 var ErrStop = fmt.Errorf("lts: stop requested")
 
+// Report summarizes how an exploration ended. Decision procedures built on
+// Explore need it to tell a definitive "no path found" from a search that
+// was cut short: a verdict obtained under either cap is relative to the
+// cap, not to the full bounded space.
+type Report struct {
+	// Paths counts the path prefixes visited, including the empty root.
+	Paths int
+	// PathsCapped reports that MaxPaths cut the search before the space up
+	// to MaxDepth was exhausted. It is exact: completing the exploration
+	// with exactly MaxPaths prefixes visited does not set it.
+	PathsCapped bool
+	// ResponsesCapped reports that at least one subset-response fan-out was
+	// truncated to MaxResponseChoices, so some well-formed responses were
+	// never considered.
+	ResponsesCapped bool
+}
+
 // Explore enumerates access paths of the schema against opts.Universe in
 // depth-first order, calling visit on every path (including the empty one).
-func Explore(sch *schema.Schema, opts Options, visit Visitor) error {
+// The Report is meaningful even when an error is returned.
+func Explore(sch *schema.Schema, opts Options, visit Visitor) (Report, error) {
 	o := opts.withDefaults()
 	if o.Universe == nil {
-		return fmt.Errorf("lts: Explore requires a Universe instance")
+		return Report{}, fmt.Errorf("lts: Explore requires a Universe instance")
 	}
 	if o.Context != nil {
 		if err := o.Context.Err(); err != nil {
-			return err
+			return Report{}, err
 		}
 	}
 	init := o.Initial
@@ -96,24 +118,30 @@ func Explore(sch *schema.Schema, opts Options, visit Visitor) error {
 		known[v] = true
 	}
 	err := e.rec(p, conf, known, make(map[string]string))
+	rep := Report{Paths: e.paths, PathsCapped: e.pathsCapped, ResponsesCapped: e.respCapped}
 	if err == ErrStop {
-		return nil
+		return rep, nil
 	}
-	return err
+	return rep, err
 }
 
 type explorer struct {
-	sch   *schema.Schema
-	opts  Options
-	visit Visitor
-	paths int
+	sch         *schema.Schema
+	opts        Options
+	visit       Visitor
+	paths       int
+	pathsCapped bool
+	respCapped  bool
 }
 
 func (e *explorer) rec(p *access.Path, conf *instance.Instance, known map[instance.Value]bool, idem map[string]string) error {
-	e.paths++
-	if e.opts.MaxPaths > 0 && e.paths > e.opts.MaxPaths {
+	if e.opts.MaxPaths > 0 && e.paths >= e.opts.MaxPaths {
+		// The cap fires only when an (n+1)-th prefix is actually reached,
+		// so PathsCapped exactly means "there was more space to search".
+		e.pathsCapped = true
 		return ErrStop
 	}
+	e.paths++
 	// Poll the context periodically rather than per node: Err is cheap but
 	// not free, and the hot loop visits millions of prefixes.
 	if e.opts.Context != nil && e.paths&0x3f == 0 {
@@ -133,7 +161,13 @@ func (e *explorer) rec(p *access.Path, conf *instance.Instance, known map[instan
 		for _, b := range bindings {
 			acc, err := access.NewAccess(m, b)
 			if err != nil {
-				continue
+				// The binding pool is typed, so a mismatch only means this
+				// candidate cannot feed this method; anything else is a
+				// real fault that must not be silently dropped.
+				if errors.Is(err, access.ErrTypeMismatch) {
+					continue
+				}
+				return err
 			}
 			for _, resp := range e.responses(acc, conf) {
 				if e.opts.IdempotentOnly {
@@ -271,6 +305,7 @@ func (e *explorer) responses(acc access.Access, conf *instance.Instance) [][]ins
 	}
 	if len(matching) > e.opts.MaxResponseChoices {
 		matching = matching[:e.opts.MaxResponseChoices]
+		e.respCapped = true
 	}
 	n := len(matching)
 	out := make([][]instance.Tuple, 0, 1<<n)
@@ -318,7 +353,7 @@ func sortValues(vs []instance.Value) {
 // Intended for small universes (tests, oracles, Figure 1).
 func EnumeratePaths(sch *schema.Schema, opts Options) ([]*access.Path, error) {
 	var out []*access.Path
-	err := Explore(sch, opts, func(p *access.Path, _ *instance.Instance) (bool, error) {
+	_, err := Explore(sch, opts, func(p *access.Path, _ *instance.Instance) (bool, error) {
 		out = append(out, p)
 		return true, nil
 	})
@@ -326,11 +361,14 @@ func EnumeratePaths(sch *schema.Schema, opts Options) ([]*access.Path, error) {
 }
 
 // Stats summarizes an exploration: how many paths and distinct
-// configurations were reached per depth.
+// configurations were reached per depth, plus whether any cap cut the
+// enumeration short (see Report).
 type Stats struct {
 	PathsPerDepth   []int
 	ConfigsPerDepth []int
 	TotalPaths      int
+	PathsCapped     bool
+	ResponsesCapped bool
 }
 
 // Collect runs an exploration and gathers statistics.
@@ -340,7 +378,7 @@ func Collect(sch *schema.Schema, opts Options) (Stats, error) {
 	for i := range seen {
 		seen[i] = make(map[string]bool)
 	}
-	err := Explore(sch, opts, func(p *access.Path, conf *instance.Instance) (bool, error) {
+	rep, err := Explore(sch, opts, func(p *access.Path, conf *instance.Instance) (bool, error) {
 		d := p.Len()
 		for len(st.PathsPerDepth) <= d {
 			st.PathsPerDepth = append(st.PathsPerDepth, 0)
@@ -355,5 +393,7 @@ func Collect(sch *schema.Schema, opts Options) (Stats, error) {
 		}
 		return true, nil
 	})
+	st.PathsCapped = rep.PathsCapped
+	st.ResponsesCapped = rep.ResponsesCapped
 	return st, err
 }

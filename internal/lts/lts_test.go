@@ -1,8 +1,11 @@
 package lts
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"accltl/internal/access"
 	"accltl/internal/instance"
@@ -39,7 +42,7 @@ func tinyUniverse(t testing.TB, s *schema.Schema) *instance.Instance {
 
 func TestExploreRequiresUniverse(t *testing.T) {
 	s := tinySchema(t)
-	err := Explore(s, Options{MaxDepth: 1}, func(*access.Path, *instance.Instance) (bool, error) {
+	_, err := Explore(s, Options{MaxDepth: 1}, func(*access.Path, *instance.Instance) (bool, error) {
 		return true, nil
 	})
 	if err == nil {
@@ -166,7 +169,7 @@ func TestExplorePruning(t *testing.T) {
 	s := tinySchema(t)
 	u := tinyUniverse(t, s)
 	count := 0
-	err := Explore(s, Options{Universe: u, MaxDepth: 3}, func(p *access.Path, _ *instance.Instance) (bool, error) {
+	_, err := Explore(s, Options{Universe: u, MaxDepth: 3}, func(p *access.Path, _ *instance.Instance) (bool, error) {
 		count++
 		return false, nil // prune everything: only the empty path visits
 	})
@@ -182,15 +185,92 @@ func TestExploreMaxPaths(t *testing.T) {
 	s := tinySchema(t)
 	u := tinyUniverse(t, s)
 	count := 0
-	err := Explore(s, Options{Universe: u, MaxDepth: 3, MaxPaths: 5}, func(p *access.Path, _ *instance.Instance) (bool, error) {
+	rep, err := Explore(s, Options{Universe: u, MaxDepth: 3, MaxPaths: 5}, func(p *access.Path, _ *instance.Instance) (bool, error) {
 		count++
 		return true, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if count > 5 {
-		t.Errorf("visited %d paths despite MaxPaths=5", count)
+	if count != 5 {
+		t.Errorf("visited %d prefixes, want exactly MaxPaths=5 (root included)", count)
+	}
+	if rep.Paths != 5 {
+		t.Errorf("Report.Paths = %d, want 5", rep.Paths)
+	}
+	if !rep.PathsCapped {
+		t.Error("cap cut the search but Report.PathsCapped is false")
+	}
+}
+
+// TestExploreMaxPathsBoundary pins the cap semantics at the boundary: the
+// depth-1 space of the tiny schema has exactly 7 prefixes (root + 6 paths).
+// MaxPaths=7 visits all of them and must NOT report a cap; MaxPaths=6 cuts
+// one off and must.
+func TestExploreMaxPathsBoundary(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	walk := func(maxPaths int) (int, Report) {
+		count := 0
+		rep, err := Explore(s, Options{Universe: u, MaxDepth: 1, MaxPaths: maxPaths},
+			func(p *access.Path, _ *instance.Instance) (bool, error) {
+				count++
+				return true, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return count, rep
+	}
+	if count, rep := walk(7); count != 7 || rep.PathsCapped {
+		t.Errorf("MaxPaths=7 over a 7-prefix space: visited=%d capped=%v, want 7/false", count, rep.PathsCapped)
+	}
+	if count, rep := walk(6); count != 6 || !rep.PathsCapped {
+		t.Errorf("MaxPaths=6 over a 7-prefix space: visited=%d capped=%v, want 6/true", count, rep.PathsCapped)
+	}
+	// MaxPaths=1 admits only the root: the cap counts the empty prefix.
+	if count, rep := walk(1); count != 1 || !rep.PathsCapped {
+		t.Errorf("MaxPaths=1: visited=%d capped=%v, want 1 (just the root)/true", count, rep.PathsCapped)
+	}
+}
+
+// TestExploreResponsesCapped: squeezing the subset fan-out below the number
+// of matching tuples must surface in the report — an unsat verdict above
+// this exploration is not exact.
+func TestExploreResponsesCapped(t *testing.T) {
+	s := tinySchema(t)
+	u := instance.NewInstance(s)
+	u.MustAdd("R", instance.Int(1))
+	u.MustAdd("S", instance.Int(1), instance.Int(2))
+	u.MustAdd("S", instance.Int(1), instance.Int(3))
+	u.MustAdd("S", instance.Int(1), instance.Int(4))
+	// mS(1) matches 3 tuples; MaxResponseChoices=2 truncates the fan-out.
+	rep, err := Explore(s, Options{Universe: u, MaxDepth: 1, MaxResponseChoices: 2},
+		func(*access.Path, *instance.Instance) (bool, error) { return true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ResponsesCapped {
+		t.Error("3 matching tuples cut to 2 choices, but ResponsesCapped is false")
+	}
+	// With room for every matching tuple the flag must stay clear.
+	rep, err = Explore(s, Options{Universe: u, MaxDepth: 1, MaxResponseChoices: 3},
+		func(*access.Path, *instance.Instance) (bool, error) { return true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResponsesCapped {
+		t.Error("fan-out not truncated but ResponsesCapped is true")
+	}
+	// Exact methods return all matching tuples: no cap regardless of the
+	// choice budget.
+	rep, err = Explore(s, Options{Universe: u, MaxDepth: 1, MaxResponseChoices: 1, AllExact: true},
+		func(*access.Path, *instance.Instance) (bool, error) { return true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResponsesCapped {
+		t.Error("exact responses flagged as capped")
 	}
 }
 
@@ -232,5 +312,96 @@ func TestBuildTreeAndRender(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, "Known Facts") || !strings.Contains(out, "∅") {
 		t.Errorf("render missing expected elements:\n%s", out)
+	}
+}
+
+// pollCountCtx is a context whose Err starts failing after a fixed number
+// of polls: it makes "the loop polls the context" testable without timing.
+type pollCountCtx struct {
+	context.Context
+	allowed int
+	polls   int
+}
+
+func (c *pollCountCtx) Err() error {
+	c.polls++
+	if c.polls > c.allowed {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSuccessorsPollsContextInLoop: a context that expires after the entry
+// check must still abort a large method × binding enumeration — Successors
+// may not collect the full product first.
+func TestSuccessorsPollsContextInLoop(t *testing.T) {
+	s := tinySchema(t)
+	u := instance.NewInstance(s)
+	for i := 0; i < 200; i++ {
+		u.MustAdd("R", instance.Int(int64(i)))
+	}
+	ctx := &pollCountCtx{Context: context.Background(), allowed: 2}
+	_, _, err := Successors(s, Options{Universe: u, Context: ctx, MaxDepth: 1}, instance.NewInstance(s))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Successors over a 400-binding pool with an expiring context: err = %v, want context.Canceled", err)
+	}
+	if ctx.polls <= 2 {
+		t.Errorf("context polled only %d times — entry check only, not inside the loop", ctx.polls)
+	}
+}
+
+// TestSuccessorsCancelledPromptly: an already-cancelled context is refused
+// before any enumeration.
+func TestSuccessorsCancelledPromptly(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, _, err := Successors(s, Options{Universe: u, Context: ctx, MaxDepth: 1}, instance.NewInstance(s))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled Successors took %s", d)
+	}
+}
+
+// TestExplorePollsContextInLoop: same property for Explore — the periodic
+// poll must see an expiry that happens after the entry check.
+func TestExplorePollsContextInLoop(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	ctx := &pollCountCtx{Context: context.Background(), allowed: 1}
+	_, err := Explore(s, Options{Universe: u, Context: ctx, MaxDepth: 4},
+		func(*access.Path, *instance.Instance) (bool, error) { return true, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Explore with an expiring context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSuccessorsReportsResponseCap: the branching-time walk gets the same
+// honesty signal Explore does when the fan-out is cut.
+func TestSuccessorsReportsResponseCap(t *testing.T) {
+	s := tinySchema(t)
+	u := instance.NewInstance(s)
+	u.MustAdd("R", instance.Int(1))
+	u.MustAdd("S", instance.Int(1), instance.Int(2))
+	u.MustAdd("S", instance.Int(1), instance.Int(3))
+	u.MustAdd("S", instance.Int(1), instance.Int(4))
+	conf := instance.NewInstance(s)
+	_, rep, err := Successors(s, Options{Universe: u, MaxDepth: 1, MaxResponseChoices: 2}, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ResponsesCapped {
+		t.Error("3 matching tuples cut to 2 choices, but ResponsesCapped is false")
+	}
+	_, rep, err = Successors(s, Options{Universe: u, MaxDepth: 1, MaxResponseChoices: 3}, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResponsesCapped {
+		t.Error("uncut fan-out flagged as capped")
 	}
 }

@@ -1,6 +1,7 @@
 package lts
 
 import (
+	"errors"
 	"fmt"
 
 	"accltl/internal/access"
@@ -12,15 +13,20 @@ import (
 // configuration: every access (method × binding from the pool) with every
 // well-formed response drawn from the universe. It is the branching-time
 // counterpart of Explore — the CTL_EX model checker of package branching
-// walks the LTS through it.
-func Successors(sch *schema.Schema, opts Options, conf *instance.Instance) ([]access.Transition, error) {
+// walks the LTS through it. Like Explore, it polls opts.Context inside the
+// enumeration, so a deadline or cancellation stops a large
+// method × binding × response product promptly with the context's error;
+// and like Explore it reports when the subset-response fan-out was cut to
+// MaxResponseChoices, so verdicts built on a capped successor set are
+// never mistaken for exact.
+func Successors(sch *schema.Schema, opts Options, conf *instance.Instance) ([]access.Transition, Report, error) {
 	o := opts.withDefaults()
 	if o.Universe == nil {
-		return nil, fmt.Errorf("lts: Successors requires a Universe instance")
+		return nil, Report{}, fmt.Errorf("lts: Successors requires a Universe instance")
 	}
 	if o.Context != nil {
 		if err := o.Context.Err(); err != nil {
-			return nil, err
+			return nil, Report{}, err
 		}
 	}
 	e := &explorer{sch: sch, opts: o}
@@ -29,23 +35,37 @@ func Successors(sch *schema.Schema, opts Options, conf *instance.Instance) ([]ac
 		known[v] = true
 	}
 	var out []access.Transition
+	polled := 0
 	for _, m := range sch.Methods() {
 		for _, b := range e.bindings(m, known) {
+			// Poll every few bindings, not just on entry: the product can
+			// be huge and each binding fans out into 2^k responses.
+			polled++
+			if o.Context != nil && polled&0x3f == 0 {
+				if err := o.Context.Err(); err != nil {
+					return nil, Report{ResponsesCapped: e.respCapped}, err
+				}
+			}
 			acc, err := access.NewAccess(m, b)
 			if err != nil {
-				continue
+				// Typed pools make a mismatch an expected skip; any other
+				// construction failure is a real fault.
+				if errors.Is(err, access.ErrTypeMismatch) {
+					continue
+				}
+				return nil, Report{ResponsesCapped: e.respCapped}, err
 			}
 			for _, resp := range e.responses(acc, conf) {
 				next := conf.Clone()
 				rel := acc.Method.Relation().Name()
 				for _, t := range resp {
 					if _, err := next.Add(rel, t); err != nil {
-						return nil, err
+						return nil, Report{ResponsesCapped: e.respCapped}, err
 					}
 				}
 				out = append(out, access.Transition{Before: conf, Access: acc, After: next})
 			}
 		}
 	}
-	return out, nil
+	return out, Report{ResponsesCapped: e.respCapped}, nil
 }

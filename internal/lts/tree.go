@@ -30,7 +30,7 @@ func BuildTree(sch *schema.Schema, opts Options) (*TreeNode, error) {
 	// Map from path fingerprint to node so we can attach children. We rely
 	// on Explore's DFS order: a path's parent prefix is visited before it.
 	nodes := map[string]*TreeNode{"": root}
-	err := Explore(sch, opts, func(p *access.Path, conf *instance.Instance) (bool, error) {
+	_, err := Explore(sch, opts, func(p *access.Path, conf *instance.Instance) (bool, error) {
 		key := pathKey(p)
 		if p.Len() == 0 {
 			root.KnownFacts = conf

@@ -9,7 +9,10 @@ import (
 
 // PathTree is the tree of possible access paths (Figure 1): nodes are
 // "Known Facts" configurations, edges are accesses with one well-formed
-// response each.
+// response each. Every configuration and response in the tree is owned by
+// the tree — the zero-clone exploration core underneath (see internal/lts)
+// only lends its state to visitors, and the tree builder clones what it
+// keeps.
 type PathTree = lts.TreeNode
 
 // PathStats summarizes an exploration: paths and distinct configurations

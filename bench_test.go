@@ -13,6 +13,7 @@ import (
 
 	"accltl/internal/accltl"
 	"accltl/internal/autom"
+	"accltl/internal/branching"
 	"accltl/internal/datalog"
 	"accltl/internal/deps"
 	"accltl/internal/fo"
@@ -394,6 +395,89 @@ func BenchmarkLemma413_Boundedness(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---------- Exploration core (zero-clone mutate-and-undo engine) ----------
+// The ground-truth LTS exploration under every solver. Collect exercises the
+// full hot loop: binding enumeration, response fan-out, configuration
+// maintenance and per-depth fingerprint dedup. Depth ≥ 3 non-exact runs are
+// the headline workload for the allocation-free core; capped runs visit a
+// fixed prefix set (DFS order is deterministic), so before/after numbers
+// compare identical work.
+
+func BenchmarkExplore(b *testing.B) {
+	chain := workload.MustChain(3)
+	cu := chain.Universe()
+	phone := workload.MustPhone()
+	pu := phone.SmithJonesUniverse()
+	cases := []struct {
+		name     string
+		sch      *schema.Schema
+		opts     lts.Options
+		minPaths int
+	}{
+		{"chain/depth=3", chain.Schema, lts.Options{Universe: cu, MaxDepth: 3}, 1000},
+		{"chain/depth=3/grounded", chain.Schema, lts.Options{Universe: cu, MaxDepth: 3, GroundedOnly: true}, 10},
+		{"chain/depth=3/idempotent", chain.Schema, lts.Options{Universe: cu, MaxDepth: 3, IdempotentOnly: true}, 1000},
+		{"chain/depth=4/exact", chain.Schema, lts.Options{Universe: cu, MaxDepth: 4, AllExact: true}, 1000},
+		{"chain/depth=4/capped", chain.Schema, lts.Options{Universe: cu, MaxDepth: 4, MaxPaths: 50000}, 50000},
+		{"phone/depth=3/capped", phone.Schema, lts.Options{Universe: pu, MaxDepth: 3, MaxPaths: 10000}, 10000},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := lts.Collect(c.sch, c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.TotalPaths < c.minPaths {
+					b.Fatalf("explored only %d paths, want >= %d", st.TotalPaths, c.minPaths)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreSolverUnsat drives the bounded-model solver over a
+// depth-4 unsatisfiable instance: every prefix is visited, every letter is
+// evaluated and the (config, obligation) memo is exercised on each node —
+// the worst case the incremental fingerprints and last-transition letter
+// evaluation are built for.
+func BenchmarkExploreSolverUnsat(b *testing.B) {
+	chain := workload.MustChain(3)
+	f := accltl.Conj(
+		chain.ReachLastFormula(),
+		accltl.G(accltl.Not{F: accltl.Atom{Sentence: fo.Ex([]string{"x"},
+			fo.Atom{Pred: fo.PostPred("R2"), Args: []fo.Term{fo.Var("x")}})}}),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := accltl.SolveZeroAcc(f, accltl.SolveOptions{Schema: chain.Schema, MaxDepth: 4})
+		if err != nil || res.Satisfiable {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkBranchingEX walks the branching-time checker through nested EX
+// modalities: each EX materializes the one-step successor set, the third
+// engine riding on the exploration core.
+func BenchmarkBranchingEX(b *testing.B) {
+	chain := workload.MustChain(3)
+	q := func(i int) branching.Formula {
+		return branching.Atom{Sentence: fo.Ex([]string{"x"},
+			fo.Atom{Pred: fo.PostPred(fmt.Sprintf("R%d", i)), Args: []fo.Term{fo.Var("x")}})}
+	}
+	f := branching.EX{F: branching.Conj(q(0), branching.EX{F: q(1)})}
+	chk := &branching.Checker{Schema: chain.Schema, Opts: lts.Options{Universe: chain.Universe(), MaxDepth: 1}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, _, err := chk.Satisfiable(f, nil)
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
 	}
 }
 

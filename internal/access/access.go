@@ -8,6 +8,7 @@ package access
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"accltl/internal/instance"
@@ -160,11 +161,37 @@ func (p *Path) MustAppend(a Access, resp ...instance.Tuple) {
 	}
 }
 
-// Clone returns a copy sharing no mutable state.
+// AppendBorrowed appends a step without validation and without copying the
+// response: the mutate-and-undo fast path of the LTS explorer. The caller
+// promises that resp is a well-formed response for a (the explorer draws it
+// from the universe's matching tuples, well-formed by construction) and that
+// the resp slice stays untouched for as long as the step is on the path —
+// the explorer reuses one response buffer per depth, truncating the path
+// before rewriting it. Clone deep-copies responses, so a clone taken while a
+// borrowed step is live (a solver retaining its witness) is safe.
+func (p *Path) AppendBorrowed(a Access, resp []instance.Tuple) {
+	p.steps = append(p.steps, Step{Access: a, Response: resp})
+}
+
+// Truncate drops every step after the first n: the undo of an append. It
+// only releases the path's references; borrowed response buffers are the
+// caller's to recycle afterwards.
+func (p *Path) Truncate(n int) {
+	p.steps = p.steps[:n]
+}
+
+// Clone returns a copy sharing no mutable state. Response slices are
+// deep-copied (the originals may be explorer-borrowed buffers, see
+// AppendBorrowed); the tuples and accesses inside are immutable and shared.
 func (p *Path) Clone() *Path {
 	cp := NewPath(p.sch)
 	cp.steps = make([]Step, len(p.steps))
 	copy(cp.steps, p.steps)
+	for i := range cp.steps {
+		if r := cp.steps[i].Response; len(r) > 0 {
+			cp.steps[i].Response = append([]instance.Tuple(nil), r...)
+		}
+	}
 	return cp
 }
 
@@ -267,7 +294,7 @@ func (p *Path) IsGrounded(i0 *instance.Instance) bool {
 func (p *Path) IsIdempotent() bool {
 	seen := make(map[string]string) // access key -> response fingerprint
 	for _, s := range p.steps {
-		fp := responseFingerprint(s.Response)
+		fp := ResponseFingerprint(s.Response)
 		if prev, ok := seen[s.Access.Key()]; ok {
 			if prev != fp {
 				return false
@@ -288,7 +315,7 @@ func (p *Path) IsExactFor(i *instance.Instance, methods map[string]bool) bool {
 			continue
 		}
 		want := i.Matching(s.Access.Method, s.Access.Binding)
-		if responseFingerprint(want) != responseFingerprint(s.Response) {
+		if ResponseFingerprint(want) != ResponseFingerprint(s.Response) {
 			return false
 		}
 	}
@@ -309,19 +336,16 @@ func (p *Path) IsExact(i0 *instance.Instance, methods map[string]bool) (bool, er
 	return p.IsExactFor(final, methods), nil
 }
 
-// responseFingerprint returns an order-insensitive canonical fingerprint of
-// a response set.
-func responseFingerprint(resp []instance.Tuple) string {
+// ResponseFingerprint returns an order-insensitive canonical fingerprint of
+// a response set: the shared identity used by idempotence and exactness
+// checks here and by the LTS explorer (package lts), so the format has a
+// single definition.
+func ResponseFingerprint(resp []instance.Tuple) string {
 	keys := make([]string, len(resp))
 	for i, t := range resp {
 		keys[i] = t.Key()
 	}
-	// small n; insertion sort for determinism
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Strings(keys)
 	return strings.Join(keys, "\x1f")
 }
 

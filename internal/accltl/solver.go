@@ -206,11 +206,17 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 
 	// Abstract the temporal skeleton: each distinct sentence becomes a
 	// proposition; progression over the letters of evaluated sentences
-	// decides the formula, and dead obligations prune the search.
+	// decides the formula, and dead obligations prune the search. The
+	// sentence→proposition table is laid out once here — evalLetter walks
+	// the flat table instead of re-rendering every sentence's canonical
+	// string at every visited node.
 	sentences := Sentences(f)
 	props := make(map[string]ltl.Prop, len(sentences))
+	letters := make([]letterEntry, len(sentences))
 	for i, s := range sentences {
-		props[s.String()] = ltl.Prop(fmt.Sprintf("q%d", i))
+		p := ltl.Prop(fmt.Sprintf("q%d", i))
+		props[s.String()] = p
+		letters[i] = letterEntry{sentence: s, prop: p}
 	}
 	skeleton, err := abstract(f, props)
 	if err != nil {
@@ -261,17 +267,56 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 	res := SolveResult{Depth: depth}
 	type obState struct {
 		ob  ltl.Formula
+		id  int
 		len int
 	}
+	// Obligations are interned: id ↔ canonical rendering, with obList
+	// holding one representative formula per id. Progression results are
+	// cached per (obligation id, letter bitmask), so on the hot path a
+	// visited node neither re-runs ltl.Step nor re-renders a formula
+	// string — String() happens once per *distinct* obligation, not once
+	// per node. The bitmask fast path carries one bit per sentence and so
+	// needs len(letters) ≤ 64; larger formulas fall back to the direct
+	// route below (still correct, just per-node work).
+	obIDs := map[string]int{}
+	var obList []ltl.Formula
+	intern := func(f ltl.Formula) (int, ltl.Formula) {
+		s := f.String()
+		if id, ok := obIDs[s]; ok {
+			return id, obList[id]
+		}
+		id := len(obList)
+		obIDs[s] = id
+		obList = append(obList, f)
+		return id, f
+	}
+	type progKey struct {
+		ob     int
+		letter uint64
+	}
+	type progVal struct {
+		next   ltl.Formula
+		nextID int
+		accept bool
+	}
+	progCache := map[progKey]progVal{}
+	useMask := len(letters) <= 64
+	skelID, skeleton := intern(skeleton)
 	// Obligation per active prefix, keyed by path length; exploration is
 	// DFS so a stack mirrors the prefix chain.
-	stack := []obState{{ob: skeleton, len: 0}}
+	stack := []obState{{ob: skeleton, id: skelID, len: 0}}
 	// Memoization: satisfiability from a node depends only on the revealed
 	// configuration and the residual obligation, not on the history. Prune
 	// when the same (config, obligation) pair was already explored with at
-	// least as much depth budget remaining.
-	seen := make(map[string]int)
-	rep, searchErr := lts.Explore(opts.Schema, ltsOpts, func(p *access.Path, conf *instance.Instance) (bool, error) {
+	// least as much depth budget remaining. The configuration side of the
+	// key is the instance's O(1) incremental Hash, the obligation side its
+	// interned id — no canonical string is rebuilt per node.
+	type memoKey struct {
+		conf instance.Hash
+		ob   int
+	}
+	seen := make(map[memoKey]int)
+	rep, searchErr := lts.Explore(opts.Schema, ltsOpts, func(p *access.Path, pre, conf *instance.Instance) (bool, error) {
 		res.PathsExplored++
 		if p.Len() == 0 {
 			return true, nil
@@ -284,17 +329,38 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 			return false, fmt.Errorf("accltl: obligation stack underflow")
 		}
 		cur := stack[len(stack)-1].ob
-		// Evaluate the letter on the new transition.
-		ts, err := p.Transitions(opts.Initial)
-		if err != nil {
-			return false, err
+		curID := stack[len(stack)-1].id
+		// Evaluate the letter on the last transition only: the explorer
+		// already maintains the pre/post configurations incrementally, so
+		// no per-node materialization of the whole path's transitions (an
+		// O(depth²) habit) happens here.
+		last := access.Transition{Before: pre, Access: p.Step(p.Len() - 1).Access, After: conf}
+		var next ltl.Formula
+		var nextID int
+		var accept bool
+		if useMask {
+			mask, err := evalLetterMask(letters, last, voc)
+			if err != nil {
+				return false, err
+			}
+			pk := progKey{ob: curID, letter: mask}
+			pv, ok := progCache[pk]
+			if !ok {
+				n, acc := ltl.Step(cur, letterFromMask(letters, mask))
+				pv.nextID, pv.next = intern(n)
+				pv.accept = acc
+				progCache[pk] = pv
+			}
+			next, nextID, accept = pv.next, pv.nextID, pv.accept
+		} else {
+			letter, err := evalLetter(letters, last, voc)
+			if err != nil {
+				return false, err
+			}
+			var n ltl.Formula
+			n, accept = ltl.Step(cur, letter)
+			nextID, next = intern(n)
 		}
-		last := ts[len(ts)-1]
-		letter, err := evalLetter(sentences, props, last, voc)
-		if err != nil {
-			return false, err
-		}
-		next, accept := ltl.Step(cur, letter)
 		if accept {
 			res.Satisfiable = true
 			res.Witness = p.Clone()
@@ -302,7 +368,13 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 		}
 		if opts.DisableLTLPruning {
 			// Ablation: ignore the dead-obligation signal; re-check the
-			// whole formula directly at every prefix instead.
+			// whole formula directly at every prefix instead (this is the
+			// one place the full transition list is still materialized —
+			// deliberately, it is the slow baseline).
+			ts, err := p.Transitions(opts.Initial)
+			if err != nil {
+				return false, err
+			}
 			ok, err := Satisfied(f, ts, voc)
 			if err != nil {
 				return false, err
@@ -312,7 +384,7 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 				res.Witness = p.Clone()
 				return false, lts.ErrStop
 			}
-			stack = append(stack, obState{ob: next, len: p.Len()})
+			stack = append(stack, obState{ob: next, id: nextID, len: p.Len()})
 			return true, nil
 		}
 		if t, isT := next.(ltl.Truth); isT && !bool(t) {
@@ -322,13 +394,13 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 		// so far, so (config, obligation) memoization would be unsound.
 		if !opts.IdempotentOnly {
 			remaining := depth - p.Len()
-			key := conf.Fingerprint() + "\x00" + next.String()
+			key := memoKey{conf: conf.Hash(), ob: nextID}
 			if prev, ok := seen[key]; ok && prev >= remaining {
 				return false, nil // dominated: already searched from here
 			}
 			seen[key] = remaining
 		}
-		stack = append(stack, obState{ob: next, len: p.Len()})
+		stack = append(stack, obState{ob: next, id: nextID, len: p.Len()})
 		return true, nil
 	})
 	if searchErr != nil {
@@ -463,24 +535,67 @@ func abstract(f Formula, props map[string]ltl.Prop) (ltl.Formula, error) {
 	}
 }
 
+// letterEntry pairs an embedded sentence with its proposition. boundedSearch
+// lays the table out once per solve; evalLetter then never re-renders a
+// sentence's canonical string to find its proposition.
+type letterEntry struct {
+	sentence fo.Formula
+	prop     ltl.Prop
+}
+
 // evalLetter evaluates every sentence on the transition and returns the
 // corresponding propositional letter.
-func evalLetter(sentences []fo.Formula, props map[string]ltl.Prop, t access.Transition, voc Vocabulary) (ltl.Letter, error) {
+func evalLetter(letters []letterEntry, t access.Transition, voc Vocabulary) (ltl.Letter, error) {
 	var st fo.Structure
 	if voc == ZeroAcc {
 		st = access.ZeroAccStructureOf(t)
 	} else {
 		st = access.StructureOf(t)
 	}
-	l := make(ltl.Letter, len(sentences))
-	for _, s := range sentences {
-		v, err := fo.Eval(s, st)
+	l := make(ltl.Letter, len(letters))
+	for _, e := range letters {
+		v, err := fo.Eval(e.sentence, st)
 		if err != nil {
 			return nil, err
 		}
 		if v {
-			l[props[s.String()]] = true
+			l[e.prop] = true
 		}
 	}
 	return l, nil
+}
+
+// evalLetterMask is evalLetter packed into a bitmask (bit i ⇔ sentence i
+// holds): the allocation-free letter the progression cache keys on. Only
+// valid for ≤ 64 sentences; boundedSearch falls back to evalLetter beyond.
+func evalLetterMask(letters []letterEntry, t access.Transition, voc Vocabulary) (uint64, error) {
+	var st fo.Structure
+	if voc == ZeroAcc {
+		st = access.ZeroAccStructureOf(t)
+	} else {
+		st = access.StructureOf(t)
+	}
+	var mask uint64
+	for i, e := range letters {
+		v, err := fo.Eval(e.sentence, st)
+		if err != nil {
+			return 0, err
+		}
+		if v {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask, nil
+}
+
+// letterFromMask expands a bitmask back into the map form ltl.Step consumes
+// (progression-cache misses only).
+func letterFromMask(letters []letterEntry, mask uint64) ltl.Letter {
+	l := make(ltl.Letter, len(letters))
+	for i, e := range letters {
+		if mask&(1<<uint(i)) != 0 {
+			l[e.prop] = true
+		}
+	}
+	return l
 }

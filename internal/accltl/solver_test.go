@@ -417,3 +417,115 @@ func TestAblationLTLPruning(t *testing.T) {
 		}
 	}
 }
+
+// TestSolverEquivalenceAcrossOptionGrid is the engine-equivalence golden
+// test at the solver level: across grounded/idempotent/exact/capped option
+// combinations, the optimized engine (obligation progression, (config,
+// obligation) memoization on incremental hashes, letters evaluated on the
+// last transition only) must agree with the DisableLTLPruning ablation,
+// which re-checks the whole formula on fully materialized transition lists
+// at every prefix — the direct Section 3 semantics. Witnesses are verified
+// against Satisfied, and Truncated/ResponsesCapped reporting is compared
+// wherever the two engines visit the same space.
+func TestSolverEquivalenceAcrossOptionGrid(t *testing.T) {
+	s := chainSchema(t)
+	formulas := map[string]Formula{
+		"reach-R1":  F(postNonEmpty("R1")),
+		"nested":    F(Conj(postNonEmpty("R0"), F(postNonEmpty("R1")))),
+		"unsat":     Conj(F(postNonEmpty("R0")), G(Not{F: postNonEmpty("R0")})),
+		"bind-then": Conj(bind0("scanR0"), Next{F: bind0("chkR1")}),
+	}
+	grid := []struct {
+		name string
+		opts SolveOptions
+	}{
+		{"plain", SolveOptions{Schema: s, MaxDepth: 3}},
+		{"grounded", SolveOptions{Schema: s, MaxDepth: 3, Grounded: true}},
+		{"idempotent", SolveOptions{Schema: s, MaxDepth: 3, IdempotentOnly: true}},
+		{"all-exact", SolveOptions{Schema: s, MaxDepth: 3, AllExact: true}},
+		{"exact-subset", SolveOptions{Schema: s, MaxDepth: 3, ExactMethods: map[string]bool{"scanR0": true}}},
+		{"resp-choices=1", SolveOptions{Schema: s, MaxDepth: 3, MaxResponseChoices: 1}},
+		{"paths-capped", SolveOptions{Schema: s, MaxDepth: 3, MaxPaths: 30}},
+		{"grounded+idempotent", SolveOptions{Schema: s, MaxDepth: 3, Grounded: true, IdempotentOnly: true}},
+		{"exact+capped", SolveOptions{Schema: s, MaxDepth: 3, AllExact: true, MaxPaths: 50}},
+	}
+	for fname, f := range formulas {
+		for _, g := range grid {
+			t.Run(fname+"/"+g.name, func(t *testing.T) {
+				pruned, err := SolveZeroAcc(f, g.opts)
+				if err != nil {
+					t.Fatalf("optimized engine: %v", err)
+				}
+				ablOpts := g.opts
+				ablOpts.DisableLTLPruning = true
+				direct, err := SolveZeroAcc(f, ablOpts)
+				if err != nil {
+					t.Fatalf("direct engine: %v", err)
+				}
+				if pruned.Satisfiable != direct.Satisfiable {
+					// Pruning visits fewer prefixes, so under a path cap the
+					// two engines may legitimately cover different portions
+					// of the space; any other disagreement is a bug.
+					if !pruned.Truncated && !direct.Truncated {
+						t.Fatalf("verdicts diverge without truncation: optimized=%+v direct=%+v", pruned, direct)
+					}
+					return
+				}
+				if pruned.Satisfiable {
+					// Both found witnesses: each must pass the direct
+					// semantics (the solver self-checks, but assert here
+					// too so this test stands alone).
+					for name, res := range map[string]SolveResult{"optimized": pruned, "direct": direct} {
+						ts, err := res.Witness.Transitions(nil)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ok, err := Satisfied(f, ts, ZeroAcc)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !ok {
+							t.Errorf("%s engine: witness rejected by direct semantics: %s", name, res.Witness)
+						}
+					}
+					return
+				}
+				// Both unsatisfiable: honesty flags must agree unless the
+				// engines were cut at different points by the path cap
+				// (pruning legitimately visits less, so only the direct
+				// engine's cap can fire alone).
+				if pruned.ResponsesCapped != direct.ResponsesCapped && !pruned.Truncated && !direct.Truncated {
+					t.Errorf("ResponsesCapped diverges: optimized=%v direct=%v", pruned.ResponsesCapped, direct.ResponsesCapped)
+				}
+				if pruned.Truncated && !direct.Truncated {
+					t.Errorf("optimized engine truncated where the exhaustive engine completed")
+				}
+			})
+		}
+	}
+}
+
+// TestSolverWitnessStableAfterSearch pins the retain-by-clone side of the
+// Visitor borrowing contract at the solver level: the witness must render
+// and re-evaluate identically long after the exploration buffers have been
+// recycled.
+func TestSolverWitnessStableAfterSearch(t *testing.T) {
+	s := chainSchema(t)
+	f := F(Conj(postNonEmpty("R0"), F(postNonEmpty("R1"))))
+	res, err := SolveZeroAcc(f, SolveOptions{Schema: s, MaxDepth: 3})
+	if err != nil || !res.Satisfiable {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	first := res.Witness.String()
+	ts, err := res.Witness.Transitions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Satisfied(f, ts, ZeroAcc)
+	if err != nil || !ok {
+		t.Fatalf("witness rejected on re-evaluation: ok=%v err=%v", ok, err)
+	}
+	if res.Witness.String() != first {
+		t.Error("witness mutated between renderings")
+	}
+}

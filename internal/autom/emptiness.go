@@ -3,6 +3,7 @@ package autom
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"accltl/internal/access"
 	"accltl/internal/accltl"
@@ -116,7 +117,12 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 	stack := []frame{{states: map[int]bool{a.Init: true}, length: 0}}
 	// Memoization: emptiness from a node depends only on the revealed
 	// configuration and the automaton state set; prune dominated revisits.
-	seen := make(map[string]int)
+	// The configuration is identified by its O(1) incremental Hash.
+	type memoKey struct {
+		conf   instance.Hash
+		states string
+	}
+	seen := make(map[memoKey]int)
 	rep, err := lts.Explore(a.Schema, lts.Options{
 		Context:            opts.Context,
 		Universe:           universe,
@@ -129,7 +135,7 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 		MaxResponseChoices: opts.MaxResponseChoices,
 		MaxPaths:           maxPaths,
 		ExtraBindingValues: extraVals,
-	}, func(p *access.Path, conf *instance.Instance) (bool, error) {
+	}, func(p *access.Path, pre, conf *instance.Instance) (bool, error) {
 		res.PathsExplored++
 		if p.Len() == 0 {
 			return true, nil
@@ -141,11 +147,10 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 			return false, fmt.Errorf("autom: state stack underflow")
 		}
 		cur := stack[len(stack)-1].states
-		ts, err := p.Transitions(opts.Initial)
-		if err != nil {
-			return false, err
-		}
-		last := ts[len(ts)-1]
+		// The automaton steps on the last transition only, assembled from
+		// the pre/post configurations the explorer maintains incrementally
+		// — no per-node rebuild of the whole path's transitions.
+		last := access.Transition{Before: pre, Access: p.Step(p.Len() - 1).Access, After: conf}
 		next, err := a.StepStates(cur, access.StructureOf(last))
 		if err != nil {
 			return false, err
@@ -164,7 +169,7 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 		// so far; skip memoization there (see the solver's twin note).
 		if !opts.IdempotentOnly {
 			remaining := depth - p.Len()
-			key := conf.Fingerprint() + "\x00" + stateSetKey(next)
+			key := memoKey{conf: conf.Hash(), states: stateSetKey(next)}
 			if prev, ok := seen[key]; ok && prev >= remaining {
 				return false, nil
 			}
@@ -198,11 +203,7 @@ func stateSetKey(states map[int]bool) string {
 	for s := range states {
 		ids = append(ids, s)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Ints(ids)
 	out := make([]byte, 0, len(ids)*3)
 	for _, s := range ids {
 		out = append(out, byte(s), byte(s>>8), ',')

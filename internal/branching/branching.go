@@ -135,6 +135,10 @@ type Checker struct {
 // structure M'(t) as in Section 5.2. When Opts.Context is set it is polled
 // across the recursion, so a cancelled or expired context aborts a deep EX
 // tower promptly with the context's error.
+//
+// Unlike lts.Explore's borrowed visitor arguments, the transitions
+// Successors returns are caller-owned (each After is a fresh instance), so
+// the recursion below may hold them across nested EX expansions freely.
 func (c *Checker) Holds(f Formula, t access.Transition) (bool, error) {
 	if c.Opts.Context != nil {
 		if err := c.Opts.Context.Err(); err != nil {

@@ -87,12 +87,62 @@ func (t Tuple) WellTyped(r *schema.Relation) bool {
 	return true
 }
 
+// Hash is a 128-bit order-independent fingerprint of an instance's contents:
+// the component-wise sum (mod 2^64) of one mixed hash per (relation, tuple)
+// pair. Summation is commutative and invertible, so the Instance can keep it
+// incrementally up to date in O(1) per Add/Remove, whatever the order tuples
+// arrive or leave in. Two 64-bit lanes with independent mixes push the
+// collision probability for the instance populations seen during exploration
+// (≪ 2^32 distinct configurations) far below anything a search could hit.
+// The canonical string form (Fingerprint) remains as the debug/cross-check
+// path; TestHashMatchesCanonicalFingerprint pins the invariant
+//
+//	a.Hash() == b.Hash()  ⇔  a.Fingerprint() == b.Fingerprint()
+//
+// over randomized add/remove schedules.
+type Hash struct{ A, B uint64 }
+
+// tupleHash derives the two-lane contribution of one (relation, tuple) pair.
+func tupleHash(rel, tupleKey string) Hash {
+	// FNV-1a over rel \x00 key, then two independent splitmix64 finalizers:
+	// the raw FNV value keeps enough entropy, the finalizers decorrelate the
+	// lanes and destroy FNV's additive structure before the outer summation.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(rel); i++ {
+		h = (h ^ uint64(rel[i])) * prime64
+	}
+	h = (h ^ 0) * prime64
+	for i := 0; i < len(tupleKey); i++ {
+		h = (h ^ uint64(tupleKey[i])) * prime64
+	}
+	return Hash{A: splitmix64(h), B: splitmix64(h ^ 0x9e3779b97f4a7c15)}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective mixer with full
+// avalanche, the standard way to turn a structured 64-bit value into one
+// safe to combine linearly.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Instance is a finite collection of tuples per relation name. The zero
 // value is not usable; call NewInstance. Instances are value-semantics-ish:
 // mutating methods modify in place, Clone copies deeply.
+//
+// Invariant (incremental fingerprint): hash always equals the sum of
+// tupleHash(rel, key) over every (rel, key) currently stored. Every code
+// path that inserts into or deletes from rels — Add/AddKeyed and
+// Remove/RemoveKeyed are the only four — must update hash in the same step;
+// Clone copies it. Hash() is therefore O(1) where Fingerprint() is
+// O(n log n).
 type Instance struct {
 	sch  *schema.Schema
 	rels map[string]map[string]Tuple // relation name -> tuple key -> tuple
+	hash Hash
 }
 
 // NewInstance returns an empty instance over the schema.
@@ -123,7 +173,78 @@ func (in *Instance) Add(rel string, t Tuple) (bool, error) {
 		return false, nil
 	}
 	m[k] = t.Clone()
+	th := tupleHash(rel, k)
+	in.hash.A += th.A
+	in.hash.B += th.B
 	return true, nil
+}
+
+// Remove deletes tuple t from relation rel, reporting whether it was
+// present. Removing an absent tuple is a no-op. Together with Add's newness
+// report it supports mutate-and-undo exploration: record which Adds were
+// new, Remove exactly those on backtrack, and the instance (including its
+// incremental Hash) is restored bit for bit.
+func (in *Instance) Remove(rel string, t Tuple) bool {
+	m := in.rels[rel]
+	if m == nil {
+		return false
+	}
+	k := t.Key()
+	if _, ok := m[k]; !ok {
+		return false
+	}
+	delete(m, k)
+	th := tupleHash(rel, k)
+	in.hash.A -= th.A
+	in.hash.B -= th.B
+	return true
+}
+
+// Hash returns the incrementally maintained order-independent fingerprint of
+// the instance contents in O(1). Equal instances have equal hashes; distinct
+// instances collide with negligible probability (see Hash). Exploration-time
+// dedup and memoization key on it instead of the canonical Fingerprint
+// string.
+func (in *Instance) Hash() Hash { return in.hash }
+
+// AddKeyed is Add for trusted hot paths: no arity/type validation, no
+// defensive tuple clone, no key rebuild. The caller promises that key equals
+// t.Key(), that t conforms to relation rel of the schema, and that t is
+// never mutated afterwards (ownership transfers; the LTS explorer passes
+// universe-owned tuples, immutable for the whole exploration, with keys
+// computed once per universe). The incremental-fingerprint invariant is
+// maintained exactly as in Add. Reports whether the tuple was new.
+func (in *Instance) AddKeyed(rel string, t Tuple, key string) bool {
+	m := in.rels[rel]
+	if m == nil {
+		m = make(map[string]Tuple)
+		in.rels[rel] = m
+	}
+	if _, dup := m[key]; dup {
+		return false
+	}
+	m[key] = t
+	th := tupleHash(rel, key)
+	in.hash.A += th.A
+	in.hash.B += th.B
+	return true
+}
+
+// RemoveKeyed is Remove with the canonical key already in hand: the undo
+// partner of AddKeyed. Reports whether a tuple was removed.
+func (in *Instance) RemoveKeyed(rel, key string) bool {
+	m := in.rels[rel]
+	if m == nil {
+		return false
+	}
+	if _, ok := m[key]; !ok {
+		return false
+	}
+	delete(m, key)
+	th := tupleHash(rel, key)
+	in.hash.A -= th.A
+	in.hash.B -= th.B
+	return true
 }
 
 // MustAdd is Add that panics on error; for tests and statically known data.
@@ -182,6 +303,7 @@ func (in *Instance) Clone() *Instance {
 		}
 		cp.rels[rel] = nm
 	}
+	cp.hash = in.hash
 	return cp
 }
 
@@ -280,8 +402,11 @@ func (in *Instance) Matching(m *schema.AccessMethod, binding Tuple) []Tuple {
 	return out
 }
 
-// Fingerprint returns a canonical string identifying the instance contents,
-// suitable for deduplicating instances during LTS exploration.
+// Fingerprint returns a canonical string identifying the instance contents.
+// It is the collision-free (and O(n log n)) counterpart of Hash: the hot
+// exploration paths dedup on Hash, and tests cross-check the two. Keep using
+// Fingerprint where a printable or persistent identity is needed (debugging,
+// golden files, cross-process keys).
 func (in *Instance) Fingerprint() string {
 	rels := make([]string, 0, len(in.rels))
 	for rel, m := range in.rels {

@@ -290,3 +290,140 @@ func TestPropertyUnionMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// recomputeHash rebuilds the fingerprint from scratch: the ground truth the
+// incremental maintenance in Add/Remove must match at every point.
+func recomputeHash(in *Instance) Hash {
+	var h Hash
+	for _, rel := range []string{"R", "B"} {
+		for _, t := range in.Tuples(rel) {
+			th := tupleHash(rel, t.Key())
+			h.A += th.A
+			h.B += th.B
+		}
+	}
+	return h
+}
+
+// TestHashMatchesCanonicalFingerprint drives a randomized add/remove
+// schedule and checks, after every mutation, that the O(1) incremental Hash
+// agrees with a from-scratch recomputation and stays in lockstep with the
+// canonical Fingerprint string (equal fingerprints ⇔ equal hashes).
+func TestHashMatchesCanonicalFingerprint(t *testing.T) {
+	s := testSchema(t)
+	in := NewInstance(s)
+	if in.Hash() != (Hash{}) {
+		t.Fatalf("empty instance hash = %+v, want zero", in.Hash())
+	}
+	byFingerprint := map[string]Hash{}
+	// A fixed pseudo-random schedule (xorshift) of adds and removes over a
+	// small tuple space, so collisions between states are frequent.
+	seed := uint64(0x2545F4914F6CDD1D)
+	next := func(n int) int {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return int(seed % uint64(n))
+	}
+	tuples := []Tuple{
+		{Int(1), Str("a")}, {Int(1), Str("b")}, {Int(2), Str("a")},
+		{Int(2), Str("b")}, {Int(3), Str("c")},
+	}
+	for step := 0; step < 2000; step++ {
+		tu := tuples[next(len(tuples))]
+		if next(2) == 0 {
+			if _, err := in.Add("R", tu); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			in.Remove("R", tu)
+		}
+		if next(3) == 0 {
+			in.MustAdd("B", Bool(next(2) == 0))
+		}
+		if got, want := in.Hash(), recomputeHash(in); got != want {
+			t.Fatalf("step %d: incremental hash %+v diverged from recomputed %+v", step, got, want)
+		}
+		fp := in.Fingerprint()
+		if prev, ok := byFingerprint[fp]; ok && prev != in.Hash() {
+			t.Fatalf("step %d: same canonical fingerprint, different hashes (%+v vs %+v)", step, prev, in.Hash())
+		}
+		byFingerprint[fp] = in.Hash()
+	}
+	// Distinct fingerprints must have produced distinct hashes.
+	seen := map[Hash]string{}
+	for fp, h := range byFingerprint {
+		if prev, ok := seen[h]; ok && prev != fp {
+			t.Fatalf("hash collision between %q and %q", prev, fp)
+		}
+		seen[h] = fp
+	}
+}
+
+// TestHashOrderIndependence: permuted insertion orders land on the same
+// hash, and Clone carries the hash along.
+func TestHashOrderIndependence(t *testing.T) {
+	s := testSchema(t)
+	a, b := NewInstance(s), NewInstance(s)
+	a.MustAdd("R", Int(1), Str("x"))
+	a.MustAdd("R", Int(2), Str("y"))
+	a.MustAdd("B", Bool(true))
+	b.MustAdd("B", Bool(true))
+	b.MustAdd("R", Int(2), Str("y"))
+	b.MustAdd("R", Int(1), Str("x"))
+	if a.Hash() != b.Hash() {
+		t.Errorf("same contents, different hashes: %+v vs %+v", a.Hash(), b.Hash())
+	}
+	if a.Clone().Hash() != a.Hash() {
+		t.Error("Clone changed the hash")
+	}
+	// Add + Remove round-trips to the exact prior hash.
+	h := a.Hash()
+	if fresh, _ := a.Add("R", Tuple{Int(9), Str("z")}); !fresh {
+		t.Fatal("tuple not fresh")
+	}
+	if a.Hash() == h {
+		t.Error("add did not change the hash")
+	}
+	if !a.Remove("R", Tuple{Int(9), Str("z")}) {
+		t.Fatal("remove failed")
+	}
+	if a.Hash() != h {
+		t.Errorf("add/remove did not restore the hash: %+v vs %+v", a.Hash(), h)
+	}
+	// Removing an absent tuple is a no-op.
+	if a.Remove("R", Tuple{Int(42), Str("nope")}) || a.Hash() != h {
+		t.Error("removing an absent tuple changed state")
+	}
+}
+
+// TestRemoveAgainstAddNewness: the (Add newness, Remove) pair is exactly the
+// undo protocol the LTS explorer relies on.
+func TestRemoveAgainstAddNewness(t *testing.T) {
+	s := testSchema(t)
+	in := NewInstance(s)
+	in.MustAdd("R", Int(1), Str("pre"))
+	before := in.Fingerprint()
+	resp := []Tuple{{Int(1), Str("pre")}, {Int(7), Str("new")}}
+	var added []Tuple
+	for _, tu := range resp {
+		fresh, err := in.Add("R", tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh {
+			added = append(added, tu)
+		}
+	}
+	if len(added) != 1 {
+		t.Fatalf("expected 1 fresh tuple, got %d", len(added))
+	}
+	for _, tu := range added {
+		if !in.Remove("R", tu) {
+			t.Fatal("undo failed")
+		}
+	}
+	if in.Fingerprint() != before {
+		t.Errorf("undo did not restore the instance: %s vs %s", in.Fingerprint(), before)
+	}
+}

@@ -1,0 +1,72 @@
+package lts
+
+import (
+	"testing"
+
+	"accltl/internal/access"
+	"accltl/internal/instance"
+)
+
+// TestExploreAllocsPerNode is the allocation-regression guard for the
+// mutate-and-undo core: the clone-per-child engine spent ~25 allocations
+// per visited prefix on this workload; the rewrite brought it to ~1.3. The
+// bound has headroom for map growth and runtime noise but fails loudly if
+// per-child cloning (path, configuration, response materialization, binding
+// re-enumeration, per-node key builds) ever creeps back into the hot loop.
+func TestExploreAllocsPerNode(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	opts := Options{Universe: u, MaxDepth: 3}
+	// Visit count of the workload, for the per-node normalization.
+	var nodes int
+	if _, err := Explore(s, opts, func(_ *access.Path, _, _ *instance.Instance) (bool, error) {
+		nodes++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if nodes < 100 {
+		t.Fatalf("workload too small to be meaningful: %d nodes", nodes)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := Explore(s, opts, func(_ *access.Path, _, _ *instance.Instance) (bool, error) {
+			return true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perNode := avg / float64(nodes)
+	t.Logf("%d nodes, %.0f allocs/run, %.2f allocs/node", nodes, avg, perNode)
+	const maxPerNode = 8
+	if perNode > maxPerNode {
+		t.Errorf("exploration allocates %.2f per visited node (budget %d): per-child cloning is back in the hot loop", perNode, maxPerNode)
+	}
+}
+
+// TestExploreAllocsPerNodeIdempotent covers the idempotent-mode hot loop,
+// whose response fingerprinting is inherently a little more expensive.
+func TestExploreAllocsPerNodeIdempotent(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	opts := Options{Universe: u, MaxDepth: 3, IdempotentOnly: true}
+	var nodes int
+	if _, err := Explore(s, opts, func(_ *access.Path, _, _ *instance.Instance) (bool, error) {
+		nodes++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := Explore(s, opts, func(_ *access.Path, _, _ *instance.Instance) (bool, error) {
+			return true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perNode := avg / float64(nodes)
+	t.Logf("%d nodes, %.0f allocs/run, %.2f allocs/node", nodes, avg, perNode)
+	const maxPerNode = 12
+	if perNode > maxPerNode {
+		t.Errorf("idempotent exploration allocates %.2f per visited node (budget %d)", perNode, maxPerNode)
+	}
+}

@@ -9,12 +9,25 @@
 // fragment solver's "satisfiable" verdict must come with a witness path the
 // direct semantics accepts, and "unsatisfiable" verdicts are cross-checked
 // by exhaustive enumeration up to the bound.
+//
+// The search core is mutate-and-undo: one reusable path and one pair of
+// configurations (post, and pre lagging one step behind) are threaded
+// through the whole depth-first walk, with each step recording exactly what
+// it added — tuples via Instance.Add's newness report, binding-pool values —
+// and removing it again on backtrack. Response fan-out is enumerated lazily
+// (subset masks over the matching tuples, never a materialized 2^n slice of
+// slices), bindings are cached per (method, binding-pool version), and
+// configuration identity uses the instances' O(1) incremental Hash. Nothing
+// is cloned per visited node; see Visitor for the borrowing contract this
+// imposes on callers.
 package lts
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"accltl/internal/access"
 	"accltl/internal/instance"
@@ -30,7 +43,9 @@ type Options struct {
 	Context context.Context
 	// Universe is the hidden instance: every response draws its tuples from
 	// the matching tuples of Universe. Exploration is complete relative to
-	// this choice of possible world.
+	// this choice of possible world. It must not be mutated while an
+	// exploration runs: the explorer caches its sorted relation contents and
+	// active domain, and responses alias its tuples.
 	Universe *instance.Instance
 	// Initial is the initially known instance I0 (nil = empty).
 	Initial *instance.Instance
@@ -68,10 +83,20 @@ func (o *Options) withDefaults() Options {
 	return opts
 }
 
-// Visitor receives each explored path prefix together with its final
-// configuration. Returning expand=false prunes extensions of this path;
-// returning a non-nil error aborts the whole exploration.
-type Visitor func(p *access.Path, conf *instance.Instance) (expand bool, err error)
+// Visitor receives each explored path prefix together with the
+// configurations around its last step: conf is the configuration after the
+// whole path, pre the configuration before the path's final access (the
+// last transition of the prefix is (pre, last access, conf); for the empty
+// path pre holds the same contents as conf). Returning expand=false prunes
+// extensions of this path; returning a non-nil error aborts the whole
+// exploration.
+//
+// Borrowing contract: all three arguments are borrowed until the visitor
+// returns. The explorer mutates the path and both configurations in place
+// as it advances and backtracks, so a visitor that wants to retain any of
+// them must Clone (solvers clone their witness path; tree builders clone
+// the configuration). Reading is free; holding is not.
+type Visitor func(p *access.Path, pre, conf *instance.Instance) (expand bool, err error)
 
 // ErrStop can be returned by a Visitor to abort exploration without error.
 var ErrStop = fmt.Errorf("lts: stop requested")
@@ -110,14 +135,17 @@ func Explore(sch *schema.Schema, opts Options, visit Visitor) (Report, error) {
 	if init == nil {
 		init = instance.NewInstance(sch)
 	}
-	e := &explorer{sch: sch, opts: o, visit: visit}
-	p := access.NewPath(sch)
-	conf := init.Clone()
-	known := make(map[instance.Value]bool)
+	e := newExplorer(sch, o)
+	e.visit = visit
+	e.path = access.NewPath(sch)
+	// The only two clones of the whole exploration: the mutate-and-undo
+	// post configuration and its one-step-lagging pre twin.
+	e.post = init.Clone()
+	e.pre = init.Clone()
 	for _, v := range init.ActiveDomain() {
-		known[v] = true
+		e.known[v] = true
 	}
-	err := e.rec(p, conf, known, make(map[string]string))
+	err := e.rec(0, nil, nil, "")
 	rep := Report{Paths: e.paths, PathsCapped: e.pathsCapped, ResponsesCapped: e.respCapped}
 	if err == ErrStop {
 		return rep, nil
@@ -125,16 +153,115 @@ func Explore(sch *schema.Schema, opts Options, visit Visitor) (Report, error) {
 	return rep, err
 }
 
+// boundAccess is a cache-owned access with its canonical key precomputed
+// (the key is needed on every idempotence check).
+type boundAccess struct {
+	acc access.Access
+	key string
+}
+
+// bindKey keys the binding cache: one entry per access method per
+// binding-pool version. Versions only ever advance while the pool that
+// produced them is live (see step), so an entry can never serve a stale
+// pool.
+type bindKey struct {
+	m       *schema.AccessMethod
+	version uint64
+}
+
+// frame is the per-depth scratch space: reusable buffers whose lifetime is
+// one node's child enumeration. A child's whole subtree runs on deeper
+// frames, so the buffers are stable for exactly as long as anything borrows
+// them (the path borrows resp, the undo in step needs added/vals). The
+// *Keys slices run parallel to their tuple slices, carrying the canonical
+// tuple keys precomputed once per universe so the instances' keyed
+// add/remove fast paths never rebuild a key string per node.
+type frame struct {
+	matching  []instance.Tuple // matching universe tuples of the current access
+	matchKeys []string
+	resp      []instance.Tuple // response under construction (borrowed by the path)
+	respKeys  []string
+	added     []instance.Tuple // tuples the step into the child revealed
+	addedKeys []string
+	vals      []instance.Value // values the step into the child made known
+	fpKeys    []string         // respFingerprint sort scratch (idempotent mode)
+}
+
 type explorer struct {
-	sch         *schema.Schema
-	opts        Options
-	visit       Visitor
+	sch   *schema.Schema
+	opts  Options
+	visit Visitor
+
 	paths       int
 	pathsCapped bool
 	respCapped  bool
+
+	// Mutate-and-undo state: the single reusable path, the configuration
+	// after it (post), the configuration before its last step (pre), and
+	// the known-value set of the binding pool.
+	path   *access.Path
+	pre    *instance.Instance
+	post   *instance.Instance
+	known  map[instance.Value]bool
+	idem   map[string]string
+	frames []*frame
+
+	// poolVersion identifies the current binding pool for the cache. It
+	// moves only in grounded mode: non-grounded pools are constant for a
+	// whole exploration (every revealed value already lives in the
+	// universe's active domain, see bindingPool). versionSeq hands out
+	// fresh, never-reused version numbers. bindLog records cache insertions
+	// in creation order (grounded mode only) so backtracking past a version
+	// bump can evict exactly the entries whose pool died with the subtree.
+	poolVersion uint64
+	versionSeq  uint64
+	bindCache   map[bindKey][]boundAccess
+	bindLog     []bindKey
+
+	// Universe caches: relation contents in canonical order with their
+	// canonical keys, and the active domain, each computed once per
+	// exploration instead of re-sorted (or re-keyed) at every node.
+	uTuples map[string]*relCache
+	uDomain []instance.Value
 }
 
-func (e *explorer) rec(p *access.Path, conf *instance.Instance, known map[instance.Value]bool, idem map[string]string) error {
+// relCache is one relation's universe contents with precomputed keys.
+type relCache struct {
+	tuples []instance.Tuple
+	keys   []string
+}
+
+func newExplorer(sch *schema.Schema, o Options) *explorer {
+	return &explorer{
+		sch:       sch,
+		opts:      o,
+		known:     make(map[instance.Value]bool),
+		idem:      make(map[string]string),
+		bindCache: make(map[bindKey][]boundAccess),
+		uTuples:   make(map[string]*relCache),
+	}
+}
+
+func (e *explorer) frame(depth int) *frame {
+	for len(e.frames) <= depth {
+		e.frames = append(e.frames, &frame{})
+	}
+	return e.frames[depth]
+}
+
+func (e *explorer) exact(m *schema.AccessMethod) bool {
+	return e.opts.AllExact || (e.opts.ExactMethods != nil && e.opts.ExactMethods[m.Name()])
+}
+
+// rec visits the node the explorer state currently describes (path of
+// length depth, pre/post configurations, known values) and expands its
+// children in place. delta is the set of tuples the step *into* this node
+// revealed, over relation deltaRel (deltaKeys carries their canonical keys)
+// — exactly what post holds beyond pre during this node's visit. After the
+// visit, rec pushes delta onto pre once (making pre this node's own
+// configuration, the "before" side of every child transition) and pops it
+// once before returning — per node, not per child.
+func (e *explorer) rec(depth int, delta []instance.Tuple, deltaKeys []string, deltaRel string) error {
 	if e.opts.MaxPaths > 0 && e.paths >= e.opts.MaxPaths {
 		// The cap fires only when an (n+1)-th prefix is actually reached,
 		// so PathsCapped exactly means "there was more space to search".
@@ -149,34 +276,42 @@ func (e *explorer) rec(p *access.Path, conf *instance.Instance, known map[instan
 			return err
 		}
 	}
-	expand, err := e.visit(p, conf)
+	expand, err := e.visit(e.path, e.pre, e.post)
 	if err != nil {
 		return err
 	}
-	if !expand || p.Len() >= e.opts.MaxDepth {
+	if !expand || depth >= e.opts.MaxDepth {
 		return nil
 	}
+	for i, t := range delta {
+		e.pre.AddKeyed(deltaRel, t, deltaKeys[i])
+	}
+	err = e.expandChildren(depth)
+	for _, k := range deltaKeys {
+		e.pre.RemoveKeyed(deltaRel, k)
+	}
+	return err
+}
+
+// expandChildren enumerates every access/response edge out of the current
+// node and steps across each.
+func (e *explorer) expandChildren(depth int) error {
+	fr := e.frame(depth)
 	for _, m := range e.sch.Methods() {
-		bindings := e.bindings(m, known)
-		for _, b := range bindings {
-			acc, err := access.NewAccess(m, b)
-			if err != nil {
-				// The binding pool is typed, so a mismatch only means this
-				// candidate cannot feed this method; anything else is a
-				// real fault that must not be silently dropped.
-				if errors.Is(err, access.ErrTypeMismatch) {
-					continue
+		bas, err := e.bindings(m)
+		if err != nil {
+			return err
+		}
+		exact := e.exact(m)
+		for i := range bas {
+			ba := &bas[i]
+			it := e.responses(fr, ba.acc, exact)
+			for {
+				resp, keys, ok := it.next(fr)
+				if !ok {
+					break
 				}
-				return err
-			}
-			for _, resp := range e.responses(acc, conf) {
-				if e.opts.IdempotentOnly {
-					fp := respFingerprint(resp)
-					if prev, seen := idem[acc.Key()]; seen && prev != fp {
-						continue
-					}
-				}
-				if err := e.step(p, conf, known, idem, acc, resp); err != nil {
+				if err := e.step(depth, fr, ba, resp, keys); err != nil {
 					return err
 				}
 			}
@@ -185,66 +320,201 @@ func (e *explorer) rec(p *access.Path, conf *instance.Instance, known map[instan
 	return nil
 }
 
-func (e *explorer) step(p *access.Path, conf *instance.Instance, known map[instance.Value]bool, idem map[string]string, acc access.Access, resp []instance.Tuple) error {
-	np := p.Clone()
-	if err := np.Append(acc, resp); err != nil {
-		return err
+// responses returns the lazy response iterator for an access: the single
+// source of truth — shared by Explore and Successors — for exact responses,
+// the MaxResponseChoices cap with its ResponsesCapped flag, and the
+// subset-mask fan-out order (mask 0, the empty response, first). The
+// iterator is a plain value and builds each response into the frame's
+// reusable buffers: no closure, no materialized 2^n slice of slices.
+func (e *explorer) responses(fr *frame, acc access.Access, exact bool) respIter {
+	matching, keys := e.matching(fr, acc)
+	if exact {
+		return respIter{matching: matching, keys: keys, exact: true}
 	}
-	nconf := conf.Clone()
-	rel := acc.Method.Relation().Name()
-	for _, t := range resp {
-		if _, err := nconf.Add(rel, t); err != nil {
-			return err
+	if len(matching) > e.opts.MaxResponseChoices {
+		matching = matching[:e.opts.MaxResponseChoices]
+		keys = keys[:e.opts.MaxResponseChoices]
+		e.respCapped = true
+	}
+	return respIter{matching: matching, keys: keys}
+}
+
+// respIter enumerates the well-formed responses of one access lazily.
+type respIter struct {
+	matching []instance.Tuple
+	keys     []string
+	exact    bool
+	mask     int
+	done     bool
+}
+
+// next yields the next response (aliasing either the matching buffer or the
+// frame's response buffer — borrowed like everything else in the hot loop),
+// or ok=false when exhausted.
+func (it *respIter) next(fr *frame) (resp []instance.Tuple, keys []string, ok bool) {
+	if it.done {
+		return nil, nil, false
+	}
+	if it.exact {
+		it.done = true
+		return it.matching, it.keys, true
+	}
+	n := len(it.matching)
+	if it.mask >= 1<<n {
+		it.done = true
+		return nil, nil, false
+	}
+	fr.resp = fr.resp[:0]
+	fr.respKeys = fr.respKeys[:0]
+	for j := 0; j < n; j++ {
+		if it.mask&(1<<j) != 0 {
+			fr.resp = append(fr.resp, it.matching[j])
+			fr.respKeys = append(fr.respKeys, it.keys[j])
 		}
 	}
-	nknown := known
-	var added []instance.Value
-	for _, t := range resp {
-		for _, v := range t {
-			if !nknown[v] {
-				nknown[v] = true
-				added = append(added, v)
-			}
-		}
-	}
-	nidem := idem
+	it.mask++
+	return fr.resp, fr.respKeys, true
+}
+
+// step advances the explorer state across one access/response edge, recurses,
+// and undoes everything it did — the zero-clone replacement for the old
+// clone-per-child descent. respKeys carries the canonical keys of resp
+// (universe-precomputed), so no key string is built here.
+func (e *explorer) step(depth int, fr *frame, ba *boundAccess, resp []instance.Tuple, respKeys []string) error {
 	var idemKey string
-	var idemSet bool
+	idemSet := false
 	if e.opts.IdempotentOnly {
-		if _, seen := idem[acc.Key()]; !seen {
-			idemKey = acc.Key()
-			idem[idemKey] = respFingerprint(resp)
+		fp := e.respFingerprintKeyed(fr, respKeys)
+		if prev, seen := e.idem[ba.key]; seen {
+			if prev != fp {
+				return nil // contradicts the earlier response: skip
+			}
+		} else {
+			idemKey = ba.key
+			e.idem[idemKey] = fp
 			idemSet = true
 		}
 	}
-	err := e.rec(np, nconf, nknown, nidem)
-	for _, v := range added {
-		delete(nknown, v)
+	e.path.AppendBorrowed(ba.acc, resp)
+	rel := ba.acc.Method.Relation().Name()
+	// Apply the response to post, recording exactly the new tuples: the
+	// keyed Add reports newness, the keyed Remove undoes it tuple for
+	// tuple (resp tuples are universe-owned and immutable, so ownership
+	// transfer is safe).
+	fr.added = fr.added[:0]
+	fr.addedKeys = fr.addedKeys[:0]
+	for i, t := range resp {
+		if e.post.AddKeyed(rel, t, respKeys[i]) {
+			fr.added = append(fr.added, t)
+			fr.addedKeys = append(fr.addedKeys, respKeys[i])
+		}
+	}
+	// Newly known values extend the binding pool. Grounded pools get a
+	// fresh, never-reused version so the binding cache cannot serve a stale
+	// pool; non-grounded pools are constant (see bindingPool) and keep
+	// their version.
+	fr.vals = fr.vals[:0]
+	for _, t := range resp {
+		for _, v := range t {
+			if !e.known[v] {
+				e.known[v] = true
+				fr.vals = append(fr.vals, v)
+			}
+		}
+	}
+	savedVersion := e.poolVersion
+	bumped := e.opts.GroundedOnly && len(fr.vals) > 0
+	logMark := 0
+	if bumped {
+		e.versionSeq++
+		e.poolVersion = e.versionSeq
+		logMark = len(e.bindLog)
+	}
+	err := e.rec(depth+1, fr.added, fr.addedKeys, rel)
+	// Undo in reverse order. The deeper recursion has already undone its
+	// own writes, so fr's buffers still describe exactly this step.
+	if bumped {
+		// Every binding-cache entry created inside the subtree carries a
+		// version newer than savedVersion (versions only move forward and
+		// are restored on exit), so its pool is dead now: evict, keeping
+		// the cache bounded by the live branch instead of the whole
+		// exploration history.
+		for _, k := range e.bindLog[logMark:] {
+			delete(e.bindCache, k)
+		}
+		e.bindLog = e.bindLog[:logMark]
+	}
+	e.poolVersion = savedVersion
+	for _, v := range fr.vals {
+		delete(e.known, v)
+	}
+	for _, k := range fr.addedKeys {
+		e.post.RemoveKeyed(rel, k)
 	}
 	if idemSet {
-		delete(idem, idemKey)
+		delete(e.idem, idemKey)
 	}
+	e.path.Truncate(depth)
 	return err
 }
 
-// bindings enumerates candidate bindings for a method: typed tuples over the
-// binding pool. Grounded exploration uses only currently known values.
-func (e *explorer) bindings(m *schema.AccessMethod, known map[instance.Value]bool) []instance.Tuple {
-	pool := e.bindingPool(known)
+// respFingerprintKeyed is respFingerprint over precomputed keys, sorting in
+// the frame's scratch buffer.
+func (e *explorer) respFingerprintKeyed(fr *frame, keys []string) string {
+	fr.fpKeys = append(fr.fpKeys[:0], keys...)
+	sort.Strings(fr.fpKeys)
+	return strings.Join(fr.fpKeys, "\x1f")
+}
+
+// bindings returns the candidate accesses of a method over the current
+// binding pool, cached per (method, pool version): the typed cartesian
+// product is built — and each access validated and keyed — once per pool,
+// not once per node.
+func (e *explorer) bindings(m *schema.AccessMethod) ([]boundAccess, error) {
+	key := bindKey{m: m, version: e.poolVersion}
+	if bas, ok := e.bindCache[key]; ok {
+		return bas, nil
+	}
+	if e.opts.GroundedOnly {
+		e.bindLog = append(e.bindLog, key)
+	}
+	pool := e.bindingPool()
 	types := m.InputTypes()
+	var bas []boundAccess
+	add := func(b instance.Tuple) error {
+		acc, err := access.NewAccess(m, b)
+		if err != nil {
+			// The binding pool is typed, so a mismatch only means this
+			// candidate cannot feed this method; anything else is a real
+			// fault that must not be silently dropped.
+			if errors.Is(err, access.ErrTypeMismatch) {
+				return nil
+			}
+			return err
+		}
+		bas = append(bas, boundAccess{acc: acc, key: acc.Key()})
+		return nil
+	}
 	if len(types) == 0 {
-		return []instance.Tuple{{}}
+		if err := add(instance.Tuple{}); err != nil {
+			return nil, err
+		}
+		e.bindCache[key] = bas
+		return bas, nil
 	}
 	byType := make(map[schema.Type][]instance.Value)
 	for _, v := range pool {
 		byType[v.Kind()] = append(byType[v.Kind()], v)
 	}
-	var out []instance.Tuple
 	cur := make(instance.Tuple, len(types))
+	var buildErr error
 	var build func(i int)
 	build = func(i int) {
+		if buildErr != nil {
+			return
+		}
 		if i == len(types) {
-			out = append(out, cur.Clone())
+			buildErr = add(cur)
 			return
 		}
 		for _, v := range byType[types[i]] {
@@ -253,10 +523,27 @@ func (e *explorer) bindings(m *schema.AccessMethod, known map[instance.Value]boo
 		}
 	}
 	build(0)
-	return out
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	e.bindCache[key] = bas
+	return bas, nil
 }
 
-func (e *explorer) bindingPool(known map[instance.Value]bool) []instance.Value {
+func (e *explorer) bindingPool() []instance.Value {
+	if e.opts.GroundedOnly {
+		// Deterministic order: sort the known values.
+		vs := make([]instance.Value, 0, len(e.known))
+		for v := range e.known {
+			vs = append(vs, v)
+		}
+		sortValues(vs)
+		return vs
+	}
+	// Non-grounded pools are constant over an exploration: revealed values
+	// always come from universe tuples, so the trailing known-value pass
+	// only dedups away — except for initial-instance values, which are
+	// known from the root onward.
 	seen := make(map[instance.Value]bool)
 	var pool []instance.Value
 	add := func(v instance.Value) {
@@ -265,26 +552,14 @@ func (e *explorer) bindingPool(known map[instance.Value]bool) []instance.Value {
 			pool = append(pool, v)
 		}
 	}
-	if e.opts.GroundedOnly {
-		// Deterministic order: sort the known values.
-		vs := make([]instance.Value, 0, len(known))
-		for v := range known {
-			vs = append(vs, v)
-		}
-		sortValues(vs)
-		for _, v := range vs {
-			add(v)
-		}
-		return pool
-	}
-	for _, v := range e.opts.Universe.ActiveDomain() {
+	for _, v := range e.universeDomain() {
 		add(v)
 	}
 	for _, v := range e.opts.ExtraBindingValues {
 		add(v)
 	}
-	vs := make([]instance.Value, 0, len(known))
-	for v := range known {
+	vs := make([]instance.Value, 0, len(e.known))
+	for v := range e.known {
 		vs = append(vs, v)
 	}
 	sortValues(vs)
@@ -294,67 +569,61 @@ func (e *explorer) bindingPool(known map[instance.Value]bool) []instance.Value {
 	return pool
 }
 
-// responses enumerates well-formed responses for the access: subsets of the
-// Universe tuples matching the binding (all of them when the method is
-// exact). The empty response is always a choice for non-exact methods.
-func (e *explorer) responses(acc access.Access, conf *instance.Instance) [][]instance.Tuple {
-	matching := e.opts.Universe.Matching(acc.Method, acc.Binding)
-	exact := e.opts.AllExact || (e.opts.ExactMethods != nil && e.opts.ExactMethods[acc.Method.Name()])
-	if exact {
-		return [][]instance.Tuple{matching}
-	}
-	if len(matching) > e.opts.MaxResponseChoices {
-		matching = matching[:e.opts.MaxResponseChoices]
-		e.respCapped = true
-	}
-	n := len(matching)
-	out := make([][]instance.Tuple, 0, 1<<n)
-	for mask := 0; mask < 1<<n; mask++ {
-		var resp []instance.Tuple
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				resp = append(resp, matching[i])
-			}
+func (e *explorer) universeDomain() []instance.Value {
+	if e.uDomain == nil {
+		e.uDomain = e.opts.Universe.ActiveDomain()
+		if e.uDomain == nil {
+			e.uDomain = []instance.Value{}
 		}
-		out = append(out, resp)
 	}
-	return out
+	return e.uDomain
 }
 
-func respFingerprint(resp []instance.Tuple) string {
-	keys := make([]string, len(resp))
-	for i, t := range resp {
-		keys[i] = t.Key()
+// matching fills the frame's buffers with the universe tuples the access
+// matches (the exact well-formed response) and their canonical keys.
+// Relation contents come from the per-exploration cache in canonical order,
+// so no per-node sort or key build happens.
+func (e *explorer) matching(fr *frame, acc access.Access) ([]instance.Tuple, []string) {
+	rel := acc.Method.Relation().Name()
+	rc, ok := e.uTuples[rel]
+	if !ok {
+		ts := e.opts.Universe.Tuples(rel)
+		rc = &relCache{tuples: ts, keys: make([]string, len(ts))}
+		for i, t := range ts {
+			rc.keys[i] = t.Key()
+		}
+		e.uTuples[rel] = rc
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
+	inputs := acc.Method.Inputs()
+	fr.matching = fr.matching[:0]
+	fr.matchKeys = fr.matchKeys[:0]
+	for i, t := range rc.tuples {
+		match := true
+		for bi, p := range inputs {
+			if t[p] != acc.Binding[bi] {
+				match = false
+				break
+			}
+		}
+		if match {
+			fr.matching = append(fr.matching, t)
+			fr.matchKeys = append(fr.matchKeys, rc.keys[i])
 		}
 	}
-	s := ""
-	for i, k := range keys {
-		if i > 0 {
-			s += "\x1f"
-		}
-		s += k
-	}
-	return s
+	return fr.matching, fr.matchKeys
 }
 
 func sortValues(vs []instance.Value) {
-	for i := 1; i < len(vs); i++ {
-		for j := i; j > 0 && vs[j].Less(vs[j-1]); j-- {
-			vs[j], vs[j-1] = vs[j-1], vs[j]
-		}
-	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
 }
 
-// EnumeratePaths collects every path up to the options' depth bound.
-// Intended for small universes (tests, oracles, Figure 1).
+// EnumeratePaths collects every path up to the options' depth bound. Each
+// path is a retained clone (the explorer's own path is borrowed, see
+// Visitor). Intended for small universes (tests, oracles, Figure 1).
 func EnumeratePaths(sch *schema.Schema, opts Options) ([]*access.Path, error) {
 	var out []*access.Path
-	_, err := Explore(sch, opts, func(p *access.Path, _ *instance.Instance) (bool, error) {
-		out = append(out, p)
+	_, err := Explore(sch, opts, func(p *access.Path, _, _ *instance.Instance) (bool, error) {
+		out = append(out, p.Clone())
 		return true, nil
 	})
 	return out, err
@@ -371,14 +640,16 @@ type Stats struct {
 	ResponsesCapped bool
 }
 
-// Collect runs an exploration and gathers statistics.
+// Collect runs an exploration and gathers statistics. Per-depth
+// configuration dedup keys on the instances' incremental Hash, so no
+// canonical strings are built per node.
 func Collect(sch *schema.Schema, opts Options) (Stats, error) {
 	var st Stats
-	seen := make([]map[string]bool, opts.MaxDepth+1)
+	seen := make([]map[instance.Hash]bool, opts.MaxDepth+1)
 	for i := range seen {
-		seen[i] = make(map[string]bool)
+		seen[i] = make(map[instance.Hash]bool)
 	}
-	rep, err := Explore(sch, opts, func(p *access.Path, conf *instance.Instance) (bool, error) {
+	rep, err := Explore(sch, opts, func(p *access.Path, _, conf *instance.Instance) (bool, error) {
 		d := p.Len()
 		for len(st.PathsPerDepth) <= d {
 			st.PathsPerDepth = append(st.PathsPerDepth, 0)
@@ -386,7 +657,7 @@ func Collect(sch *schema.Schema, opts Options) (Stats, error) {
 		}
 		st.PathsPerDepth[d]++
 		st.TotalPaths++
-		fp := conf.Fingerprint()
+		fp := conf.Hash()
 		if !seen[d][fp] {
 			seen[d][fp] = true
 			st.ConfigsPerDepth[d]++

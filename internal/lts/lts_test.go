@@ -42,7 +42,7 @@ func tinyUniverse(t testing.TB, s *schema.Schema) *instance.Instance {
 
 func TestExploreRequiresUniverse(t *testing.T) {
 	s := tinySchema(t)
-	_, err := Explore(s, Options{MaxDepth: 1}, func(*access.Path, *instance.Instance) (bool, error) {
+	_, err := Explore(s, Options{MaxDepth: 1}, func(_ *access.Path, _, _ *instance.Instance) (bool, error) {
 		return true, nil
 	})
 	if err == nil {
@@ -169,7 +169,7 @@ func TestExplorePruning(t *testing.T) {
 	s := tinySchema(t)
 	u := tinyUniverse(t, s)
 	count := 0
-	_, err := Explore(s, Options{Universe: u, MaxDepth: 3}, func(p *access.Path, _ *instance.Instance) (bool, error) {
+	_, err := Explore(s, Options{Universe: u, MaxDepth: 3}, func(p *access.Path, _, _ *instance.Instance) (bool, error) {
 		count++
 		return false, nil // prune everything: only the empty path visits
 	})
@@ -185,7 +185,7 @@ func TestExploreMaxPaths(t *testing.T) {
 	s := tinySchema(t)
 	u := tinyUniverse(t, s)
 	count := 0
-	rep, err := Explore(s, Options{Universe: u, MaxDepth: 3, MaxPaths: 5}, func(p *access.Path, _ *instance.Instance) (bool, error) {
+	rep, err := Explore(s, Options{Universe: u, MaxDepth: 3, MaxPaths: 5}, func(p *access.Path, _, _ *instance.Instance) (bool, error) {
 		count++
 		return true, nil
 	})
@@ -213,7 +213,7 @@ func TestExploreMaxPathsBoundary(t *testing.T) {
 	walk := func(maxPaths int) (int, Report) {
 		count := 0
 		rep, err := Explore(s, Options{Universe: u, MaxDepth: 1, MaxPaths: maxPaths},
-			func(p *access.Path, _ *instance.Instance) (bool, error) {
+			func(p *access.Path, _, _ *instance.Instance) (bool, error) {
 				count++
 				return true, nil
 			})
@@ -246,7 +246,7 @@ func TestExploreResponsesCapped(t *testing.T) {
 	u.MustAdd("S", instance.Int(1), instance.Int(4))
 	// mS(1) matches 3 tuples; MaxResponseChoices=2 truncates the fan-out.
 	rep, err := Explore(s, Options{Universe: u, MaxDepth: 1, MaxResponseChoices: 2},
-		func(*access.Path, *instance.Instance) (bool, error) { return true, nil })
+		func(_ *access.Path, _, _ *instance.Instance) (bool, error) { return true, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestExploreResponsesCapped(t *testing.T) {
 	}
 	// With room for every matching tuple the flag must stay clear.
 	rep, err = Explore(s, Options{Universe: u, MaxDepth: 1, MaxResponseChoices: 3},
-		func(*access.Path, *instance.Instance) (bool, error) { return true, nil })
+		func(_ *access.Path, _, _ *instance.Instance) (bool, error) { return true, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestExploreResponsesCapped(t *testing.T) {
 	// Exact methods return all matching tuples: no cap regardless of the
 	// choice budget.
 	rep, err = Explore(s, Options{Universe: u, MaxDepth: 1, MaxResponseChoices: 1, AllExact: true},
-		func(*access.Path, *instance.Instance) (bool, error) { return true, nil })
+		func(_ *access.Path, _, _ *instance.Instance) (bool, error) { return true, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +374,7 @@ func TestExplorePollsContextInLoop(t *testing.T) {
 	u := tinyUniverse(t, s)
 	ctx := &pollCountCtx{Context: context.Background(), allowed: 1}
 	_, err := Explore(s, Options{Universe: u, Context: ctx, MaxDepth: 4},
-		func(*access.Path, *instance.Instance) (bool, error) { return true, nil })
+		func(_ *access.Path, _, _ *instance.Instance) (bool, error) { return true, nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("Explore with an expiring context: err = %v, want context.Canceled", err)
 	}

@@ -1,7 +1,6 @@
 package lts
 
 import (
-	"errors"
 	"fmt"
 
 	"accltl/internal/access"
@@ -19,6 +18,12 @@ import (
 // and like Explore it reports when the subset-response fan-out was cut to
 // MaxResponseChoices, so verdicts built on a capped successor set are
 // never mistaken for exact.
+//
+// Unlike Explore's visitor, the returned transitions are owned by the
+// caller: each After is a fresh instance (Before aliases conf, which the
+// caller owns anyway). Responses are enumerated lazily via the same subset
+// masks as Explore, so no 2^n slice of slices is materialized along the
+// way.
 func Successors(sch *schema.Schema, opts Options, conf *instance.Instance) ([]access.Transition, Report, error) {
 	o := opts.withDefaults()
 	if o.Universe == nil {
@@ -29,15 +34,31 @@ func Successors(sch *schema.Schema, opts Options, conf *instance.Instance) ([]ac
 			return nil, Report{}, err
 		}
 	}
-	e := &explorer{sch: sch, opts: o}
-	known := make(map[instance.Value]bool)
+	e := newExplorer(sch, o)
 	for _, v := range conf.ActiveDomain() {
-		known[v] = true
+		e.known[v] = true
 	}
+	fr := &frame{}
 	var out []access.Transition
 	polled := 0
+	emit := func(acc access.Access, resp []instance.Tuple) error {
+		next := conf.Clone()
+		rel := acc.Method.Relation().Name()
+		for _, t := range resp {
+			if _, err := next.Add(rel, t); err != nil {
+				return err
+			}
+		}
+		out = append(out, access.Transition{Before: conf, Access: acc, After: next})
+		return nil
+	}
 	for _, m := range sch.Methods() {
-		for _, b := range e.bindings(m, known) {
+		bas, err := e.bindings(m)
+		if err != nil {
+			return nil, Report{ResponsesCapped: e.respCapped}, err
+		}
+		exact := e.exact(m)
+		for i := range bas {
 			// Poll every few bindings, not just on entry: the product can
 			// be huge and each binding fans out into 2^k responses.
 			polled++
@@ -46,24 +67,18 @@ func Successors(sch *schema.Schema, opts Options, conf *instance.Instance) ([]ac
 					return nil, Report{ResponsesCapped: e.respCapped}, err
 				}
 			}
-			acc, err := access.NewAccess(m, b)
-			if err != nil {
-				// Typed pools make a mismatch an expected skip; any other
-				// construction failure is a real fault.
-				if errors.Is(err, access.ErrTypeMismatch) {
-					continue
+			acc := bas[i].acc
+			// Same lazy enumerator as Explore: one source of truth for
+			// exactness, the response cap and the fan-out order.
+			it := e.responses(fr, acc, exact)
+			for {
+				resp, _, ok := it.next(fr)
+				if !ok {
+					break
 				}
-				return nil, Report{ResponsesCapped: e.respCapped}, err
-			}
-			for _, resp := range e.responses(acc, conf) {
-				next := conf.Clone()
-				rel := acc.Method.Relation().Name()
-				for _, t := range resp {
-					if _, err := next.Add(rel, t); err != nil {
-						return nil, Report{ResponsesCapped: e.respCapped}, err
-					}
+				if err := emit(acc, resp); err != nil {
+					return nil, Report{ResponsesCapped: e.respCapped}, err
 				}
-				out = append(out, access.Transition{Before: conf, Access: acc, After: next})
 			}
 		}
 	}

@@ -24,16 +24,18 @@ type TreeNode struct {
 }
 
 // BuildTree materializes the tree of possible paths up to the options'
-// depth bound.
+// depth bound. The visitor's arguments are borrowed (see Visitor), and tree
+// nodes outlive the exploration, so configurations and responses are cloned
+// into the nodes here.
 func BuildTree(sch *schema.Schema, opts Options) (*TreeNode, error) {
 	root := &TreeNode{}
 	// Map from path fingerprint to node so we can attach children. We rely
 	// on Explore's DFS order: a path's parent prefix is visited before it.
 	nodes := map[string]*TreeNode{"": root}
-	_, err := Explore(sch, opts, func(p *access.Path, conf *instance.Instance) (bool, error) {
+	_, err := Explore(sch, opts, func(p *access.Path, _, conf *instance.Instance) (bool, error) {
 		key := pathKey(p)
 		if p.Len() == 0 {
-			root.KnownFacts = conf
+			root.KnownFacts = conf.Clone()
 			return true, nil
 		}
 		parent := nodes[pathKey2(p, p.Len()-1)]
@@ -41,7 +43,11 @@ func BuildTree(sch *schema.Schema, opts Options) (*TreeNode, error) {
 			return false, fmt.Errorf("lts: parent of %s not visited", key)
 		}
 		last := p.Step(p.Len() - 1)
-		node := &TreeNode{Access: last.Access, Response: last.Response, KnownFacts: conf}
+		var resp []instance.Tuple
+		if len(last.Response) > 0 {
+			resp = append(resp, last.Response...)
+		}
+		node := &TreeNode{Access: last.Access, Response: resp, KnownFacts: conf.Clone()}
 		parent.Children = append(parent.Children, node)
 		nodes[key] = node
 		return true, nil
@@ -60,7 +66,7 @@ func pathKey2(p *access.Path, n int) string {
 		s := p.Step(i)
 		b.WriteString(s.Access.Key())
 		b.WriteByte('>')
-		b.WriteString(respFingerprint(s.Response))
+		b.WriteString(access.ResponseFingerprint(s.Response))
 		b.WriteByte('|')
 	}
 	return b.String()

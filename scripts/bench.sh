@@ -1,0 +1,16 @@
+#!/bin/sh
+# Capture the exploration + engine benchmarks of the root package as a JSON
+# event stream (go test -json), for before/after comparison of the search
+# core. The committed BENCH_baseline.json was captured on the clone-per-child
+# core immediately before the mutate-and-undo rewrite; regenerate the current
+# numbers with:
+#
+#	scripts/bench.sh BENCH_after.json
+#
+# Usage: scripts/bench.sh [out.json] [bench-regex]
+set -e
+out=${1:-BENCH_after.json}
+pat=${2:-'BenchmarkExplore|BenchmarkTable1Row3|BenchmarkTable1Row4|BenchmarkTable1Row5|BenchmarkBranchingEX|BenchmarkAblation_ZeroAcc'}
+go test -json -run '^$' -bench "$pat" -benchmem -count 1 . >"$out"
+echo "wrote $out" >&2
+grep -o '"Output":"Benchmark[^"]*' "$out" | sed 's/"Output":"//;s/\\n$//;s/\\t/\t/g' >&2

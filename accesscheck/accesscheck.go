@@ -25,6 +25,7 @@ package accesscheck
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"accltl/internal/access"
@@ -154,6 +155,7 @@ type Checker struct {
 	maxDepth           int
 	maxPaths           int
 	maxResponseChoices int
+	parallelism        int
 	initial            *Instance
 	universe           *Instance
 }
@@ -249,6 +251,31 @@ func WithMaxResponseChoices(n int) Option {
 	}
 }
 
+// WithParallelism sets the number of concurrent exploration walkers the
+// search may use. n = 1 (the default) is the serial engine, bit-for-bit the
+// same search as before the knob existed; n = 0 selects
+// runtime.GOMAXPROCS(0); n > 1 shards the exploration over the root
+// branching with one mutate-and-undo walker per goroutine, a single shared
+// path budget (WithMaxPaths stays a global cap with exact semantics) and
+// early cancellation as soon as any walker finds a witness.
+//
+// Verdicts of searches that run to exhaustion — Result.Truncated false —
+// are identical for every parallelism, which is why the result cache treats
+// parallelism as execution detail rather than identity (see Fingerprint).
+// See Result for what may legitimately vary.
+func WithParallelism(n int) Option {
+	return func(c *Checker) error {
+		if n < 0 {
+			return fmt.Errorf("accesscheck: WithParallelism(%d): walker count must be non-negative", n)
+		}
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.parallelism = n
+		return nil
+	}
+}
+
 // WithInitialInstance sets the initially known instance I0.
 func WithInitialInstance(i *Instance) Option {
 	return func(c *Checker) error {
@@ -320,6 +347,15 @@ type Result struct {
 	Engine Engine
 	// Satisfiable is the verdict; Witness is a satisfying access path when
 	// true.
+	//
+	// Determinism under WithParallelism: the verdict of a search that ran
+	// to exhaustion (Truncated false) is identical for every parallelism.
+	// What may vary with the walker schedule is (a) which of several valid
+	// witnesses a satisfiable check returns — the engine prefers the lowest
+	// shard in a canonical sorted order, but a faster walker can win before
+	// the early-cancel broadcast lands — and (b) PathsExplored on
+	// early-stopped or path-capped searches. Every returned witness is
+	// verified against the direct semantics regardless.
 	Satisfiable bool
 	Witness     *Path
 	// PathsExplored counts visited path prefixes; Depth is the bound used.
@@ -407,6 +443,7 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 		Universe:           c.universe,
 		MaxResponseChoices: c.maxResponseChoices,
 		MaxPaths:           c.maxPaths,
+		Parallelism:        c.parallelism,
 	}
 
 	start := time.Now()
@@ -438,6 +475,7 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 				MaxResponseChoices: c.maxResponseChoices,
 				MaxPaths:           c.maxPaths,
 				Universe:           c.universe,
+				Parallelism:        c.parallelism,
 			})
 			sr = accltl.SolveResult{
 				Satisfiable:     !er.Empty,

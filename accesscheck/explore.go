@@ -33,6 +33,7 @@ func (c *Checker) ltsOptions(ctx context.Context, universe *Instance, depth int)
 		AllExact:           c.allExact,
 		MaxResponseChoices: c.maxResponseChoices,
 		MaxPaths:           c.maxPaths,
+		Parallelism:        c.parallelism,
 	}
 }
 

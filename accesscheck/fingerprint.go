@@ -19,6 +19,14 @@ import (
 //
 // The key is a hex-encoded SHA-256, so it is safe to use in URLs, log
 // lines and on-disk layouts; it is not reversible.
+//
+// WithParallelism is deliberately excluded: it is an execution strategy,
+// not part of what is computed. Exhaustive (non-truncated) verdicts are
+// identical for every parallelism, truncated results are never cached, and
+// any cached witness was verified against the direct semantics — so a
+// result computed at one parallelism is a correct answer for the same check
+// at any other, and splitting the cache by walker count would only lower
+// its hit rate.
 func (c *Checker) Fingerprint(sch *Schema, f Formula) string {
 	h := sha256.New()
 	field := func(name, value string) {

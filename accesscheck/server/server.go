@@ -23,6 +23,12 @@
 // Truncated set — path cap, depth interplay, or response cap — is relative
 // to this request's budget and caps, so it is returned to the caller but
 // never admitted to the cache; a later identical request re-solves.
+//
+// Concurrency model: Workers bounds how many solves run at once, and
+// Config.Parallelism bounds how many exploration walkers each solve may fan
+// out to, so peak exploration concurrency is Workers × Parallelism; the
+// default derivation keeps that product ≤ GOMAXPROCS. /metrics exposes both
+// knobs plus workers_busy and the per-request parallelism sum/count.
 package server
 
 import (
@@ -47,6 +53,16 @@ type Config struct {
 	// GOMAXPROCS). Queued work waits for a slot but keeps honouring its
 	// budget while waiting.
 	Workers int
+	// Parallelism is the per-check exploration walker count handed to
+	// accesscheck.WithParallelism: each running solve may fan its search
+	// out over this many goroutines, so the server's peak exploration
+	// concurrency is Workers × Parallelism. The default (0) keeps that
+	// product within the machine: max(1, GOMAXPROCS / Workers), i.e.
+	// workers × parallelism ≤ GOMAXPROCS. An explicit value is taken as
+	// given — operators may oversubscribe deliberately. Per-request
+	// "parallelism" options can lower the value for their own check but
+	// never raise it above this limit.
+	Parallelism int
 	// CacheSize is the LRU capacity in results (default 1024).
 	CacheSize int
 	// DefaultBudget applies when neither the request body nor the query
@@ -65,6 +81,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0) / c.Workers
+		if c.Parallelism < 1 {
+			c.Parallelism = 1
+		}
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 1024
@@ -95,6 +117,8 @@ type Server struct {
 	deadlines   atomic.Uint64
 	cancels     atomic.Uint64
 	errs        atomic.Uint64
+	parSum      atomic.Uint64
+	parCount    atomic.Uint64
 }
 
 // New builds a Server from the config.
@@ -138,6 +162,12 @@ type CheckOptions struct {
 	MaxDepth           int      `json:"max_depth,omitempty"`
 	MaxPaths           int      `json:"max_paths,omitempty"`
 	MaxResponseChoices int      `json:"max_response_choices,omitempty"`
+	// Parallelism caps this check's exploration walkers. 0 means the
+	// server's configured per-check parallelism; positive values below it
+	// lower the fan-out for this check; values above it are clamped to it
+	// (a request cannot grab more of the machine than the operator
+	// allotted per check).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // CheckResponse is the wire form of an accesscheck.Result.
@@ -210,32 +240,43 @@ func (s *Server) resolveBudget(item string, r *http.Request) (time.Duration, err
 	return s.cfg.DefaultBudget, nil
 }
 
-// checkerFor translates wire options into a Checker.
-func checkerFor(o *CheckOptions) (*accesscheck.Checker, error) {
-	if o == nil {
-		return accesscheck.NewChecker()
+// parallelismFor resolves a check's effective walker count: the server's
+// configured per-check parallelism, lowered (never raised) by the request.
+func (s *Server) parallelismFor(o *CheckOptions) int {
+	par := s.cfg.Parallelism
+	if o != nil && o.Parallelism > 0 && o.Parallelism < par {
+		par = o.Parallelism
 	}
-	engine, err := accesscheck.ParseEngine(o.Engine)
-	if err != nil {
-		return nil, err
-	}
-	opts := []accesscheck.Option{
-		accesscheck.WithEngine(engine),
-		accesscheck.WithMaxDepth(o.MaxDepth),
-		accesscheck.WithMaxPaths(o.MaxPaths),
-		accesscheck.WithMaxResponseChoices(o.MaxResponseChoices),
-	}
-	if o.Grounded {
-		opts = append(opts, accesscheck.WithGrounded())
-	}
-	if o.IdempotentOnly {
-		opts = append(opts, accesscheck.WithIdempotentOnly())
-	}
-	if o.AllExact {
-		opts = append(opts, accesscheck.WithAllExact())
-	}
-	if len(o.ExactMethods) > 0 {
-		opts = append(opts, accesscheck.WithExactMethods(o.ExactMethods...))
+	return par
+}
+
+// checkerFor translates wire options into a Checker running at the given
+// parallelism.
+func checkerFor(o *CheckOptions, parallelism int) (*accesscheck.Checker, error) {
+	opts := []accesscheck.Option{accesscheck.WithParallelism(parallelism)}
+	if o != nil {
+		engine, err := accesscheck.ParseEngine(o.Engine)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts,
+			accesscheck.WithEngine(engine),
+			accesscheck.WithMaxDepth(o.MaxDepth),
+			accesscheck.WithMaxPaths(o.MaxPaths),
+			accesscheck.WithMaxResponseChoices(o.MaxResponseChoices),
+		)
+		if o.Grounded {
+			opts = append(opts, accesscheck.WithGrounded())
+		}
+		if o.IdempotentOnly {
+			opts = append(opts, accesscheck.WithIdempotentOnly())
+		}
+		if o.AllExact {
+			opts = append(opts, accesscheck.WithAllExact())
+		}
+		if len(o.ExactMethods) > 0 {
+			opts = append(opts, accesscheck.WithExactMethods(o.ExactMethods...))
+		}
 	}
 	return accesscheck.NewChecker(opts...)
 }
@@ -249,7 +290,8 @@ func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse,
 	if len(req.Relations) == 0 {
 		return nil, badRequest("missing relations")
 	}
-	chk, err := checkerFor(req.Options)
+	par := s.parallelismFor(req.Options)
+	chk, err := checkerFor(req.Options, par)
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
@@ -276,6 +318,14 @@ func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse,
 		return nil, err
 	}
 	s.inFlight.Add(1)
+	// Per-request parallelism telemetry: sum/count expose the average
+	// effective fan-out on /metrics without a histogram dependency. Counted
+	// only once a solve actually starts — cache hits and requests whose
+	// budget dies waiting for a worker slot run zero walkers and would
+	// otherwise report the configured parallelism for work that never
+	// explored.
+	s.parSum.Add(uint64(par))
+	s.parCount.Add(1)
 	res, err := chk.Check(ctx, sch, f)
 	s.inFlight.Add(-1)
 	<-s.sem
@@ -450,6 +500,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "accserve_check_errors_total %d\n", s.errs.Load())
 	fmt.Fprintf(w, "accserve_in_flight %d\n", s.inFlight.Load())
 	fmt.Fprintf(w, "accserve_workers %d\n", s.cfg.Workers)
+	fmt.Fprintf(w, "accserve_workers_busy %d\n", len(s.sem))
+	fmt.Fprintf(w, "accserve_parallelism %d\n", s.cfg.Parallelism)
+	fmt.Fprintf(w, "accserve_request_parallelism_sum %d\n", s.parSum.Load())
+	fmt.Fprintf(w, "accserve_request_parallelism_count %d\n", s.parCount.Load())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -9,6 +9,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"accltl/internal/accltl"
@@ -478,6 +479,91 @@ func BenchmarkBranchingEX(b *testing.B) {
 		if err != nil || !ok {
 			b.Fatalf("ok=%v err=%v", ok, err)
 		}
+	}
+}
+
+// ---------- Parallel sharded exploration (scaling) ----------
+// One mutate-and-undo walker per goroutine over a partition of the root
+// branching, W ∈ {1, 2, 4, 8}. W=1 is the serial engine (the baseline the
+// speedups are measured against); the workloads are exhaustive explorations
+// large enough that shard dispatch and the shared budget are noise.
+// GOMAXPROCS is raised to W for the measurement: walker scaling is what is
+// being measured, and CI machines (or cgroup limits) may default lower.
+
+func withProcs(b *testing.B, w int, fn func(b *testing.B)) {
+	prev := runtime.GOMAXPROCS(0)
+	if prev < w {
+		runtime.GOMAXPROCS(w)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	fn(b)
+}
+
+func BenchmarkExploreParallel(b *testing.B) {
+	chain := workload.MustChain(3)
+	cu := chain.Universe()
+	phone := workload.MustPhone()
+	pu := phone.SmithJonesUniverse()
+	cases := []struct {
+		name     string
+		sch      *schema.Schema
+		opts     lts.Options
+		minPaths int
+	}{
+		{"chain/depth=4", chain.Schema, lts.Options{Universe: cu, MaxDepth: 4}, 10000},
+		{"phone/depth=3", phone.Schema, lts.Options{Universe: pu, MaxDepth: 3}, 10000},
+	}
+	for _, c := range cases {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/W=%d", c.name, w), func(b *testing.B) {
+				withProcs(b, w, func(b *testing.B) {
+					opts := c.opts
+					opts.Parallelism = w
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						st, err := lts.Collect(c.sch, opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if st.TotalPaths < c.minPaths {
+							b.Fatalf("explored only %d paths, want >= %d", st.TotalPaths, c.minPaths)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkSolverParallelUnsat scales the bounded-model solver over an
+// unsatisfiable instance searched against the chain workload's full
+// universe (not the collapsed formula-derived one): the obligation stays
+// alive on most prefixes, so every walker letter-evaluates and exercises
+// the shared striped (config, obligation) memo across a space of ~10^5
+// prefixes — the worst case for the concurrent tables with enough work
+// per shard to amortize the fan-out setup.
+func BenchmarkSolverParallelUnsat(b *testing.B) {
+	chain := workload.MustChain(3)
+	f := accltl.Conj(
+		chain.ReachLastFormula(),
+		accltl.G(accltl.Not{F: accltl.Atom{Sentence: fo.Ex([]string{"x"},
+			fo.Atom{Pred: fo.PostPred("R2"), Args: []fo.Term{fo.Var("x")}})}}),
+	)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			withProcs(b, w, func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := accltl.SolveZeroAcc(f, accltl.SolveOptions{
+						Schema: chain.Schema, MaxDepth: 4, Universe: chain.Universe(), Parallelism: w})
+					if err != nil || res.Satisfiable {
+						b.Fatalf("res=%+v err=%v", res, err)
+					}
+				}
+			})
+		})
 	}
 }
 

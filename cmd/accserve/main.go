@@ -2,7 +2,11 @@
 // accesscheck facade with a bounded worker pool, per-request response-time
 // budgets and an exact-results-only LRU cache.
 //
-//	accserve -addr :8080 -workers 8 -cache-size 4096 -default-budget 2s
+//	accserve -addr :8080 -workers 8 -parallelism 2 -cache-size 4096 -default-budget 2s
+//
+// -workers bounds concurrent solves; -parallelism fans each solve's
+// exploration out over that many walker goroutines (0 = auto, keeping
+// workers × parallelism ≤ GOMAXPROCS).
 //
 // Endpoints (see accltl/accesscheck/server for the wire format):
 //
@@ -39,6 +43,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 0,
+		"exploration walkers per solve; peak exploration concurrency is workers x parallelism (0 = auto: capped so the product stays <= GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 1024, "LRU result cache capacity (entries)")
 	defaultBudget := flag.Duration("default-budget", 5*time.Second, "per-request deadline when the request names none")
 	flag.Parse()
@@ -47,6 +53,7 @@ func main() {
 		Addr: *addr,
 		Handler: server.New(server.Config{
 			Workers:       *workers,
+			Parallelism:   *parallelism,
 			CacheSize:     *cacheSize,
 			DefaultBudget: *defaultBudget,
 		}),
@@ -58,8 +65,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("accserve listening on %s (workers=%d cache=%d default-budget=%s)",
-			*addr, *workers, *cacheSize, *defaultBudget)
+		log.Printf("accserve listening on %s (workers=%d parallelism=%d cache=%d default-budget=%s)",
+			*addr, *workers, *parallelism, *cacheSize, *defaultBudget)
 		errc <- srv.ListenAndServe()
 	}()
 

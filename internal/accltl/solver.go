@@ -43,6 +43,16 @@ type SolveOptions struct {
 	DisableLTLPruning bool
 	// MaxPaths aborts after this many visited paths (0 = 2^22 default).
 	MaxPaths int
+	// Parallelism is the number of concurrent exploration walkers (0 or 1 =
+	// the serial engine, unchanged). W > 1 shards the search over the root
+	// branching (lts.ExploreSharded), with the solver's memo tables shared
+	// across walkers behind striped locks keyed by the instances'
+	// incremental Hash. Verdicts on searches that run to exhaustion are
+	// identical for every W; which witness a satisfiable search returns
+	// prefers the lowest shard in the deterministic sorted shard order but
+	// can vary with scheduling, and PathsExplored on early-stopped or
+	// capped searches is schedule-dependent.
+	Parallelism int
 }
 
 // SolveResult reports a satisfiability verdict.
@@ -262,6 +272,11 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 		MaxResponseChoices: opts.MaxResponseChoices,
 		MaxPaths:           maxPaths,
 		ExtraBindingValues: extraVals,
+	}
+
+	if opts.Parallelism > 1 {
+		ltsOpts.Parallelism = opts.Parallelism
+		return parallelBoundedSearch(f, opts, voc, skeleton, letters, ltsOpts, depth)
 	}
 
 	res := SolveResult{Depth: depth}

@@ -1,0 +1,257 @@
+package accltl
+
+// Parallel bounded-model search: the sharded counterpart of the serial loop
+// in boundedSearch. Each root shard gets its own visitor with its own
+// obligation stack (obligations mirror the DFS prefix chain, so they can
+// never be shared), while the three tables that make walkers share work
+// instead of duplicating it are global:
+//
+//   - the obligation interner (mutex; hit once per *distinct* obligation);
+//   - the progression cache (obligation id, letter bitmask) → next, striped;
+//   - the (configuration Hash, obligation id) → remaining-depth memo,
+//     striped by the hash so walkers exploring overlapping configuration
+//     spaces prune against each other's work.
+//
+// Sharing the memo is sound for exactly the reason the serial memo is: an
+// entry means "a search from this (configuration, obligation) with at least
+// this much depth budget was committed to", and verdicts are only produced
+// by searches that ran to completion (errors and context expiries surface
+// as errors, caps surface as Truncated). It does make PathsExplored
+// schedule-dependent — whether a walker reaches a node before or after the
+// dominating entry lands decides whether the node expands — which is why
+// only verdicts, not path counts, are pinned across W.
+
+import (
+	"fmt"
+	"sync"
+
+	"accltl/internal/access"
+	"accltl/internal/instance"
+	"accltl/internal/ltl"
+	"accltl/internal/lts"
+)
+
+// obInterner assigns stable small ids to distinct obligations across all
+// walkers; ids key the progression cache and the memo table, so they must
+// be global. Interning happens once per distinct obligation (progression
+// cache hits skip it entirely), so one mutex does not contend.
+type obInterner struct {
+	mu   sync.Mutex
+	ids  map[string]int
+	list []ltl.Formula
+}
+
+func newObInterner() *obInterner {
+	return &obInterner{ids: make(map[string]int)}
+}
+
+// intern returns the id and canonical representative of f.
+func (in *obInterner) intern(f ltl.Formula) (int, ltl.Formula) {
+	s := f.String()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[s]; ok {
+		return id, in.list[id]
+	}
+	id := len(in.list)
+	in.ids[s] = id
+	in.list = append(in.list, f)
+	return id, f
+}
+
+const solverStripes = 64
+
+// progStripe is one lock stripe of the shared progression cache.
+type progStripe struct {
+	mu sync.Mutex
+	m  map[progKey]progVal
+}
+
+type progKey struct {
+	ob     int
+	letter uint64
+}
+
+type progVal struct {
+	next   ltl.Formula
+	nextID int
+	accept bool
+}
+
+type progTable struct {
+	stripes [solverStripes]progStripe
+}
+
+func newProgTable() *progTable {
+	t := &progTable{}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[progKey]progVal)
+	}
+	return t
+}
+
+func (t *progTable) stripe(k progKey) *progStripe {
+	h := uint64(k.ob)*0x9e3779b97f4a7c15 ^ k.letter*0xbf58476d1ce4e5b9
+	return &t.stripes[(h>>33)&(solverStripes-1)]
+}
+
+func (t *progTable) get(k progKey) (progVal, bool) {
+	st := t.stripe(k)
+	st.mu.Lock()
+	v, ok := st.m[k]
+	st.mu.Unlock()
+	return v, ok
+}
+
+func (t *progTable) put(k progKey, v progVal) {
+	st := t.stripe(k)
+	st.mu.Lock()
+	st.m[k] = v
+	st.mu.Unlock()
+}
+
+// solverMemoKey keys the shared (configuration, obligation) dominance memo
+// (lts.DominanceMemo, striped on the configuration hash).
+type solverMemoKey struct {
+	conf instance.Hash
+	ob   int
+}
+
+// obState mirrors the serial solver's per-prefix obligation bookkeeping.
+type obState struct {
+	ob  ltl.Formula
+	id  int
+	len int
+}
+
+// parallelBoundedSearch runs the sharded search. skeleton is already in
+// NNF; letters is the sentence→proposition table; ltsOpts carries the
+// exploration options including Parallelism > 1.
+func parallelBoundedSearch(f Formula, opts SolveOptions, voc Vocabulary, skeleton ltl.Formula, letters []letterEntry, ltsOpts lts.Options, depth int) (SolveResult, error) {
+	res := SolveResult{Depth: depth}
+	useMask := len(letters) <= 64
+	in := newObInterner()
+	prog := newProgTable()
+	memo := lts.NewDominanceMemo[solverMemoKey](func(k solverMemoKey) uint64 { return k.conf.A })
+	wit := &lts.WitnessBox[*access.Path]{}
+	skelID, skeleton := in.intern(skeleton)
+
+	factory := func(shard int) lts.Visitor {
+		// Per-shard obligation stack: the shard's DFS starts at depth 1, so
+		// the root obligation (the whole skeleton, length 0) seeds it.
+		//
+		// LOCKSTEP: the visitor body below is the serial boundedSearch
+		// visitor with the tables swapped for their concurrent twins. The
+		// serial body stays separate on purpose — it must remain bit-for-bit
+		// the pre-parallelism engine (alloc pins, golden traces) with no
+		// table indirection in its hot loop — so any change to the
+		// progression / accept / prune / memo sequence in solver.go must be
+		// mirrored here, and vice versa; the W-grid equivalence tests are
+		// the tripwire.
+		stack := []obState{{ob: skeleton, id: skelID, len: 0}}
+		return func(p *access.Path, pre, conf *instance.Instance) (bool, error) {
+			for len(stack) > 0 && stack[len(stack)-1].len >= p.Len() {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 {
+				return false, fmt.Errorf("accltl: obligation stack underflow")
+			}
+			cur := stack[len(stack)-1].ob
+			curID := stack[len(stack)-1].id
+			last := access.Transition{Before: pre, Access: p.Step(p.Len() - 1).Access, After: conf}
+			var next ltl.Formula
+			var nextID int
+			var accept bool
+			if useMask {
+				mask, err := evalLetterMask(letters, last, voc)
+				if err != nil {
+					return false, err
+				}
+				pk := progKey{ob: curID, letter: mask}
+				pv, ok := prog.get(pk)
+				if !ok {
+					n, acc := ltl.Step(cur, letterFromMask(letters, mask))
+					pv.nextID, pv.next = in.intern(n)
+					pv.accept = acc
+					prog.put(pk, pv)
+				}
+				next, nextID, accept = pv.next, pv.nextID, pv.accept
+			} else {
+				letter, err := evalLetter(letters, last, voc)
+				if err != nil {
+					return false, err
+				}
+				var n ltl.Formula
+				n, accept = ltl.Step(cur, letter)
+				nextID, next = in.intern(n)
+			}
+			if accept {
+				wit.Offer(shard, p.Clone())
+				return false, lts.ErrStop
+			}
+			if opts.DisableLTLPruning {
+				// Ablation parity with the serial engine: re-check the whole
+				// formula directly at every prefix.
+				ts, err := p.Transitions(opts.Initial)
+				if err != nil {
+					return false, err
+				}
+				ok, err := Satisfied(f, ts, voc)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					wit.Offer(shard, p.Clone())
+					return false, lts.ErrStop
+				}
+				stack = append(stack, obState{ob: next, id: nextID, len: p.Len()})
+				return true, nil
+			}
+			if t, isT := next.(ltl.Truth); isT && !bool(t) {
+				return false, nil // dead obligation: prune
+			}
+			// Under idempotence the future also depends on the responses seen
+			// so far, so (config, obligation) memoization would be unsound —
+			// exactly as in the serial engine.
+			if !opts.IdempotentOnly {
+				if memo.DominatedOrRecord(solverMemoKey{conf: conf.Hash(), ob: nextID}, depth-p.Len()) {
+					return false, nil
+				}
+			}
+			stack = append(stack, obState{ob: next, id: nextID, len: p.Len()})
+			return true, nil
+		}
+	}
+	root := func(p *access.Path, pre, conf *instance.Instance) (bool, error) { return true, nil }
+
+	rep, searchErr := lts.ExploreSharded(opts.Schema, ltsOpts, root, factory)
+	res.PathsExplored = rep.Paths
+	if w, found := wit.Take(); found {
+		// A found witness settles the question even when another walker
+		// errored in the race window before the early-cancel broadcast
+		// landed (the same resolution the branching checker uses): the
+		// witness is validated against the direct semantics below, so the
+		// verdict it carries does not depend on the failed walker's search.
+		// Without this, satisfiable-vs-error would be schedule-dependent.
+		res.Satisfiable = true
+		res.Witness = w
+		ts, err := res.Witness.Transitions(opts.Initial)
+		if err != nil {
+			return res, err
+		}
+		ok, err := Satisfied(f, ts, voc)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			return res, fmt.Errorf("accltl: internal error: witness rejected by direct semantics")
+		}
+		return res, nil
+	}
+	if searchErr != nil {
+		return res, searchErr
+	}
+	res.Truncated = rep.PathsCapped
+	res.ResponsesCapped = rep.ResponsesCapped
+	return res, nil
+}

@@ -1,0 +1,168 @@
+package accltl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSolveParallelMatchesSerialAcrossGrid is the solver-level golden test
+// of the sharded engine: over the same formula × option grid the serial
+// equivalence test uses, every Parallelism must reproduce the serial
+// verdict whenever the search ran to exhaustion, and any witness must pass
+// the direct semantics. Path-capped searches visit a schedule-dependent
+// subset of the space, so — exactly as with the pruning ablation — verdicts
+// there may only diverge when a Truncated flag says so.
+func TestSolveParallelMatchesSerialAcrossGrid(t *testing.T) {
+	s := chainSchema(t)
+	formulas := map[string]Formula{
+		"reach-R1":  F(postNonEmpty("R1")),
+		"nested":    F(Conj(postNonEmpty("R0"), F(postNonEmpty("R1")))),
+		"unsat":     Conj(F(postNonEmpty("R0")), G(Not{F: postNonEmpty("R0")})),
+		"bind-then": Conj(bind0("scanR0"), Next{F: bind0("chkR1")}),
+	}
+	grid := []struct {
+		name string
+		opts SolveOptions
+	}{
+		{"plain", SolveOptions{Schema: s, MaxDepth: 3}},
+		{"grounded", SolveOptions{Schema: s, MaxDepth: 3, Grounded: true}},
+		{"idempotent", SolveOptions{Schema: s, MaxDepth: 3, IdempotentOnly: true}},
+		{"all-exact", SolveOptions{Schema: s, MaxDepth: 3, AllExact: true}},
+		{"exact-subset", SolveOptions{Schema: s, MaxDepth: 3, ExactMethods: map[string]bool{"scanR0": true}}},
+		{"resp-choices=1", SolveOptions{Schema: s, MaxDepth: 3, MaxResponseChoices: 1}},
+		{"paths-capped", SolveOptions{Schema: s, MaxDepth: 3, MaxPaths: 30}},
+		{"grounded+idempotent", SolveOptions{Schema: s, MaxDepth: 3, Grounded: true, IdempotentOnly: true}},
+		{"no-pruning", SolveOptions{Schema: s, MaxDepth: 3, DisableLTLPruning: true}},
+	}
+	for fname, f := range formulas {
+		for _, g := range grid {
+			for _, w := range []int{2, 4, 8} {
+				f, g, w := f, g, w
+				t.Run(fname+"/"+g.name+"/w="+string(rune('0'+w)), func(t *testing.T) {
+					serial, err := SolveZeroAcc(f, g.opts)
+					if err != nil {
+						t.Fatalf("serial: %v", err)
+					}
+					popts := g.opts
+					popts.Parallelism = w
+					par, err := SolveZeroAcc(f, popts)
+					if err != nil {
+						t.Fatalf("parallel: %v", err)
+					}
+					if par.Satisfiable != serial.Satisfiable {
+						if !par.Truncated && !serial.Truncated {
+							t.Fatalf("verdicts diverge without truncation: serial=%+v parallel=%+v", serial, par)
+						}
+						return
+					}
+					if par.Satisfiable {
+						// Witnesses may differ; both must pass the direct
+						// semantics (the solver self-checks, assert anyway).
+						for name, res := range map[string]SolveResult{"serial": serial, "parallel": par} {
+							ts, err := res.Witness.Transitions(nil)
+							if err != nil {
+								t.Fatal(err)
+							}
+							ok, err := Satisfied(f, ts, ZeroAcc)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !ok {
+								t.Errorf("%s: witness rejected by direct semantics: %s", name, res.Witness)
+							}
+						}
+						return
+					}
+					// Unsat without a path cap: the honesty flags are
+					// properties of the exhaustive space and must agree.
+					if g.opts.MaxPaths == 0 {
+						if par.Truncated != serial.Truncated || par.ResponsesCapped != serial.ResponsesCapped {
+							t.Errorf("honesty flags diverge: serial trunc=%v caps=%v, parallel trunc=%v caps=%v",
+								serial.Truncated, serial.ResponsesCapped, par.Truncated, par.ResponsesCapped)
+						}
+						if par.PathsExplored != serial.PathsExplored && !g.opts.IdempotentOnly && g.name != "no-pruning" {
+							// Shared-memo timing can change how much the
+							// parallel engine expands, but never the verdict;
+							// log for visibility, don't fail.
+							t.Logf("paths explored: serial=%d parallel=%d", serial.PathsExplored, par.PathsExplored)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSolveParallelOtherEntryPoints smoke-tests that every bounded entry
+// point honours Parallelism (they all share boundedSearch).
+func TestSolveParallelOtherEntryPoints(t *testing.T) {
+	s := chainSchema(t)
+	f := F(Conj(postNonEmpty("R0"), F(postNonEmpty("R1"))))
+	for name, run := range map[string]func() (SolveResult, error){
+		"bounded": func() (SolveResult, error) {
+			return SolveBounded(f, SolveOptions{Schema: s, MaxDepth: 3, Parallelism: 4})
+		},
+		"plus-direct": func() (SolveResult, error) {
+			return SolvePlusDirect(f, SolveOptions{Schema: s, MaxDepth: 3, Parallelism: 4})
+		},
+		"x-fragment": func() (SolveResult, error) {
+			return SolveX(Next{F: bind0("scanR0")}, SolveOptions{Schema: s, Parallelism: 4})
+		},
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Satisfiable {
+			t.Errorf("%s: unexpectedly unsatisfiable: %+v", name, res)
+		}
+	}
+}
+
+// TestSolveParallelContextCancellation: an expiring budget stops all
+// walkers promptly with the context's error, never a wrong verdict.
+func TestSolveParallelContextCancellation(t *testing.T) {
+	s := chainSchema(t)
+	// Unsatisfiable and deep: the search would exhaust a large space.
+	f := Conj(F(postNonEmpty("R0")), G(Not{F: postNonEmpty("R0")}))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := SolveZeroAcc(f, SolveOptions{Schema: s, MaxDepth: 8, Parallelism: 4, Context: ctx})
+	if err == nil {
+		// A machine fast enough to finish depth 8 in a millisecond is
+		// acceptable; anything else must surface the deadline.
+		t.Skip("search completed inside the budget")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %s", elapsed)
+	}
+}
+
+// TestSolveParallelWitnessRepeatable: repeated parallel runs of the same
+// satisfiable instance must each return a valid witness (stability of the
+// *choice* is best-effort via the sorted shard order and deliberately not
+// asserted — see SolveOptions.Parallelism).
+func TestSolveParallelWitnessRepeatable(t *testing.T) {
+	s := chainSchema(t)
+	f := F(Conj(postNonEmpty("R0"), F(postNonEmpty("R1"))))
+	for i := 0; i < 3; i++ {
+		res, err := SolveZeroAcc(f, SolveOptions{Schema: s, MaxDepth: 3, Parallelism: 4})
+		if err != nil || !res.Satisfiable {
+			t.Fatalf("run %d: res=%+v err=%v", i, res, err)
+		}
+		ts, err := res.Witness.Transitions(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := Satisfied(f, ts, ZeroAcc)
+		if err != nil || !ok {
+			t.Fatalf("run %d: witness rejected: ok=%v err=%v", i, ok, err)
+		}
+	}
+}

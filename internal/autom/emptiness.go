@@ -38,6 +38,15 @@ type EmptinessOptions struct {
 	MaxPaths int
 	// Universe overrides the guard-derived witness universe.
 	Universe *instance.Instance
+	// Parallelism is the number of concurrent exploration walkers (0 or 1 =
+	// the serial engine, unchanged). W > 1 shards the product search over
+	// the root branching (lts.ExploreSharded) with the (configuration,
+	// state-set) memo shared across walkers behind striped locks keyed by
+	// the configuration Hash. Verdicts of searches that run to exhaustion
+	// are identical for every W; witness choice and PathsExplored on
+	// early-stopped or capped searches are schedule-dependent (see the
+	// solver's twin note on accltl.SolveOptions.Parallelism).
+	Parallelism int
 }
 
 // EmptinessResult reports an emptiness verdict.
@@ -110,6 +119,23 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 		res.Witness = access.NewPath(a.Schema)
 		return res, nil
 	}
+	ltsOpts := lts.Options{
+		Context:            opts.Context,
+		Universe:           universe,
+		Initial:            opts.Initial,
+		MaxDepth:           depth,
+		GroundedOnly:       opts.Grounded,
+		IdempotentOnly:     opts.IdempotentOnly,
+		ExactMethods:       opts.ExactMethods,
+		AllExact:           opts.AllExact,
+		MaxResponseChoices: opts.MaxResponseChoices,
+		MaxPaths:           maxPaths,
+		ExtraBindingValues: extraVals,
+	}
+	if opts.Parallelism > 1 {
+		ltsOpts.Parallelism = opts.Parallelism
+		return a.isEmptyParallel(opts, ltsOpts, depth)
+	}
 	type frame struct {
 		states map[int]bool
 		length int
@@ -123,19 +149,7 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 		states string
 	}
 	seen := make(map[memoKey]int)
-	rep, err := lts.Explore(a.Schema, lts.Options{
-		Context:            opts.Context,
-		Universe:           universe,
-		Initial:            opts.Initial,
-		MaxDepth:           depth,
-		GroundedOnly:       opts.Grounded,
-		IdempotentOnly:     opts.IdempotentOnly,
-		ExactMethods:       opts.ExactMethods,
-		AllExact:           opts.AllExact,
-		MaxResponseChoices: opts.MaxResponseChoices,
-		MaxPaths:           maxPaths,
-		ExtraBindingValues: extraVals,
-	}, func(p *access.Path, pre, conf *instance.Instance) (bool, error) {
+	rep, err := lts.Explore(a.Schema, ltsOpts, func(p *access.Path, pre, conf *instance.Instance) (bool, error) {
 		res.PathsExplored++
 		if p.Len() == 0 {
 			return true, nil

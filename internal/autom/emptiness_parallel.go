@@ -1,0 +1,111 @@
+package autom
+
+// Parallel emptiness: the sharded counterpart of the direct bounded product
+// search in IsEmpty. Each root shard carries its own state-set stack (the
+// simulation mirrors the DFS prefix chain), while the (configuration,
+// state-set) dominance memo is shared across walkers behind striped locks
+// keyed by the configuration Hash — the same sharing-soundness argument as
+// the solver's (see internal/accltl/solver_parallel.go): an entry commits a
+// search with at least that much budget, and verdicts only come from
+// searches that ran to completion.
+
+import (
+	"fmt"
+
+	"accltl/internal/access"
+	"accltl/internal/instance"
+	"accltl/internal/lts"
+)
+
+// emptinessMemoKey keys the shared (configuration, state-set) dominance
+// memo (lts.DominanceMemo, striped on the configuration hash).
+type emptinessMemoKey struct {
+	conf   instance.Hash
+	states string
+}
+
+// isEmptyParallel runs the sharded product search; ltsOpts carries the
+// exploration options including Parallelism > 1, and the automaton is
+// already validated with the empty-path acceptance handled by the caller.
+func (a *Automaton) isEmptyParallel(opts EmptinessOptions, ltsOpts lts.Options, depth int) (EmptinessResult, error) {
+	res := EmptinessResult{Empty: true, Depth: depth}
+	memo := lts.NewDominanceMemo[emptinessMemoKey](func(k emptinessMemoKey) uint64 { return k.conf.A })
+	wit := &lts.WitnessBox[*access.Path]{}
+
+	type frame struct {
+		states map[int]bool
+		length int
+	}
+	factory := func(shard int) lts.Visitor {
+		// Per-shard simulation stack, seeded with the initial state at the
+		// root (the shard's DFS starts at depth 1).
+		//
+		// LOCKSTEP: this is the serial IsEmpty visitor with the memo swapped
+		// for its striped twin; the serial body deliberately stays separate
+		// (bit-for-bit engine, no table indirection), so changes to the
+		// step / accept / prune / memo sequence must be mirrored between the
+		// two — the W-grid equivalence tests are the tripwire.
+		stack := []frame{{states: map[int]bool{a.Init: true}, length: 0}}
+		return func(p *access.Path, pre, conf *instance.Instance) (bool, error) {
+			for len(stack) > 0 && stack[len(stack)-1].length >= p.Len() {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 {
+				return false, fmt.Errorf("autom: state stack underflow")
+			}
+			cur := stack[len(stack)-1].states
+			last := access.Transition{Before: pre, Access: p.Step(p.Len() - 1).Access, After: conf}
+			next, err := a.StepStates(cur, access.StructureOf(last))
+			if err != nil {
+				return false, err
+			}
+			if len(next) == 0 {
+				return false, nil // dead: prune
+			}
+			for s := range next {
+				if a.Accepting[s] {
+					wit.Offer(shard, p.Clone())
+					return false, lts.ErrStop
+				}
+			}
+			// Under idempotence the future also depends on the responses
+			// seen so far; skip memoization there (see the serial twin).
+			if !opts.IdempotentOnly {
+				k := emptinessMemoKey{conf: conf.Hash(), states: stateSetKey(next)}
+				if memo.DominatedOrRecord(k, depth-p.Len()) {
+					return false, nil
+				}
+			}
+			stack = append(stack, frame{states: next, length: p.Len()})
+			return true, nil
+		}
+	}
+	root := func(p *access.Path, pre, conf *instance.Instance) (bool, error) { return true, nil }
+
+	rep, err := lts.ExploreSharded(a.Schema, ltsOpts, root, factory)
+	res.PathsExplored = rep.Paths
+	if w, found := wit.Take(); found {
+		// A found witness settles non-emptiness even when another walker
+		// errored before the early-cancel broadcast landed (the solver's
+		// twin rule): it is validated against the run semantics below, so
+		// the verdict does not depend on the failed walker's search.
+		res.Empty = false
+		res.Witness = w
+		if res.Witness.Len() > 0 {
+			ok, err := a.Accepts(res.Witness)
+			if err != nil {
+				return res, err
+			}
+			if !ok {
+				return res, fmt.Errorf("autom: internal error: witness rejected by run semantics")
+			}
+		}
+		return res, nil
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Truncated = rep.PathsCapped
+	res.ResponsesCapped = rep.ResponsesCapped
+	return res, nil
+}

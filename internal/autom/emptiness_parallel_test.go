@@ -1,0 +1,102 @@
+package autom
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"accltl/internal/accltl"
+)
+
+// TestIsEmptyParallelMatchesSerial pins the sharded product search against
+// the serial engine across formulas with both verdicts and across the W
+// grid: exhaustive searches must agree on Empty and the honesty flags, and
+// every witness must pass the run semantics.
+func TestIsEmptyParallelMatchesSerial(t *testing.T) {
+	s := twoRelSchema(t)
+	formulas := []accltl.Formula{
+		accltl.F(accltl.Atom{Sentence: postNE("R0")}),
+		accltl.Conj(
+			accltl.F(accltl.Atom{Sentence: postNE("R0")}),
+			accltl.G(accltl.Not{F: accltl.Atom{Sentence: postNE("R0")}}),
+		),
+		accltl.Until{
+			L: accltl.Not{F: accltl.Atom{Sentence: preNE("R1")}},
+			R: accltl.Atom{Sentence: postNE("R0")},
+		},
+	}
+	// MaxDepth 4 keeps the unsatisfiable instances' exhaustive searches
+	// small while still spanning several levels of sharded fan-out (the
+	// automaton-derived default bound blows the space up).
+	grids := []EmptinessOptions{
+		{MaxDepth: 4},
+		{MaxDepth: 4, Grounded: true},
+		{MaxDepth: 4, IdempotentOnly: true},
+		{MaxDepth: 4, AllExact: true},
+	}
+	for fi, f := range formulas {
+		a, err := CompileAccLTLPlus(s, f)
+		if err != nil {
+			t.Fatalf("formula %d: %v", fi, err)
+		}
+		for gi, base := range grids {
+			serial, err := a.IsEmpty(base)
+			if err != nil {
+				t.Fatalf("formula %d grid %d serial: %v", fi, gi, err)
+			}
+			for _, w := range []int{2, 4, 8} {
+				popts := base
+				popts.Parallelism = w
+				par, err := a.IsEmpty(popts)
+				if err != nil {
+					t.Fatalf("formula %d grid %d w=%d: %v", fi, gi, w, err)
+				}
+				if par.Empty != serial.Empty {
+					t.Errorf("formula %d grid %d w=%d: Empty=%v, serial %v", fi, gi, w, par.Empty, serial.Empty)
+					continue
+				}
+				if par.Empty {
+					if par.Truncated != serial.Truncated || par.ResponsesCapped != serial.ResponsesCapped {
+						t.Errorf("formula %d grid %d w=%d: honesty flags diverge: serial trunc=%v caps=%v, parallel trunc=%v caps=%v",
+							fi, gi, w, serial.Truncated, serial.ResponsesCapped, par.Truncated, par.ResponsesCapped)
+					}
+					continue
+				}
+				if par.Witness.Len() > 0 {
+					ok, err := a.Accepts(par.Witness)
+					if err != nil || !ok {
+						t.Errorf("formula %d grid %d w=%d: witness rejected: ok=%v err=%v", fi, gi, w, ok, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIsEmptyParallelContextCancellation: a tight deadline surfaces as the
+// context's error from all walkers, promptly.
+func TestIsEmptyParallelContextCancellation(t *testing.T) {
+	s := twoRelSchema(t)
+	f := accltl.Conj(
+		accltl.F(accltl.Atom{Sentence: postNE("R0")}),
+		accltl.G(accltl.Not{F: accltl.Atom{Sentence: postNE("R0")}}),
+	)
+	a, err := CompileAccLTLPlus(s, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = a.IsEmpty(EmptinessOptions{Context: ctx, MaxDepth: 9, Parallelism: 4})
+	if err == nil {
+		t.Skip("search completed inside the budget")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %s", elapsed)
+	}
+}

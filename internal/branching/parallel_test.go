@@ -1,0 +1,119 @@
+package branching
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"accltl/internal/instance"
+	"accltl/internal/lts"
+	"accltl/internal/schema"
+)
+
+// TestSatisfiableParallelMatchesSerial: the parallel first-level fan-out
+// must agree with the serial loop on the verdict for both outcomes, across
+// the W grid, and any witness transition must itself satisfy ϕ.
+func TestSatisfiableParallelMatchesSerial(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	formulas := []struct {
+		name string
+		f    Formula
+		want bool
+	}{
+		{"reveal-R", postNE("R"), true},
+		{"reveal-then-S", EX{F: Conj(postNE("R"), EX{F: postNE("S")})}, true},
+		{"impossible", Conj(postNE("R"), postNE("S")), false},
+	}
+	for _, tc := range formulas {
+		serialC := &Checker{Schema: s, Opts: lts.Options{Universe: u}}
+		ok, _, err := serialC.Satisfiable(tc.f, nil)
+		if err != nil {
+			t.Fatalf("%s serial: %v", tc.name, err)
+		}
+		if ok != tc.want {
+			t.Fatalf("%s serial verdict %v, want %v", tc.name, ok, tc.want)
+		}
+		for _, w := range []int{2, 4, 8} {
+			parC := &Checker{Schema: s, Opts: lts.Options{Universe: u, Parallelism: w}}
+			pok, wit, err := parC.Satisfiable(tc.f, nil)
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", tc.name, w, err)
+			}
+			if pok != ok {
+				t.Errorf("%s w=%d: verdict %v, serial %v", tc.name, w, pok, ok)
+				continue
+			}
+			if pok {
+				holds, err := parC.Holds(tc.f, wit)
+				if err != nil || !holds {
+					t.Errorf("%s w=%d: witness transition does not satisfy ϕ: %v %v", tc.name, w, holds, err)
+				}
+			}
+			if parC.ResponsesCapped != serialC.ResponsesCapped {
+				t.Errorf("%s w=%d: ResponsesCapped %v, serial %v", tc.name, w, parC.ResponsesCapped, serialC.ResponsesCapped)
+			}
+		}
+	}
+}
+
+// TestSatisfiableParallelResponsesCapped: the sticky cap signal raised
+// inside a worker's EX recursion must merge back into the parent checker.
+func TestSatisfiableParallelResponsesCapped(t *testing.T) {
+	s := tinySchema(t)
+	wide := instance.NewInstance(s)
+	for i := 1; i <= 5; i++ {
+		wide.MustAdd("R", instance.Int(int64(i)))
+		wide.MustAdd("S", instance.Int(int64(i)))
+	}
+	c := &Checker{Schema: s, Opts: lts.Options{Universe: wide, MaxResponseChoices: 2, Parallelism: 4}}
+	// Unsatisfiable so every worker enumerates (and caps) its fan-outs.
+	ok, _, err := c.Satisfiable(Conj(postNE("R"), postNE("S"), EX{F: Conj(postNE("R"), postNE("S"))}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ok
+	if !c.ResponsesCapped {
+		t.Error("capped successor fan-out in workers not merged into the parent checker")
+	}
+}
+
+// TestSatisfiableParallelContextCancellation: a caller deadline mid-check
+// surfaces as the caller context's error, not as an internal cancellation.
+func TestSatisfiableParallelContextCancellation(t *testing.T) {
+	r := schema.MustRelation("R", schema.TypeInt)
+	s2 := schema.MustRelation("S", schema.TypeInt)
+	s := schema.New()
+	for _, err := range []error{
+		s.AddRelation(r), s.AddRelation(s2),
+		s.AddMethod(schema.MustAccessMethod("scanR", r)),
+		s.AddMethod(schema.MustAccessMethod("chkS", s2, 0)),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := instance.NewInstance(s)
+	for i := 1; i <= 6; i++ {
+		u.MustAdd("R", instance.Int(int64(i)))
+		u.MustAdd("S", instance.Int(int64(i)))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	c := &Checker{Schema: s, Opts: lts.Options{Universe: u, Parallelism: 4, Context: ctx}}
+	// A deep EX tower over a wide universe: enough work that the 1ms budget
+	// expires inside the workers.
+	f := EX{F: EX{F: EX{F: EX{F: Conj(postNE("R"), postNE("S"))}}}}
+	start := time.Now()
+	_, _, err := c.Satisfiable(f, nil)
+	if err == nil {
+		t.Skip("check completed inside the budget")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %s", elapsed)
+	}
+}

@@ -71,8 +71,21 @@ type Options struct {
 	// MaxPaths aborts exploration after visiting this many path prefixes
 	// (0 = unlimited). The empty root prefix counts as the first, so
 	// MaxPaths=n visits the root plus at most n-1 proper paths; when the
-	// cap actually cuts the search short, Report.PathsCapped is set.
+	// cap actually cuts the search short, Report.PathsCapped is set. Under
+	// parallel exploration the cap is a single shared budget: walkers claim
+	// prefixes from one atomic counter, so the global count and the exact
+	// PathsCapped semantics are preserved for every Parallelism.
 	MaxPaths int
+	// Parallelism is the number of concurrent walkers exploration may use.
+	// 0 and 1 select the serial mutate-and-undo engine unchanged; W > 1
+	// partitions the root branching (first access × response) into shards,
+	// sorted by access fingerprint, and runs up to W independent walkers
+	// over them (see ExploreSharded). Explore with W > 1 calls the visitor
+	// concurrently — the visitor must be safe for concurrent use; visitors
+	// that carry per-DFS state should go through ExploreSharded instead.
+	// Successors, EnumeratePaths and BuildTree are order-sensitive,
+	// one-shot enumerations and ignore the knob.
+	Parallelism int
 }
 
 func (o *Options) withDefaults() Options {
@@ -121,6 +134,12 @@ type Report struct {
 // Explore enumerates access paths of the schema against opts.Universe in
 // depth-first order, calling visit on every path (including the empty one).
 // The Report is meaningful even when an error is returned.
+//
+// With opts.Parallelism > 1 the exploration is sharded over the root
+// branching (see ExploreSharded) and visit is called concurrently from up
+// to Parallelism walkers; it must be safe for concurrent use. Each walker
+// still performs a strict depth-first mutate-and-undo walk over its shards,
+// so the borrowed-argument contract of Visitor is unchanged.
 func Explore(sch *schema.Schema, opts Options, visit Visitor) (Report, error) {
 	o := opts.withDefaults()
 	if o.Universe == nil {
@@ -130,6 +149,9 @@ func Explore(sch *schema.Schema, opts Options, visit Visitor) (Report, error) {
 		if err := o.Context.Err(); err != nil {
 			return Report{}, err
 		}
+	}
+	if o.Parallelism > 1 {
+		return exploreSharded(sch, o, visit, func(int) Visitor { return visit })
 	}
 	init := o.Initial
 	if init == nil {
@@ -195,6 +217,13 @@ type explorer struct {
 	paths       int
 	pathsCapped bool
 	respCapped  bool
+
+	// shared, when non-nil, marks this explorer as one walker of a sharded
+	// parallel exploration: the path budget and the early-cancel broadcast
+	// live on the coordinator, and localPaths drives this walker's bounded
+	// context-poll cadence (the serial engine polls on the global count).
+	shared     *shardCoord
+	localPaths int
 
 	// Mutate-and-undo state: the single reusable path, the configuration
 	// after it (post), the configuration before its last step (pre), and
@@ -262,18 +291,64 @@ func (e *explorer) exact(m *schema.AccessMethod) bool {
 // configuration, the "before" side of every child transition) and pops it
 // once before returning — per node, not per child.
 func (e *explorer) rec(depth int, delta []instance.Tuple, deltaKeys []string, deltaRel string) error {
-	if e.opts.MaxPaths > 0 && e.paths >= e.opts.MaxPaths {
-		// The cap fires only when an (n+1)-th prefix is actually reached,
-		// so PathsCapped exactly means "there was more space to search".
-		e.pathsCapped = true
-		return ErrStop
-	}
-	e.paths++
-	// Poll the context periodically rather than per node: Err is cheap but
-	// not free, and the hot loop visits millions of prefixes.
-	if e.opts.Context != nil && e.paths&0x3f == 0 {
-		if err := e.opts.Context.Err(); err != nil {
-			return err
+	if c := e.shared; c != nil {
+		// Walker of a sharded exploration. The stop flag is the early-cancel
+		// broadcast: checked once per node (a read-only atomic load, which
+		// scales), it bounds how long any walker keeps going after a
+		// witness, an error or the cap elsewhere.
+		if c.stop.Load() {
+			return ErrStop
+		}
+		if e.opts.MaxPaths > 0 {
+			// Capped search: the budget is one atomic counter shared by all
+			// walkers, claimed immediately before each visit, so MaxPaths
+			// stays a global cap with the exact PathsCapped semantics of the
+			// serial engine (the cap fires only when an (n+1)-th prefix is
+			// actually reached). The shared claim costs a contended atomic
+			// per node — the price of exactness, paid only when a cap is set.
+			// Denied claims are refunded like context-killed ones below, so
+			// the counter always joins at the exact global visit count.
+			n := c.paths.Add(1)
+			if n > int64(e.opts.MaxPaths) {
+				c.paths.Add(-1)
+				c.capped.Store(true)
+				c.stop.Store(true)
+				return ErrStop
+			}
+		} else {
+			// Uncapped search: count locally and flush into the coordinator
+			// when the walker retires — no shared cache line in the hot loop.
+			e.paths++
+		}
+		// Poll the context on a bounded per-walker cadence: every walker
+		// checks its own deadline at least once per 64 of its own nodes. A
+		// claim whose visit is killed by the context is handed back, so
+		// Report.Paths stays the exact global visit count.
+		e.localPaths++
+		if e.opts.Context != nil && e.localPaths&0x3f == 0 {
+			if err := e.opts.Context.Err(); err != nil {
+				if e.opts.MaxPaths > 0 {
+					c.paths.Add(-1)
+				} else {
+					e.paths--
+				}
+				return err
+			}
+		}
+	} else {
+		if e.opts.MaxPaths > 0 && e.paths >= e.opts.MaxPaths {
+			// The cap fires only when an (n+1)-th prefix is actually reached,
+			// so PathsCapped exactly means "there was more space to search".
+			e.pathsCapped = true
+			return ErrStop
+		}
+		e.paths++
+		// Poll the context periodically rather than per node: Err is cheap
+		// but not free, and the hot loop visits millions of prefixes.
+		if e.opts.Context != nil && e.paths&0x3f == 0 {
+			if err := e.opts.Context.Err(); err != nil {
+				return err
+			}
 		}
 	}
 	expand, err := e.visit(e.path, e.pre, e.post)
@@ -619,8 +694,10 @@ func sortValues(vs []instance.Value) {
 
 // EnumeratePaths collects every path up to the options' depth bound. Each
 // path is a retained clone (the explorer's own path is borrowed, see
-// Visitor). Intended for small universes (tests, oracles, Figure 1).
+// Visitor). Intended for small universes (tests, oracles, Figure 1); the
+// output order is the serial DFS order, so Parallelism is ignored.
 func EnumeratePaths(sch *schema.Schema, opts Options) ([]*access.Path, error) {
+	opts.Parallelism = 0
 	var out []*access.Path
 	_, err := Explore(sch, opts, func(p *access.Path, _, _ *instance.Instance) (bool, error) {
 		out = append(out, p.Clone())
@@ -642,8 +719,17 @@ type Stats struct {
 
 // Collect runs an exploration and gathers statistics. Per-depth
 // configuration dedup keys on the instances' incremental Hash, so no
-// canonical strings are built per node.
+// canonical strings are built per node. With opts.Parallelism > 1 the
+// exploration runs sharded (see ExploreSharded) with private per-shard
+// tallies — counts summed and config sets unioned on join, nothing shared
+// in the hot loop; the resulting Stats are identical to the serial
+// engine's for every Parallelism whenever the search is not cut by
+// MaxPaths (per-depth counts are set cardinalities, insensitive to visit
+// order).
 func Collect(sch *schema.Schema, opts Options) (Stats, error) {
+	if opts.Parallelism > 1 {
+		return collectParallel(sch, opts)
+	}
 	var st Stats
 	seen := make([]map[instance.Hash]bool, opts.MaxDepth+1)
 	for i := range seen {

@@ -1,0 +1,90 @@
+package lts
+
+// Concurrent companion tables for solvers built on ExploreSharded: the
+// striped dominance memo and the lowest-shard witness box. Both the AccLTL
+// bounded-model solver and the automaton emptiness check need exactly these
+// two structures (their keys differ, their semantics do not), so they live
+// here once instead of as twins in each engine.
+
+import "sync"
+
+const shardTableStripes = 64
+
+// DominanceMemo is a concurrent map from search states to the largest
+// remaining depth budget a walker has committed to exploring them with,
+// striped by a caller-supplied hash (solvers stripe on the configuration's
+// incremental instance.Hash, so walkers covering overlapping configuration
+// spaces land on the same stripes and prune against each other's work).
+//
+// Sharing the memo across walkers is sound for the same reason the serial
+// memo is: an entry means "a search from this state with at least this much
+// budget was committed to", and verdicts are only produced by searches that
+// ran to completion — errors and context expiries surface as errors, caps
+// surface as truncation. It does make visited-path counts
+// schedule-dependent (whether a walker reaches a node before or after a
+// dominating entry lands decides whether the node expands), which is why
+// only verdicts, not path counts, are pinned across Parallelism.
+type DominanceMemo[K comparable] struct {
+	stripeOf func(K) uint64
+	stripes  [shardTableStripes]dominanceStripe[K]
+}
+
+type dominanceStripe[K comparable] struct {
+	mu sync.Mutex
+	m  map[K]int
+}
+
+// NewDominanceMemo builds an empty memo striped by stripeOf.
+func NewDominanceMemo[K comparable](stripeOf func(K) uint64) *DominanceMemo[K] {
+	t := &DominanceMemo[K]{stripeOf: stripeOf}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[K]int)
+	}
+	return t
+}
+
+// DominatedOrRecord reports whether k was already committed with at least
+// remaining budget; if not, it records the new budget. The check and the
+// update are one critical section, so two walkers racing on the same key
+// cannot both conclude "dominated".
+func (t *DominanceMemo[K]) DominatedOrRecord(k K, remaining int) bool {
+	st := &t.stripes[t.stripeOf(k)&(shardTableStripes-1)]
+	st.mu.Lock()
+	prev, ok := st.m[k]
+	if ok && prev >= remaining {
+		st.mu.Unlock()
+		return true
+	}
+	st.m[k] = remaining
+	st.mu.Unlock()
+	return false
+}
+
+// WitnessBox collects candidate witnesses from concurrent walkers,
+// preferring the lowest shard index: ExploreSharded's shards are sorted
+// canonically, so the preference keeps the reported witness stable whenever
+// scheduling lets the low shards finish (the residual nondeterminism is
+// documented on the solvers' Parallelism options).
+type WitnessBox[T any] struct {
+	mu    sync.Mutex
+	has   bool
+	shard int
+	val   T
+}
+
+// Offer submits a candidate found while processing the given shard.
+func (w *WitnessBox[T]) Offer(shard int, v T) {
+	w.mu.Lock()
+	if !w.has || shard < w.shard {
+		w.has, w.shard, w.val = true, shard, v
+	}
+	w.mu.Unlock()
+}
+
+// Take returns the best candidate, if any. Callers invoke it after the
+// exploration joined, but it is safe concurrently with Offer.
+func (w *WitnessBox[T]) Take() (T, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.val, w.has
+}

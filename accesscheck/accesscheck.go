@@ -33,6 +33,7 @@ import (
 	"accltl/internal/autom"
 	"accltl/internal/fo"
 	"accltl/internal/instance"
+	"accltl/internal/lts"
 	"accltl/internal/schema"
 )
 
@@ -58,6 +59,9 @@ type (
 	Path = access.Path
 	// Instance is a set of facts over a schema.
 	Instance = instance.Instance
+	// ShardID identifies one root shard of the canonical search partition
+	// (see Checker.ShardPlan and WithShards).
+	ShardID = lts.ShardID
 )
 
 // The Table 1 fragments.
@@ -156,6 +160,7 @@ type Checker struct {
 	maxPaths           int
 	maxResponseChoices int
 	parallelism        int
+	shards             []int
 	initial            *Instance
 	universe           *Instance
 }
@@ -272,6 +277,33 @@ func WithParallelism(n int) Option {
 			n = runtime.GOMAXPROCS(0)
 		}
 		c.parallelism = n
+		return nil
+	}
+}
+
+// WithShards restricts the search to the listed root shards of the
+// canonical partition ShardPlan enumerates. Indexes are canonical positions
+// in the sorted shard order; duplicates collapse, and an index outside the
+// partition surfaces as an error from Check. A shard-restricted check is a
+// partial check: a satisfiable verdict is exact, an unsatisfiable verdict
+// covers only the selected shards and must be merged across a full cover of
+// the partition before it says anything about the whole search space — the
+// contract the distributed check fabric's workers execute under. Unlike
+// WithParallelism, the subset is part of what is computed, so it is folded
+// into Fingerprint.
+func WithShards(indexes ...int) Option {
+	return func(c *Checker) error {
+		if len(indexes) == 0 {
+			return fmt.Errorf("accesscheck: WithShards needs at least one shard index")
+		}
+		sel := make([]int, 0, len(indexes))
+		for _, i := range indexes {
+			if i < 0 {
+				return fmt.Errorf("accesscheck: WithShards(%d): shard index must be non-negative", i)
+			}
+			sel = append(sel, i)
+		}
+		c.shards = sel
 		return nil
 	}
 }
@@ -414,21 +446,7 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 		InFragment: inFragment,
 		Decidable:  inFragment && frag.Decidable(),
 	}
-	engine := c.engine
-	if engine == EngineAuto {
-		switch {
-		case !inFragment:
-			engine = EngineBounded
-		case frag == FragXZeroAcc:
-			engine = EngineX
-		case frag == FragZeroAcc || frag == FragZeroAccNeq:
-			engine = EngineZeroAcc
-		case frag == FragPlus:
-			engine = EnginePlus
-		default:
-			engine = EngineBounded
-		}
-	}
+	engine := c.resolveEngine(f)
 	res.Engine = engine
 
 	opts := accltl.SolveOptions{
@@ -444,6 +462,7 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 		MaxResponseChoices: c.maxResponseChoices,
 		MaxPaths:           c.maxPaths,
 		Parallelism:        c.parallelism,
+		Shards:             c.shards,
 	}
 
 	start := time.Now()
@@ -476,6 +495,7 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 				MaxPaths:           c.maxPaths,
 				Universe:           c.universe,
 				Parallelism:        c.parallelism,
+				Shards:             c.shards,
 			})
 			sr = accltl.SolveResult{
 				Satisfiable:     !er.Empty,
@@ -503,6 +523,98 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 	// a capped search for an exact one.
 	res.Truncated = sr.Truncated || sr.ResponsesCapped
 	return res, nil
+}
+
+// ShardPlan enumerates the root shards a Check on (sch, f) under this
+// checker's configuration would partition the search into, in the canonical
+// sorted order WithShards indexes. The plan is a pure function of the
+// schema, the formula and the verdict-affecting options — WithParallelism
+// and WithShards themselves do not change it — so two processes configured
+// identically derive identical plans; that determinism is what lets a
+// distributed coordinator enumerate the partition, ship shard indexes to
+// workers as plain data, and have each worker re-derive the same partition
+// and execute its assigned slice. The bool result reports whether root
+// response fan-out was truncated to the response-choice cap during
+// enumeration (the ResponsesCapped seed every shard-restricted run shares).
+//
+// Fragment membership is not validated here: a plan can be produced for a
+// formula the dispatched engine would reject, and the rejection then
+// surfaces from Check itself.
+func (c *Checker) ShardPlan(ctx context.Context, sch *Schema, f Formula) ([]ShardID, bool, error) {
+	if sch == nil {
+		return nil, false, fmt.Errorf("accesscheck: ShardPlan: nil schema")
+	}
+	if f == nil {
+		return nil, false, fmt.Errorf("accesscheck: ShardPlan: nil formula")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("accesscheck: ShardPlan: %w", err)
+	}
+
+	engine := c.resolveEngine(f)
+	if engine == EngineAutomaton {
+		a, err := autom.CompileAccLTLPlus(sch, f)
+		if err != nil {
+			return nil, false, err
+		}
+		return a.PlanShards(autom.EmptinessOptions{
+			Context:            ctx,
+			Initial:            c.initial,
+			Grounded:           c.grounded,
+			IdempotentOnly:     c.idempotentOnly,
+			ExactMethods:       c.exactMethods,
+			AllExact:           c.allExact,
+			MaxDepth:           c.maxDepth,
+			MaxResponseChoices: c.maxResponseChoices,
+			MaxPaths:           c.maxPaths,
+			Universe:           c.universe,
+		})
+	}
+	opts := accltl.SolveOptions{
+		Context:            ctx,
+		Schema:             sch,
+		Initial:            c.initial,
+		Grounded:           c.grounded,
+		IdempotentOnly:     c.idempotentOnly,
+		ExactMethods:       c.exactMethods,
+		AllExact:           c.allExact,
+		MaxDepth:           c.maxDepth,
+		Universe:           c.universe,
+		MaxResponseChoices: c.maxResponseChoices,
+		MaxPaths:           c.maxPaths,
+	}
+	// SolveX tightens the default depth bound to the X-nesting depth plus
+	// one before searching; the plan must use the same bound the search
+	// will.
+	if engine == EngineX && opts.MaxDepth == 0 {
+		opts.MaxDepth = accltl.TemporalDepth(f) + 1
+	}
+	return accltl.PlanShards(f, opts)
+}
+
+// resolveEngine is Check's engine dispatch as a function: the forced engine
+// if one was configured, otherwise the fragment-directed choice.
+func (c *Checker) resolveEngine(f Formula) Engine {
+	if c.engine != EngineAuto {
+		return c.engine
+	}
+	info := accltl.Classify(f)
+	frag, inFragment := info.Fragment()
+	switch {
+	case !inFragment:
+		return EngineBounded
+	case frag == FragXZeroAcc:
+		return EngineX
+	case frag == FragZeroAcc || frag == FragZeroAccNeq:
+		return EngineZeroAcc
+	case frag == FragPlus:
+		return EnginePlus
+	default:
+		return EngineBounded
+	}
 }
 
 // Check is the one-shot form: build a throwaway Checker from opts and run

@@ -1,0 +1,266 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// StatusError is a non-2xx answer from a worker, carrying the status and
+// the (truncated) response body. Whether it is retryable depends on the
+// status: 5xx other than 504 may be transient (worker overloaded,
+// restarting behind the same address), 4xx means the request itself is
+// wrong on every worker, and 504 means the shard's budget is already
+// spent — retrying cannot finish any sooner.
+type StatusError struct {
+	Status int
+	Worker string
+	Body   string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("fabric: worker %s answered %d: %s", e.Worker, e.Status, e.Body)
+}
+
+// retryable reports whether a fresh attempt (same or another worker) could
+// plausibly succeed.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status >= 500 && se.Status != http.StatusGatewayTimeout
+	}
+	return true // transport-level failure
+}
+
+// Dispatcher ships shards to workers over HTTP: POST {worker}/v1/shard
+// with retries, exponential backoff and hedged requests. The zero value is
+// usable; fields override the defaults.
+type Dispatcher struct {
+	// Client is the HTTP client (default: http.DefaultClient). Give it no
+	// global timeout — per-shard budgets arrive via the context.
+	Client *http.Client
+	// Retries is the number of re-attempts per worker after the first try
+	// (default 2). Only retryable failures are re-attempted.
+	Retries int
+	// Backoff is the first retry delay, doubling per attempt (default
+	// 25ms).
+	Backoff time.Duration
+	// HedgeAfter is how long DoHedged waits for the primary before firing
+	// the same shard at the next candidate (default 400ms). The first
+	// success wins and the loser's request is cancelled.
+	HedgeAfter time.Duration
+	// Registry, when set, receives dispatch feedback: transport failures
+	// mark workers down, successful exchanges mark them up.
+	Registry *Registry
+
+	dispatched atomic.Uint64
+	retried    atomic.Uint64
+	hedged     atomic.Uint64
+}
+
+// DispatchStats is a snapshot of the dispatcher's lifetime counters:
+// shards dispatched (first attempts), retry attempts (backoff re-sends and
+// failover launches), and hedge launches (straggler duplicates fired by
+// the hedge timer).
+type DispatchStats struct {
+	Dispatched uint64
+	Retried    uint64
+	Hedged     uint64
+}
+
+// Stats snapshots the dispatch counters for /metrics exposition.
+func (d *Dispatcher) Stats() DispatchStats {
+	return DispatchStats{
+		Dispatched: d.dispatched.Load(),
+		Retried:    d.retried.Load(),
+		Hedged:     d.hedged.Load(),
+	}
+}
+
+func (d *Dispatcher) client() *http.Client {
+	if d.Client != nil {
+		return d.Client
+	}
+	return http.DefaultClient
+}
+
+func (d *Dispatcher) retries() int {
+	if d.Retries > 0 {
+		return d.Retries
+	}
+	if d.Retries == 0 {
+		return 2
+	}
+	return 0
+}
+
+func (d *Dispatcher) backoff() time.Duration {
+	if d.Backoff > 0 {
+		return d.Backoff
+	}
+	return 25 * time.Millisecond
+}
+
+func (d *Dispatcher) hedgeAfter() time.Duration {
+	if d.HedgeAfter > 0 {
+		return d.HedgeAfter
+	}
+	return 400 * time.Millisecond
+}
+
+// Do executes the shard on one worker, retrying retryable failures with
+// exponential backoff until the attempts or the context run out.
+func (d *Dispatcher) Do(ctx context.Context, worker string, sh *Shard) (*ShardResult, error) {
+	body, err := sh.Encode()
+	if err != nil {
+		return nil, err
+	}
+	attempts := d.retries() + 1
+	backoff := d.backoff()
+	d.dispatched.Add(1)
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			d.retried.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		res, err := d.once(ctx, worker, body)
+		if err == nil {
+			if d.Registry != nil {
+				d.Registry.MarkUp(worker)
+			}
+			return res, nil
+		}
+		lastErr = err
+		if d.Registry != nil {
+			var se *StatusError
+			if !errors.As(err, &se) && !errors.Is(err, context.Canceled) {
+				// Only transport-level failures demote the worker: an HTTP
+				// answer, even a 5xx, proves the process is reachable.
+				d.Registry.MarkDown(worker, err.Error())
+			}
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+func (d *Dispatcher) once(ctx context.Context, worker string, body []byte) (*ShardResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := string(data)
+		if len(msg) > 512 {
+			msg = msg[:512]
+		}
+		return nil, &StatusError{Status: resp.StatusCode, Worker: worker, Body: msg}
+	}
+	var res ShardResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("fabric: worker %s: bad shard result: %w", worker, err)
+	}
+	if res.Version != WireVersion {
+		return nil, fmt.Errorf("fabric: worker %s answered wire version %d, want %d", worker, res.Version, WireVersion)
+	}
+	return &res, nil
+}
+
+// DoHedged executes the shard against an ordered candidate list (the
+// router's Sequence): the primary goes first; if it has not answered
+// within HedgeAfter, or fails retryably, the next candidate is fired with
+// the same shard. The first success wins — the losing in-flight request is
+// cancelled — and the winning worker's URL is returned alongside the
+// result. A non-retryable failure (4xx, budget-spent 504, context expiry)
+// aborts immediately: it would fail identically everywhere.
+func (d *Dispatcher) DoHedged(ctx context.Context, workers []string, sh *Shard) (*ShardResult, string, error) {
+	if len(workers) == 0 {
+		return nil, "", fmt.Errorf("fabric: no workers to dispatch to")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res    *ShardResult
+		worker string
+		err    error
+	}
+	ch := make(chan outcome, len(workers))
+	launch := func(w string) {
+		go func() {
+			res, err := d.Do(ctx, w, sh)
+			ch <- outcome{res: res, worker: w, err: err}
+		}()
+	}
+	launched := 1
+	launch(workers[0])
+	hedge := time.NewTimer(d.hedgeAfter())
+	defer hedge.Stop()
+	var firstErr error
+	pending := 1
+	for pending > 0 {
+		select {
+		case <-ctx.Done():
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+			return nil, "", firstErr
+		case <-hedge.C:
+			if launched < len(workers) {
+				d.hedged.Add(1)
+				launch(workers[launched])
+				launched++
+				pending++
+			}
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				return o.res, o.worker, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if !retryable(o.err) && ctx.Err() == nil {
+				return nil, o.worker, o.err
+			}
+			// Failover: a retryable failure releases the slot to the next
+			// candidate immediately rather than waiting for the hedge timer.
+			if launched < len(workers) {
+				d.retried.Add(1)
+				launch(workers[launched])
+				launched++
+				pending++
+			}
+		}
+	}
+	return nil, "", firstErr
+}

@@ -1,0 +1,166 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WorkerStatus is one worker's view in the registry: its base URL, whether
+// the last probe (or dispatch feedback) found it reachable, the error text
+// when it did not, and when that information was gathered.
+type WorkerStatus struct {
+	URL       string    `json:"url"`
+	Healthy   bool      `json:"healthy"`
+	LastError string    `json:"last_error,omitempty"`
+	LastProbe time.Time `json:"last_probe,omitempty"`
+}
+
+type workerState struct {
+	healthy   bool
+	lastError string
+	lastProbe time.Time
+}
+
+// Registry is a static worker registry with health probes: the coordinator
+// is configured with a fixed list of worker base URLs, probes their
+// /healthz, and routes only to workers currently believed reachable.
+// Workers start out optimistically healthy — a cold coordinator routes to
+// everyone until probes or dispatch failures say otherwise — and dispatch
+// outcomes feed back via MarkUp/MarkDown so a mid-request death is
+// remembered without waiting for the next probe tick. Dynamic worker
+// registration is deliberately out of scope (see ROADMAP).
+type Registry struct {
+	client *http.Client
+
+	mu      sync.RWMutex
+	workers []string
+	status  map[string]*workerState
+}
+
+// NewRegistry builds a registry over the given worker base URLs
+// (scheme://host[:port], no trailing path). URLs are normalized by
+// trimming trailing slashes and deduplicated preserving first occurrence.
+func NewRegistry(urls []string, client *http.Client) (*Registry, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("fabric: registry needs at least one worker URL")
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	r := &Registry{client: client, status: make(map[string]*workerState)}
+	for _, raw := range urls {
+		w := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if w == "" {
+			return nil, fmt.Errorf("fabric: empty worker URL")
+		}
+		u, err := url.Parse(w)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("fabric: bad worker URL %q (need scheme://host[:port])", raw)
+		}
+		if _, dup := r.status[w]; dup {
+			continue
+		}
+		r.workers = append(r.workers, w)
+		r.status[w] = &workerState{healthy: true}
+	}
+	return r, nil
+}
+
+// Workers returns every configured worker URL, in configuration order.
+func (r *Registry) Workers() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.workers))
+	copy(out, r.workers)
+	return out
+}
+
+// Healthy returns the workers currently believed reachable, in
+// configuration order.
+func (r *Registry) Healthy() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.workers))
+	for _, w := range r.workers {
+		if r.status[w].healthy {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Snapshot reports every worker's status, in configuration order — the
+// coordinator's /healthz body.
+func (r *Registry) Snapshot() []WorkerStatus {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]WorkerStatus, len(r.workers))
+	for i, w := range r.workers {
+		st := r.status[w]
+		out[i] = WorkerStatus{URL: w, Healthy: st.healthy, LastError: st.lastError, LastProbe: st.lastProbe}
+	}
+	return out
+}
+
+// ProbeAll probes every worker's /healthz concurrently and records the
+// outcomes. It returns the number of healthy workers after the sweep.
+func (r *Registry) ProbeAll(ctx context.Context) int {
+	workers := r.Workers()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w string) {
+			defer wg.Done()
+			err := r.probe(ctx, w)
+			if err != nil {
+				r.record(w, false, err.Error())
+			} else {
+				r.record(w, true, "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	return len(r.Healthy())
+}
+
+func (r *Registry) probe(ctx context.Context, worker string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// MarkDown records dispatch feedback: a transport-level failure talking to
+// the worker. Unknown URLs are ignored.
+func (r *Registry) MarkDown(worker string, reason string) { r.record(worker, false, reason) }
+
+// MarkUp records dispatch feedback: a successful exchange with the worker.
+func (r *Registry) MarkUp(worker string) { r.record(worker, true, "") }
+
+func (r *Registry) record(worker string, healthy bool, errText string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.status[worker]
+	if !ok {
+		return
+	}
+	st.healthy = healthy
+	st.lastError = errText
+	st.lastProbe = time.Now()
+}

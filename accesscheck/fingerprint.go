@@ -27,6 +27,15 @@ import (
 // result computed at one parallelism is a correct answer for the same check
 // at any other, and splitting the cache by walker count would only lower
 // its hit rate.
+//
+// WithShards, by contrast, is included (canonicalized: sorted, deduplicated)
+// when set: a shard-restricted check computes a partial answer over a
+// subset of the partition, which is a genuinely different computation from
+// the full check and from every other subset. Without it, a worker caching
+// its partial verdict under the full check's key would poison any
+// subsequent full check of the same inputs. Coordinators wanting a routing
+// key that all shards of one check share should fingerprint a checker
+// without the shard option.
 func (c *Checker) Fingerprint(sch *Schema, f Formula) string {
 	h := sha256.New()
 	field := func(name, value string) {
@@ -53,6 +62,19 @@ func (c *Checker) Fingerprint(sch *Schema, f Formula) string {
 		sort.Strings(names)
 		for _, n := range names {
 			field("exact", n)
+		}
+	}
+	if c.shards != nil {
+		sel := make([]int, len(c.shards))
+		copy(sel, c.shards)
+		sort.Ints(sel)
+		prev := -1
+		for _, i := range sel {
+			if i == prev {
+				continue
+			}
+			prev = i
+			field("shard", fmt.Sprintf("%d", i))
 		}
 	}
 	field("maxDepth", fmt.Sprintf("%d", c.maxDepth))

@@ -1,0 +1,498 @@
+package server
+
+// The coordinator role of the distributed check fabric: the same /v1/check
+// and /v1/batch surface as a standalone server, but instead of solving
+// locally it enumerates the check's canonical shard plan, groups the
+// slices by the consistent-hash owner of Fingerprint+shard-key (cache
+// affinity: the same slice of the same check always lands on the worker
+// whose shard-keyed LRU already holds it), dispatches one wire shard per
+// owner under the request's remaining budget with retries and hedging, and
+// merges the partial verdicts with the witness/error-priority semantics
+// the in-process sharded engine pins.
+//
+// Fallbacks keep the surface total: a check whose plan fails or has fewer
+// than two slices, or a fabric with one healthy worker, forwards the whole
+// check to a single worker's /v1/check (still routed by fingerprint so its
+// whole-check cache stays hot). The coordinator holds no merged-result
+// cache of its own in this version — workers own all caching (see ROADMAP
+// follow-ons).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accltl/accesscheck"
+	"accltl/accesscheck/fabric"
+)
+
+// CoordinatorConfig sizes a coordinator.
+type CoordinatorConfig struct {
+	// Workers is the static worker registry: base URLs of accserve worker
+	// processes. At least one is required.
+	Workers []string
+	// Server carries the shared HTTP knobs (DefaultBudget, MaxBatch,
+	// MaxBodyBytes); solver-pool fields (Workers, Parallelism, CacheSize)
+	// are unused by the coordinator, which never solves locally.
+	Server Config
+	// Retries / Backoff / HedgeAfter tune the fabric dispatcher (zero
+	// values select its defaults).
+	Retries    int
+	Backoff    time.Duration
+	HedgeAfter time.Duration
+	// Client is the HTTP client used for worker traffic (default: one with
+	// no global timeout — budgets arrive per request via contexts).
+	Client *http.Client
+}
+
+// Coordinator is the fan-out HTTP handler. Construct with NewCoordinator.
+type Coordinator struct {
+	cfg    Config
+	client *http.Client
+	reg    *fabric.Registry
+	disp   *fabric.Dispatcher
+	mux    *http.ServeMux
+
+	checks        atomic.Uint64
+	fanouts       atomic.Uint64
+	forwards      atomic.Uint64
+	dispatchErrs  atomic.Uint64
+	mergeFailures atomic.Uint64
+}
+
+// NewCoordinator builds a coordinator over a static worker list.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	reg, err := fabric.NewRegistry(cfg.Workers, client)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:    cfg.Server.withDefaults(),
+		client: client,
+		reg:    reg,
+		disp: &fabric.Dispatcher{
+			Client:     client,
+			Retries:    cfg.Retries,
+			Backoff:    cfg.Backoff,
+			HedgeAfter: cfg.HedgeAfter,
+			Registry:   reg,
+		},
+		mux: http.NewServeMux(),
+	}
+	c.mux.HandleFunc("POST /v1/check", c.handleCheck)
+	c.mux.HandleFunc("POST /v1/batch", c.handleBatch)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return c, nil
+}
+
+// ServeHTTP dispatches to the coordinator's routes.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Registry exposes the worker registry (health probing, status snapshots).
+func (c *Coordinator) Registry() *fabric.Registry { return c.reg }
+
+// resolveBudget mirrors the server's precedence: item budget, query
+// parameter, configured default.
+func (c *Coordinator) resolveBudget(item string, r *http.Request) (time.Duration, error) {
+	for _, spec := range []string{item, r.URL.Query().Get("budget")} {
+		if spec == "" {
+			continue
+		}
+		d, err := time.ParseDuration(spec)
+		if err != nil {
+			return 0, badRequest("bad budget %q: %v", spec, err)
+		}
+		if d <= 0 {
+			return 0, badRequest("bad budget %q: must be positive", spec)
+		}
+		return d, nil
+	}
+	return c.cfg.DefaultBudget, nil
+}
+
+func (c *Coordinator) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	budget, err := c.resolveBudget(req.Budget, r)
+	if err != nil {
+		writeError(w, err, c.cfg.DefaultBudget)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	res, err := c.doCheck(ctx, req)
+	if err != nil {
+		writeError(w, err, budget)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+		return
+	}
+	if len(req.Requests) > c.cfg.MaxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("batch of %d exceeds the limit of %d", len(req.Requests), c.cfg.MaxBatch)})
+		return
+	}
+	out := BatchResponse{Results: make([]BatchItem, len(req.Requests))}
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			item := req.Requests[i]
+			budget, err := c.resolveBudget(item.Budget, r)
+			if err != nil {
+				out.Results[i] = BatchItem{Error: err.Error()}
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			defer cancel()
+			res, err := c.doCheck(ctx, item)
+			if err != nil {
+				out.Results[i] = BatchItem{Error: err.Error()}
+				return
+			}
+			out.Results[i] = BatchItem{Result: res}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// doCheck plans, fans out, and merges one check.
+func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse, error) {
+	if req.Formula == "" {
+		return nil, badRequest("missing formula")
+	}
+	if len(req.Relations) == 0 {
+		return nil, badRequest("missing relations")
+	}
+	// The shard-less checker: its fingerprint is the affinity key every
+	// slice of this check shares, and its plan is the partition. Request
+	// parallelism is a worker-side execution knob, irrelevant to both.
+	chk, err := checkerFor(req.Options, 1)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	sch, err := accesscheck.ParseSchema(req.Relations, req.Methods)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	f, err := accesscheck.ParseFormula(req.Formula)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	fp := chk.Fingerprint(sch, f)
+
+	workers := c.reg.Healthy()
+	if len(workers) == 0 {
+		// Optimistic last resort: probes may be stale; dispatch feedback
+		// will re-mark whatever is genuinely down.
+		workers = c.reg.Workers()
+	}
+	router := fabric.NewRouter(workers)
+
+	plan, _, planErr := chk.ShardPlan(ctx, sch, f)
+	if planErr != nil || len(plan) < 2 || len(workers) < 2 {
+		c.forwards.Add(1)
+		return c.forward(ctx, req, router, fp)
+	}
+	c.fanouts.Add(1)
+
+	// Group the plan's slices by their affinity owner, preserving canonical
+	// order inside each group; each group ships as one wire shard with the
+	// owner first in its hedge/failover candidate list.
+	type group struct {
+		refs []fabric.ShardRef
+		seq  []string
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, sh := range plan {
+		key := fabric.RouteKey(fp, sh.Key)
+		seq := router.Sequence(key, len(workers))
+		g, ok := groups[seq[0]]
+		if !ok {
+			g = &group{seq: seq}
+			groups[seq[0]] = g
+			order = append(order, seq[0])
+		}
+		g.refs = append(g.refs, fabric.ShardRef{Index: sh.Index, Key: sh.Key, WholeAccess: sh.WholeAccess})
+	}
+
+	budget := time.Duration(0)
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+	}
+	if budget <= 0 {
+		err := context.DeadlineExceeded
+		return nil, err
+	}
+
+	parts := make([]*fabric.ShardResult, len(order))
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for i, owner := range order {
+		g := groups[owner]
+		wire := &fabric.Shard{
+			Version:   fabric.WireVersion,
+			Relations: req.Relations,
+			Methods:   req.Methods,
+			Formula:   req.Formula,
+			Options:   fabricOptions(req.Options),
+			Budget:    budget.String(),
+			PlanSize:  len(plan),
+			Shards:    g.refs,
+		}
+		wg.Add(1)
+		go func(i int, g *group, wire *fabric.Shard) {
+			defer wg.Done()
+			res, _, err := c.disp.DoHedged(ctx, g.seq, wire)
+			parts[i], errs[i] = res, err
+		}(i, g, wire)
+	}
+	wg.Wait()
+
+	merged := make([]fabric.ShardResult, 0, len(parts))
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		merged = append(merged, *parts[i])
+	}
+	if firstErr != nil {
+		// A witness already in hand settles the verdict despite another
+		// group's failure — the same witness-over-error priority the
+		// in-process engine applies across walkers. Unsat partials cannot
+		// stand in for the missing slices, so those fail the request.
+		for _, p := range merged {
+			if p.Satisfiable {
+				return wireShardMerge(p), nil
+			}
+		}
+		c.dispatchErrs.Add(1)
+		return nil, dispatchError(firstErr)
+	}
+	res, err := fabric.Merge(merged)
+	if err != nil {
+		c.mergeFailures.Add(1)
+		return nil, &httpError{status: http.StatusBadGateway, err: err}
+	}
+	c.checks.Add(1)
+	return wireShardMerge(res), nil
+}
+
+// forward ships the whole check to one worker's /v1/check, trying the
+// fingerprint's preference sequence until a worker answers.
+func (c *Coordinator) forward(ctx context.Context, req CheckRequest, router *fabric.Router, fp string) (*CheckResponse, error) {
+	seq := router.Sequence(fp, 4)
+	if len(seq) == 0 {
+		return nil, &httpError{status: http.StatusBadGateway, err: fmt.Errorf("no workers available")}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, worker := range seq {
+		res, err := c.forwardOnce(ctx, worker, body)
+		if err == nil {
+			c.reg.MarkUp(worker)
+			c.checks.Add(1)
+			return res, nil
+		}
+		lastErr = err
+		var se *fabric.StatusError
+		if !errors.As(err, &se) && !errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			c.reg.MarkDown(worker, err.Error())
+		}
+		if se != nil && (se.Status < 500 || se.Status == http.StatusGatewayTimeout) {
+			break // terminal everywhere
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.dispatchErrs.Add(1)
+	return nil, dispatchError(lastErr)
+}
+
+func (c *Coordinator) forwardOnce(ctx context.Context, worker string, body []byte) (*CheckResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/check", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := string(data)
+		if len(msg) > 512 {
+			msg = msg[:512]
+		}
+		return nil, &fabric.StatusError{Status: resp.StatusCode, Worker: worker, Body: msg}
+	}
+	var out CheckResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("worker %s: bad check response: %w", worker, err)
+	}
+	return &out, nil
+}
+
+// dispatchError maps a fabric failure onto the coordinator's own response:
+// worker-reported statuses pass through (a 400/422 is the request's fault
+// on any worker; a 504 means the budget died inside the fabric), transport
+// failures and everything else become 502.
+func dispatchError(err error) error {
+	if err == nil {
+		return &httpError{status: http.StatusBadGateway, err: fmt.Errorf("dispatch failed")}
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return err
+	}
+	var se *fabric.StatusError
+	if errors.As(err, &se) {
+		if se.Status >= 400 && se.Status < 500 {
+			return &httpError{status: se.Status, err: err}
+		}
+		if se.Status == http.StatusGatewayTimeout {
+			return context.DeadlineExceeded
+		}
+	}
+	return &httpError{status: http.StatusBadGateway, err: err}
+}
+
+// fabricOptions converts the server's wire options into the fabric's
+// (dropping per-request parallelism, which each worker resolves locally).
+func fabricOptions(o *CheckOptions) *fabric.CheckOptions {
+	if o == nil {
+		return nil
+	}
+	return &fabric.CheckOptions{
+		Engine:             o.Engine,
+		Grounded:           o.Grounded,
+		IdempotentOnly:     o.IdempotentOnly,
+		AllExact:           o.AllExact,
+		ExactMethods:       o.ExactMethods,
+		MaxDepth:           o.MaxDepth,
+		MaxPaths:           o.MaxPaths,
+		MaxResponseChoices: o.MaxResponseChoices,
+	}
+}
+
+// wireShardMerge renders a merged partial verdict as the public
+// CheckResponse.
+func wireShardMerge(res fabric.ShardResult) *CheckResponse {
+	return &CheckResponse{
+		Satisfiable:     res.Satisfiable,
+		Fragment:        res.Fragment,
+		InFragment:      res.InFragment,
+		Decidable:       res.Decidable,
+		Engine:          res.Engine,
+		Truncated:       res.Truncated,
+		ResponsesCapped: res.ResponsesCapped,
+		PathsExplored:   res.PathsExplored,
+		Depth:           res.Depth,
+		Witness:         res.Witness,
+		ElapsedMS:       res.ElapsedMS,
+		Cached:          res.Cached,
+	}
+}
+
+// handleHealthz probes every worker and reports per-worker reachability:
+// 200 with status "ok" when all workers answer, "degraded" when only some
+// do, 503 when none do.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	healthy := c.reg.ProbeAll(ctx)
+	snap := c.reg.Snapshot()
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case healthy == 0:
+		status = "down"
+		code = http.StatusServiceUnavailable
+	case healthy < len(snap):
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"role":    "coordinator",
+		"workers": snap,
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ds := c.disp.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "accserve_coordinator_checks_total %d\n", c.checks.Load())
+	fmt.Fprintf(w, "accserve_coordinator_fanouts_total %d\n", c.fanouts.Load())
+	fmt.Fprintf(w, "accserve_coordinator_forwards_total %d\n", c.forwards.Load())
+	fmt.Fprintf(w, "accserve_coordinator_dispatch_errors_total %d\n", c.dispatchErrs.Load())
+	fmt.Fprintf(w, "accserve_coordinator_merge_failures_total %d\n", c.mergeFailures.Load())
+	fmt.Fprintf(w, "accserve_fabric_shards_dispatched_total %d\n", ds.Dispatched)
+	fmt.Fprintf(w, "accserve_fabric_retries_total %d\n", ds.Retried)
+	fmt.Fprintf(w, "accserve_fabric_hedges_total %d\n", ds.Hedged)
+	snap := c.reg.Snapshot()
+	sorted := make([]fabric.WorkerStatus, len(snap))
+	copy(sorted, snap)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].URL < sorted[j].URL })
+	for _, ws := range sorted {
+		up := 0
+		if ws.Healthy {
+			up = 1
+		}
+		fmt.Fprintf(w, "accserve_worker_up{worker=%q} %d\n", ws.URL, up)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,14 +112,16 @@ type Server struct {
 	sem   chan struct{}
 	mux   *http.ServeMux
 
-	inFlight    atomic.Int64
-	checks      atomic.Uint64
-	truncations atomic.Uint64
-	deadlines   atomic.Uint64
-	cancels     atomic.Uint64
-	errs        atomic.Uint64
-	parSum      atomic.Uint64
-	parCount    atomic.Uint64
+	inFlight      atomic.Int64
+	checks        atomic.Uint64
+	truncations   atomic.Uint64
+	deadlines     atomic.Uint64
+	cancels       atomic.Uint64
+	errs          atomic.Uint64
+	parSum        atomic.Uint64
+	parCount      atomic.Uint64
+	shardChecks   atomic.Uint64
+	shardMismatch atomic.Uint64
 }
 
 // New builds a Server from the config.
@@ -132,6 +135,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -204,8 +208,34 @@ type BatchResponse struct {
 	Results []BatchItem `json:"results"`
 }
 
+// errorResponse is the structured error body every non-2xx JSON endpoint
+// answers with. Budget expiries additionally carry a machine-readable
+// backoff: Code "deadline_exceeded" and RetryAfter seconds, mirrored in a
+// Retry-After header, so coordinator retry logic and real clients can back
+// off programmatically instead of parsing prose.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error      string `json:"error"`
+	Code       string `json:"code,omitempty"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+// writeError renders err with its mapped status. budget is the request's
+// resolved budget, used to suggest a retry horizon on 504: a check that
+// exhausted this budget needs at least a comparable budget again, so the
+// header names the budget in whole seconds (minimum 1).
+func writeError(w http.ResponseWriter, err error, budget time.Duration) {
+	status := statusOf(err)
+	body := errorResponse{Error: err.Error()}
+	if status == http.StatusGatewayTimeout {
+		secs := int((budget + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body.Code = "deadline_exceeded"
+		body.RetryAfter = secs
+	}
+	writeJSON(w, status, body)
 }
 
 // httpError is an error with a dedicated HTTP status.
@@ -251,8 +281,9 @@ func (s *Server) parallelismFor(o *CheckOptions) int {
 }
 
 // checkerFor translates wire options into a Checker running at the given
-// parallelism.
-func checkerFor(o *CheckOptions, parallelism int) (*accesscheck.Checker, error) {
+// parallelism; extra options (e.g. a worker's shard restriction) are
+// appended after the wire-derived ones.
+func checkerFor(o *CheckOptions, parallelism int, extra ...accesscheck.Option) (*accesscheck.Checker, error) {
 	opts := []accesscheck.Option{accesscheck.WithParallelism(parallelism)}
 	if o != nil {
 		engine, err := accesscheck.ParseEngine(o.Engine)
@@ -278,6 +309,7 @@ func checkerFor(o *CheckOptions, parallelism int) (*accesscheck.Checker, error) 
 			opts = append(opts, accesscheck.WithExactMethods(o.ExactMethods...))
 		}
 	}
+	opts = append(opts, extra...)
 	return accesscheck.NewChecker(opts...)
 }
 
@@ -421,14 +453,14 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	budget, err := s.resolveBudget(req.Budget, r)
 	if err != nil {
-		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+		writeError(w, err, s.cfg.DefaultBudget)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
 	res, err := s.doCheck(ctx, req)
 	if err != nil {
-		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+		writeError(w, err, budget)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -498,6 +530,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "accserve_deadline_exceeded_total %d\n", s.deadlines.Load())
 	fmt.Fprintf(w, "accserve_client_cancelled_total %d\n", s.cancels.Load())
 	fmt.Fprintf(w, "accserve_check_errors_total %d\n", s.errs.Load())
+	fmt.Fprintf(w, "accserve_shard_checks_total %d\n", s.shardChecks.Load())
+	fmt.Fprintf(w, "accserve_shard_plan_mismatches_total %d\n", s.shardMismatch.Load())
 	fmt.Fprintf(w, "accserve_in_flight %d\n", s.inFlight.Load())
 	fmt.Fprintf(w, "accserve_workers %d\n", s.cfg.Workers)
 	fmt.Fprintf(w, "accserve_workers_busy %d\n", len(s.sem))

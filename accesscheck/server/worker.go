@@ -1,0 +1,184 @@
+package server
+
+// The worker role of the distributed check fabric: POST /v1/shard accepts
+// a fabric.Shard — the full check plus the canonical partition slices to
+// execute — re-derives the shard plan locally, verifies it against the
+// shipped canonical keys, runs the assigned slices with the mutate-and-undo
+// core, and answers a fabric.ShardResult partial verdict. Every server is a
+// capable worker; `accserve -worker` only names the role.
+//
+// Partial results go through the same LRU as whole checks: the checker's
+// fingerprint includes the shard subset, so a cached partial verdict can
+// never be confused with (or poison) a full check of the same inputs, and
+// the coordinator's affinity routing makes repeat shards of hot checks land
+// where their entry already lives. The admission rule is unchanged — only
+// exact (non-truncated) results are cached.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"accltl/accesscheck"
+	"accltl/accesscheck/fabric"
+)
+
+// shardCheckOptions converts the fabric wire options into the server's.
+func shardCheckOptions(o *fabric.CheckOptions) *CheckOptions {
+	if o == nil {
+		return nil
+	}
+	return &CheckOptions{
+		Engine:             o.Engine,
+		Grounded:           o.Grounded,
+		IdempotentOnly:     o.IdempotentOnly,
+		AllExact:           o.AllExact,
+		ExactMethods:       o.ExactMethods,
+		MaxDepth:           o.MaxDepth,
+		MaxPaths:           o.MaxPaths,
+		MaxResponseChoices: o.MaxResponseChoices,
+	}
+}
+
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	sh, err := fabric.DecodeShard(data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	budget, err := s.resolveBudget(sh.Budget, r)
+	if err != nil {
+		writeError(w, err, s.cfg.DefaultBudget)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	res, err := s.doShard(ctx, sh)
+	if err != nil {
+		writeError(w, err, budget)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// doShard executes one wire shard end to end: parse, plan verification,
+// shard-keyed cache probe, bounded subset solve, cache admission.
+func (s *Server) doShard(ctx context.Context, sh *fabric.Shard) (*fabric.ShardResult, error) {
+	wireOpts := shardCheckOptions(sh.Options)
+	par := s.parallelismFor(wireOpts)
+	sch, err := accesscheck.ParseSchema(sh.Relations, sh.Methods)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	f, err := accesscheck.ParseFormula(sh.Formula)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	// Re-derive the partition and verify the sender's view of it. A
+	// mismatch means coordinator and worker would not be searching the same
+	// slices — version skew or diverging option defaults — and must fail
+	// loudly (409) rather than merge a verdict about the wrong subspace.
+	planChk, err := checkerFor(wireOpts, par)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	plan, _, err := planChk.ShardPlan(ctx, sch, f)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.countCtxErr(err)
+			return nil, err
+		}
+		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
+	}
+	if sh.PlanSize != len(plan) {
+		s.shardMismatch.Add(1)
+		return nil, &httpError{status: http.StatusConflict,
+			err: fmt.Errorf("shard plan size %d does not match locally derived partition of %d", sh.PlanSize, len(plan))}
+	}
+	for _, ref := range sh.Shards {
+		local := plan[ref.Index]
+		if local.Key != ref.Key || local.WholeAccess != ref.WholeAccess {
+			s.shardMismatch.Add(1)
+			return nil, &httpError{status: http.StatusConflict,
+				err: fmt.Errorf("shard %d key %q does not match locally derived %q", ref.Index, ref.Key, local.Key)}
+		}
+	}
+
+	chk, err := checkerFor(wireOpts, par, accesscheck.WithShards(sh.Indexes()...))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	fp := chk.Fingerprint(sch, f)
+	if res, ok := s.cache.Get(fp); ok {
+		return shardResult(sh, res, true), nil
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		err := ctx.Err()
+		s.countCtxErr(err)
+		return nil, err
+	}
+	s.inFlight.Add(1)
+	s.parSum.Add(uint64(par))
+	s.parCount.Add(1)
+	res, err := chk.Check(ctx, sch, f)
+	s.inFlight.Add(-1)
+	<-s.sem
+
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.countCtxErr(err)
+			return nil, err
+		}
+		s.errs.Add(1)
+		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
+	}
+	s.shardChecks.Add(1)
+	if res.Truncated {
+		s.truncations.Add(1)
+	} else {
+		s.cache.Add(fp, res)
+	}
+	return shardResult(sh, res, false), nil
+}
+
+// shardResult wires a facade Result into the fabric's partial-verdict form.
+func shardResult(sh *fabric.Shard, res *accesscheck.Result, cached bool) *fabric.ShardResult {
+	out := &fabric.ShardResult{
+		Version:         fabric.WireVersion,
+		Shards:          sh.Indexes(),
+		Satisfiable:     res.Satisfiable,
+		Fragment:        res.Fragment.String(),
+		InFragment:      res.InFragment,
+		Decidable:       res.Decidable,
+		Engine:          res.Engine.String(),
+		Depth:           res.Depth,
+		Truncated:       res.Truncated,
+		ResponsesCapped: res.ResponsesCapped,
+		PathsExplored:   res.PathsExplored,
+		Cached:          cached,
+		ElapsedMS:       float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if res.Witness != nil {
+		out.Witness = res.Witness.String()
+	}
+	return out
+}

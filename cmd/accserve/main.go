@@ -12,9 +12,16 @@
 //
 //	POST /v1/check?budget=250ms   one check
 //	POST /v1/batch                many checks, answered in order
+//	POST /v1/shard                one fabric shard (partial check)
 //	GET  /healthz                 liveness
 //	GET  /metrics                 counters: cache hits/misses, truncations,
 //	                              in-flight solves, deadline expiries
+//
+// Distributed roles: `-worker` names the default standalone role (every
+// server accepts /v1/shard); `-coordinator -fabric-workers=url,url` runs
+// the fan-out role instead, which solves nothing locally and dispatches
+// shards to the listed workers with cache-affinity routing, retries and
+// hedging.
 //
 // Example:
 //
@@ -34,6 +41,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,26 +56,74 @@ func main() {
 		"exploration walkers per solve; peak exploration concurrency is workers x parallelism (0 = auto: capped so the product stays <= GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 1024, "LRU result cache capacity (entries)")
 	defaultBudget := flag.Duration("default-budget", 5*time.Second, "per-request deadline when the request names none")
+	worker := flag.Bool("worker", false, "run as a fabric worker (the default standalone role; the flag only names it)")
+	coordinator := flag.Bool("coordinator", false, "run as a fabric coordinator: dispatch shards to -fabric-workers instead of solving locally")
+	fabricWorkers := flag.String("fabric-workers", "", "comma-separated worker base URLs for -coordinator (e.g. http://h1:8080,http://h2:8080)")
+	hedgeAfter := flag.Duration("hedge-after", 400*time.Millisecond, "coordinator: duplicate a straggling shard onto a second worker after this long")
+	retries := flag.Int("dispatch-retries", 2, "coordinator: re-attempts per worker on transient failure")
 	flag.Parse()
 
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.New(server.Config{
+	if *worker && *coordinator {
+		log.Fatal("accserve: -worker and -coordinator are mutually exclusive")
+	}
+	role := "worker"
+	if *coordinator {
+		role = "coordinator"
+	}
+
+	var handler http.Handler
+	var workerList []string
+	switch role {
+	case "coordinator":
+		for _, u := range strings.Split(*fabricWorkers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workerList = append(workerList, u)
+			}
+		}
+		if len(workerList) == 0 {
+			log.Fatal("accserve: -coordinator requires -fabric-workers=url[,url...]")
+		}
+		coord, err := server.NewCoordinator(server.CoordinatorConfig{
+			Workers: workerList,
+			Server: server.Config{
+				DefaultBudget: *defaultBudget,
+			},
+			Retries:    *retries,
+			HedgeAfter: *hedgeAfter,
+		})
+		if err != nil {
+			log.Fatalf("accserve: %v", err)
+		}
+		handler = coord
+	default:
+		handler = server.New(server.Config{
 			Workers:       *workers,
 			Parallelism:   *parallelism,
 			CacheSize:     *cacheSize,
 			DefaultBudget: *defaultBudget,
-		}),
+		})
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
 		// Bounds header+body reads against slow-trickle clients; solve time
 		// is governed by the per-request budget, not the read deadline.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 	}
 
+	log.Printf("accserve %s starting: role=%s addr=%s", buildVersion(), role, *addr)
+	if role == "coordinator" {
+		log.Printf("accserve coordinator: workers=%s hedge-after=%s retries=%d default-budget=%s",
+			strings.Join(workerList, ","), *hedgeAfter, *retries, *defaultBudget)
+	} else {
+		log.Printf("accserve worker: workers=%d parallelism=%d cache=%d default-budget=%s",
+			*workers, *parallelism, *cacheSize, *defaultBudget)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("accserve listening on %s (workers=%d parallelism=%d cache=%d default-budget=%s)",
-			*addr, *workers, *parallelism, *cacheSize, *defaultBudget)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -85,4 +142,38 @@ func main() {
 			log.Printf("accserve: shutdown: %v", err)
 		}
 	}
+}
+
+// buildVersion summarises what binary is running: module version when
+// installed, else the VCS revision the build embedded.
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "(no build info)"
+	}
+	ver := bi.Main.Version
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if ver == "" || ver == "(devel)" {
+			return rev + dirty
+		}
+		return ver + " (" + rev + dirty + ")"
+	}
+	if ver == "" {
+		return "(devel)"
+	}
+	return ver
 }

@@ -53,6 +53,17 @@ type SolveOptions struct {
 	// can vary with scheduling, and PathsExplored on early-stopped or
 	// capped searches is schedule-dependent.
 	Parallelism int
+	// Shards, when non-nil, restricts the search to the listed root shards
+	// of the canonical partition PlanShards enumerates (lts.Options.Shards
+	// semantics: indexes are canonical positions in the sorted shard order,
+	// duplicates collapse, out-of-range indexes error, and a non-nil empty
+	// slice searches only the root). A subset search is a partial search:
+	// "satisfiable" verdicts are exact, "unsatisfiable" verdicts cover only
+	// the selected shards and must be merged across a full cover of the
+	// partition — the contract the distributed check fabric's workers build
+	// on. Setting Shards routes through the sharded engine even at
+	// Parallelism ≤ 1.
+	Shards []int
 }
 
 // SolveResult reports a satisfiability verdict.
@@ -182,6 +193,97 @@ func defaultDepth(f Formula) int {
 	return d
 }
 
+// searchLTSOptions assembles the exploration options a bounded search of f
+// under opts uses: the depth bound, the witness universe (formula-derived
+// unless overridden, unioned with the initial instance), the path cap and
+// the fresh binding pool. It is the single prep path shared by
+// boundedSearch and PlanShards, so the shard partition a plan describes is
+// exactly the partition the search executes — the determinism the
+// distributed check fabric relies on when coordinator and workers derive
+// plans independently.
+func searchLTSOptions(f Formula, opts SolveOptions) (lts.Options, int, error) {
+	depth := opts.MaxDepth
+	if depth == 0 {
+		depth = defaultDepth(f)
+	}
+	universe := opts.Universe
+	if universe == nil {
+		var err error
+		universe, err = WitnessUniverse(opts.Schema, f)
+		if err != nil {
+			return lts.Options{}, 0, err
+		}
+	}
+	if opts.Initial != nil {
+		u := universe.Clone()
+		if err := u.UnionWith(opts.Initial); err != nil {
+			return lts.Options{}, 0, err
+		}
+		universe = u
+	}
+
+	maxPaths := opts.MaxPaths
+	if maxPaths == 0 {
+		maxPaths = 1 << 22
+	}
+
+	// Binding pool: formula constants plus one fresh value per datatype any
+	// method takes as input, so methods can fire even when the witness
+	// universe has no values of the needed type (e.g. formulas whose only
+	// sentences are 0-ary IsBind atoms).
+	extraVals := fo.Constants(sentenceConj(Sentences(f)))
+	needType := make(map[schema.Type]bool)
+	for _, m := range opts.Schema.Methods() {
+		for _, ty := range m.InputTypes() {
+			needType[ty] = true
+		}
+	}
+	if needType[schema.TypeInt] {
+		extraVals = append(extraVals, instance.Int(987654321))
+	}
+	if needType[schema.TypeString] {
+		extraVals = append(extraVals, instance.Str("_freshbind"))
+	}
+	if needType[schema.TypeBool] {
+		extraVals = append(extraVals, instance.Bool(true), instance.Bool(false))
+	}
+
+	return lts.Options{
+		Context:            opts.Context,
+		Universe:           universe,
+		Initial:            opts.Initial,
+		MaxDepth:           depth,
+		GroundedOnly:       opts.Grounded,
+		IdempotentOnly:     opts.IdempotentOnly,
+		ExactMethods:       opts.ExactMethods,
+		AllExact:           opts.AllExact,
+		MaxResponseChoices: opts.MaxResponseChoices,
+		MaxPaths:           maxPaths,
+		ExtraBindingValues: extraVals,
+	}, depth, nil
+}
+
+// PlanShards enumerates the root shards a bounded search of f under opts
+// would partition into, in the canonical sorted order SolveOptions.Shards
+// indexes. The plan is a pure function of (schema, formula, options):
+// Parallelism and Shards themselves do not affect it, so a coordinator and
+// its workers given the same check derive identical plans. The bool result
+// reports whether root response fan-out was truncated to
+// MaxResponseChoices during enumeration.
+func PlanShards(f Formula, opts SolveOptions) ([]lts.ShardID, bool, error) {
+	if opts.Schema == nil {
+		return nil, false, fmt.Errorf("accltl: SolveOptions.Schema is required")
+	}
+	if err := CheckSentences(f); err != nil {
+		return nil, false, err
+	}
+	ltsOpts, _, err := searchLTSOptions(f, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return lts.Shards(opts.Schema, ltsOpts)
+}
+
 func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, error) {
 	if opts.Schema == nil {
 		return SolveResult{}, fmt.Errorf("accltl: SolveOptions.Schema is required")
@@ -193,25 +295,6 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 	}
 	if err := CheckSentences(f); err != nil {
 		return SolveResult{}, err
-	}
-	depth := opts.MaxDepth
-	if depth == 0 {
-		depth = defaultDepth(f)
-	}
-	universe := opts.Universe
-	if universe == nil {
-		var err error
-		universe, err = WitnessUniverse(opts.Schema, f)
-		if err != nil {
-			return SolveResult{}, err
-		}
-	}
-	if opts.Initial != nil {
-		u := universe.Clone()
-		if err := u.UnionWith(opts.Initial); err != nil {
-			return SolveResult{}, err
-		}
-		universe = u
 	}
 
 	// Abstract the temporal skeleton: each distinct sentence becomes a
@@ -234,48 +317,14 @@ func boundedSearch(f Formula, opts SolveOptions, voc Vocabulary) (SolveResult, e
 	}
 	skeleton = ltl.NNF(skeleton)
 
-	maxPaths := opts.MaxPaths
-	if maxPaths == 0 {
-		maxPaths = 1 << 22
+	ltsOpts, depth, err := searchLTSOptions(f, opts)
+	if err != nil {
+		return SolveResult{}, err
 	}
 
-	// Binding pool: formula constants plus one fresh value per datatype any
-	// method takes as input, so methods can fire even when the witness
-	// universe has no values of the needed type (e.g. formulas whose only
-	// sentences are 0-ary IsBind atoms).
-	extraVals := fo.Constants(sentenceConj(sentences))
-	needType := make(map[schema.Type]bool)
-	for _, m := range opts.Schema.Methods() {
-		for _, ty := range m.InputTypes() {
-			needType[ty] = true
-		}
-	}
-	if needType[schema.TypeInt] {
-		extraVals = append(extraVals, instance.Int(987654321))
-	}
-	if needType[schema.TypeString] {
-		extraVals = append(extraVals, instance.Str("_freshbind"))
-	}
-	if needType[schema.TypeBool] {
-		extraVals = append(extraVals, instance.Bool(true), instance.Bool(false))
-	}
-
-	ltsOpts := lts.Options{
-		Context:            opts.Context,
-		Universe:           universe,
-		Initial:            opts.Initial,
-		MaxDepth:           depth,
-		GroundedOnly:       opts.Grounded,
-		IdempotentOnly:     opts.IdempotentOnly,
-		ExactMethods:       opts.ExactMethods,
-		AllExact:           opts.AllExact,
-		MaxResponseChoices: opts.MaxResponseChoices,
-		MaxPaths:           maxPaths,
-		ExtraBindingValues: extraVals,
-	}
-
-	if opts.Parallelism > 1 {
+	if opts.Parallelism > 1 || opts.Shards != nil {
 		ltsOpts.Parallelism = opts.Parallelism
+		ltsOpts.Shards = opts.Shards
 		return parallelBoundedSearch(f, opts, voc, skeleton, letters, ltsOpts, depth)
 	}
 

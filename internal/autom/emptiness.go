@@ -47,6 +47,13 @@ type EmptinessOptions struct {
 	// early-stopped or capped searches are schedule-dependent (see the
 	// solver's twin note on accltl.SolveOptions.Parallelism).
 	Parallelism int
+	// Shards, when non-nil, restricts the product search to the listed root
+	// shards of the canonical partition PlanShards enumerates (see
+	// accltl.SolveOptions.Shards for the subset-search contract: "non-empty"
+	// verdicts stay exact, "empty" verdicts cover only the selected shards
+	// and must be merged across a full cover). Setting Shards routes through
+	// the sharded engine even at Parallelism ≤ 1.
+	Shards []int
 }
 
 // EmptinessResult reports an emptiness verdict.
@@ -87,31 +94,10 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 			return EmptinessResult{}, err
 		}
 	}
-	depth := opts.MaxDepth
-	if depth == 0 {
-		depth = a.NumStates + len(a.Guards()) + 2
+	ltsOpts, depth, err := a.emptinessLTSOptions(opts)
+	if err != nil {
+		return EmptinessResult{}, err
 	}
-	universe := opts.Universe
-	if universe == nil {
-		var err error
-		universe, err = accltl.UniverseForSentences(a.Schema, a.Guards())
-		if err != nil {
-			return EmptinessResult{}, err
-		}
-	}
-	if opts.Initial != nil {
-		u := universe.Clone()
-		if err := u.UnionWith(opts.Initial); err != nil {
-			return EmptinessResult{}, err
-		}
-		universe = u
-	}
-	maxPaths := opts.MaxPaths
-	if maxPaths == 0 {
-		maxPaths = 1 << 22
-	}
-	extraVals := guardConstants(a)
-	extraVals = append(extraVals, freshBindingValues(a.Schema)...)
 
 	res := EmptinessResult{Empty: true, Depth: depth}
 	if a.AcceptEmpty && a.Accepting[a.Init] {
@@ -119,21 +105,9 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 		res.Witness = access.NewPath(a.Schema)
 		return res, nil
 	}
-	ltsOpts := lts.Options{
-		Context:            opts.Context,
-		Universe:           universe,
-		Initial:            opts.Initial,
-		MaxDepth:           depth,
-		GroundedOnly:       opts.Grounded,
-		IdempotentOnly:     opts.IdempotentOnly,
-		ExactMethods:       opts.ExactMethods,
-		AllExact:           opts.AllExact,
-		MaxResponseChoices: opts.MaxResponseChoices,
-		MaxPaths:           maxPaths,
-		ExtraBindingValues: extraVals,
-	}
-	if opts.Parallelism > 1 {
+	if opts.Parallelism > 1 || opts.Shards != nil {
 		ltsOpts.Parallelism = opts.Parallelism
+		ltsOpts.Shards = opts.Shards
 		return a.isEmptyParallel(opts, ltsOpts, depth)
 	}
 	type frame struct {
@@ -209,6 +183,69 @@ func (a *Automaton) IsEmpty(opts EmptinessOptions) (EmptinessResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// emptinessLTSOptions assembles the exploration options the product search
+// uses: depth bound (states + guards + 2 unless overridden), guard-derived
+// witness universe unioned with the initial instance, path cap and fresh
+// binding pool. The single prep path shared by IsEmpty and PlanShards, so a
+// plan always describes the partition the search executes.
+func (a *Automaton) emptinessLTSOptions(opts EmptinessOptions) (lts.Options, int, error) {
+	depth := opts.MaxDepth
+	if depth == 0 {
+		depth = a.NumStates + len(a.Guards()) + 2
+	}
+	universe := opts.Universe
+	if universe == nil {
+		var err error
+		universe, err = accltl.UniverseForSentences(a.Schema, a.Guards())
+		if err != nil {
+			return lts.Options{}, 0, err
+		}
+	}
+	if opts.Initial != nil {
+		u := universe.Clone()
+		if err := u.UnionWith(opts.Initial); err != nil {
+			return lts.Options{}, 0, err
+		}
+		universe = u
+	}
+	maxPaths := opts.MaxPaths
+	if maxPaths == 0 {
+		maxPaths = 1 << 22
+	}
+	extraVals := guardConstants(a)
+	extraVals = append(extraVals, freshBindingValues(a.Schema)...)
+	return lts.Options{
+		Context:            opts.Context,
+		Universe:           universe,
+		Initial:            opts.Initial,
+		MaxDepth:           depth,
+		GroundedOnly:       opts.Grounded,
+		IdempotentOnly:     opts.IdempotentOnly,
+		ExactMethods:       opts.ExactMethods,
+		AllExact:           opts.AllExact,
+		MaxResponseChoices: opts.MaxResponseChoices,
+		MaxPaths:           maxPaths,
+		ExtraBindingValues: extraVals,
+	}, depth, nil
+}
+
+// PlanShards enumerates the root shards an emptiness search of a under opts
+// would partition into, in the canonical sorted order
+// EmptinessOptions.Shards indexes. Pure in (automaton, options) —
+// Parallelism and Shards themselves do not affect it — so independent
+// processes derive identical plans. The bool result reports whether root
+// response fan-out was truncated during enumeration.
+func (a *Automaton) PlanShards(opts EmptinessOptions) ([]lts.ShardID, bool, error) {
+	if err := a.Validate(); err != nil {
+		return nil, false, err
+	}
+	ltsOpts, _, err := a.emptinessLTSOptions(opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return lts.Shards(a.Schema, ltsOpts)
 }
 
 // stateSetKey renders a state set canonically.

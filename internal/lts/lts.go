@@ -86,6 +86,19 @@ type Options struct {
 	// Successors, EnumeratePaths and BuildTree are order-sensitive,
 	// one-shot enumerations and ignore the knob.
 	Parallelism int
+	// Shards, when non-nil, restricts a sharded exploration to the root
+	// shards with these canonical indexes (see Shards and ShardID for the
+	// enumeration the indexes refer to). The root prefix is still visited
+	// exactly once; Report.Paths then counts the root plus the visits inside
+	// the selected shards only, while ResponsesCapped still reflects the
+	// full root enumeration (every process executing a subset reports the
+	// same root-level truncation, so a distributed OR over subsets matches a
+	// single full run). Indexes out of range are an error; duplicates are
+	// collapsed. An empty non-nil slice visits only the root. Explore routes
+	// through the sharded engine whenever Shards is non-nil, even at
+	// Parallelism ≤ 1. Successors, EnumeratePaths and BuildTree ignore the
+	// field like they ignore Parallelism.
+	Shards []int
 }
 
 func (o *Options) withDefaults() Options {
@@ -150,7 +163,7 @@ func Explore(sch *schema.Schema, opts Options, visit Visitor) (Report, error) {
 			return Report{}, err
 		}
 	}
-	if o.Parallelism > 1 {
+	if o.Parallelism > 1 || o.Shards != nil {
 		return exploreSharded(sch, o, visit, func(int) Visitor { return visit })
 	}
 	init := o.Initial
@@ -698,6 +711,7 @@ func sortValues(vs []instance.Value) {
 // output order is the serial DFS order, so Parallelism is ignored.
 func EnumeratePaths(sch *schema.Schema, opts Options) ([]*access.Path, error) {
 	opts.Parallelism = 0
+	opts.Shards = nil
 	var out []*access.Path
 	_, err := Explore(sch, opts, func(p *access.Path, _, _ *instance.Instance) (bool, error) {
 		out = append(out, p.Clone())
@@ -727,7 +741,7 @@ type Stats struct {
 // MaxPaths (per-depth counts are set cardinalities, insensitive to visit
 // order).
 func Collect(sch *schema.Schema, opts Options) (Stats, error) {
-	if opts.Parallelism > 1 {
+	if opts.Parallelism > 1 || opts.Shards != nil {
 		return collectParallel(sch, opts)
 	}
 	var st Stats

@@ -109,6 +109,12 @@ const maxShardMasksPerAccess = 256
 // Parallelism ≤ 1 still uses the sharded machinery with a single walker
 // (deterministic sorted shard order); callers wanting the serial engine
 // bit-for-bit use Explore with Parallelism ≤ 1.
+//
+// Options.Shards restricts execution to a subset of the partition while
+// keeping the canonical indexes: factory still receives each shard's global
+// index, so subset runs on different machines can be merged with the same
+// lowest-shard witness preference as one full in-process run (see Shards
+// and ShardID for the enumeration the indexes refer to).
 func ExploreSharded(sch *schema.Schema, opts Options, root Visitor, factory func(shard int) Visitor) (Report, error) {
 	o := opts.withDefaults()
 	if o.Universe == nil {
@@ -151,7 +157,22 @@ func exploreSharded(sch *schema.Schema, o Options, root Visitor, factory func(sh
 		return rep, err
 	}
 	rep.ResponsesCapped = rootRespCapped
-	if len(shards) == 0 {
+	// Options.Shards restricts execution to a subset of the canonical
+	// partition: the full enumeration above still fixes the indexes (and the
+	// root-level ResponsesCapped), only dispatch is filtered. order holds
+	// the canonical indexes to execute, ascending, so the deterministic
+	// shard-order semantics survive subsetting.
+	order := make([]int, len(shards))
+	for i := range order {
+		order[i] = i
+	}
+	if o.Shards != nil {
+		order, err = shardSubset(o.Shards, len(shards))
+		if err != nil {
+			return rep, err
+		}
+	}
+	if len(order) == 0 {
 		return rep, nil
 	}
 
@@ -159,8 +180,8 @@ func exploreSharded(sch *schema.Schema, o Options, root Visitor, factory func(sh
 	if w < 1 {
 		w = 1
 	}
-	if w > len(shards) {
-		w = len(shards)
+	if w > len(order) {
+		w = len(order)
 	}
 
 	var (
@@ -190,10 +211,11 @@ func exploreSharded(sch *schema.Schema, o Options, root Visitor, factory func(sh
 				if coord.stop.Load() || dispatchStop.Load() {
 					break
 				}
-				si := int(next.Add(1)) - 1
-				if si >= len(shards) {
+				oi := int(next.Add(1)) - 1
+				if oi >= len(order) {
 					break
 				}
+				si := order[oi]
 				sh := &shards[si]
 				e.visit = factory(si)
 				var err error

@@ -1,0 +1,95 @@
+package lts
+
+// First-class shard descriptors: the refactor that takes the PR 4 root-
+// branching partition out of process. enumerateRootShards already
+// materializes the partition in a canonical deterministic order; this file
+// exposes that order as serializable descriptors (ShardID) and lets a
+// caller execute any subset of it (Options.Shards), so a distributed
+// coordinator can enumerate the partition once, ship each piece to a remote
+// worker as data, and have the worker re-derive the identical partition and
+// run exactly the assigned slice. Everything identifying a shard is derived
+// deterministically from (schema, options, initial, universe): identical
+// inputs enumerate identical descriptors on every machine.
+
+import (
+	"fmt"
+	"sort"
+
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// ShardID identifies one root shard of a sharded exploration: its position
+// in the canonical sorted order and its canonical key. The key is the
+// access key (method name plus binding) for whole-access shards, or the
+// access key joined to the response fingerprint (0x1e-separated) for
+// per-response shards — exactly the sort key enumerateRootShards orders by,
+// so Index and Key always agree between two enumerations over the same
+// inputs. WholeAccess marks a lazy-range shard: one covering every response
+// of its access, enumerated lazily by the walker that executes it (see
+// maxShardMasksPerAccess).
+type ShardID struct {
+	Index       int
+	Key         string
+	WholeAccess bool
+}
+
+// Shards enumerates the root shards a sharded exploration of sch under opts
+// would partition the search into, in the canonical sorted order (the same
+// order ExploreSharded assigns indexes in). The bool result reports whether
+// the root subset-response fan-out was truncated to MaxResponseChoices
+// during enumeration. Options.Shards and Parallelism are ignored here: the
+// enumeration always describes the full partition.
+//
+// Determinism contract: the descriptors are a pure function of the schema,
+// the universe, the initial instance and the path-restriction options, so
+// two processes given the same inputs agree on every Index and Key — the
+// property the distributed check fabric's wire shards rely on.
+func Shards(sch *schema.Schema, opts Options) ([]ShardID, bool, error) {
+	o := opts.withDefaults()
+	if o.Universe == nil {
+		return nil, false, fmt.Errorf("lts: Shards requires a Universe instance")
+	}
+	if o.Context != nil {
+		if err := o.Context.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+	init := o.Initial
+	if init == nil {
+		init = instance.NewInstance(sch)
+	}
+	uTuples, uDomain := universeCaches(sch, o.Universe)
+	shards, respCapped, err := enumerateRootShards(sch, o, init, uTuples, uDomain)
+	if err != nil {
+		return nil, respCapped, err
+	}
+	ids := make([]ShardID, len(shards))
+	for i, sh := range shards {
+		ids[i] = ShardID{Index: i, Key: sh.sortKey, WholeAccess: sh.wholeAccess}
+	}
+	return ids, respCapped, nil
+}
+
+// shardSubset validates and canonicalizes Options.Shards against an
+// enumeration of n shards: sorted ascending, deduplicated, every index in
+// [0, n). The dispatch order over the subset is the canonical ascending
+// order, preserving the deterministic shard-order semantics (witness
+// preference, error priority) of the full partition.
+func shardSubset(sel []int, n int) ([]int, error) {
+	out := make([]int, len(sel))
+	copy(out, sel)
+	sort.Ints(out)
+	w := 0
+	for i, idx := range out {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("lts: Options.Shards index %d out of range [0,%d)", idx, n)
+		}
+		if i > 0 && idx == out[w-1] {
+			continue
+		}
+		out[w] = idx
+		w++
+	}
+	return out[:w], nil
+}

@@ -1,0 +1,268 @@
+package lts
+
+import (
+	"testing"
+
+	"accltl/internal/access"
+	"accltl/internal/instance"
+)
+
+// TestShardsEnumerationDeterministic: two enumerations over the same inputs
+// must agree on every index and key — the wire-shard contract.
+func TestShardsEnumerationDeterministic(t *testing.T) {
+	s := tinySchema(t)
+	for _, c := range equivalenceGrid(t, s) {
+		t.Run(c.name, func(t *testing.T) {
+			a, aCap, err := Shards(s, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, bCap, err := Shards(s, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if aCap != bCap || len(a) != len(b) {
+				t.Fatalf("enumerations diverged: %d/%v vs %d/%v", len(a), aCap, len(b), bCap)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("shard %d diverged: %+v vs %+v", i, a[i], b[i])
+				}
+				if a[i].Index != i {
+					t.Fatalf("shard %d carries index %d", i, a[i].Index)
+				}
+				if i > 0 && a[i].Key <= a[i-1].Key {
+					t.Fatalf("shard keys not strictly sorted at %d: %q <= %q", i, a[i].Key, a[i-1].Key)
+				}
+			}
+		})
+	}
+}
+
+// TestShardSubsetPartitionExact: executing every shard as its own singleton
+// subset and merging reports must reproduce the serial engine exactly —
+// Paths via sum minus the per-run duplicate root visits, ResponsesCapped
+// via OR. This is the merge arithmetic the distributed coordinator uses.
+func TestShardSubsetPartitionExact(t *testing.T) {
+	s := tinySchema(t)
+	for _, c := range equivalenceGrid(t, s) {
+		if c.opts.MaxPaths > 0 {
+			continue // capped cells: the budget is global, not partitionable
+		}
+		t.Run(c.name, func(t *testing.T) {
+			serial, err := Collect(s, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids, _, err := Shards(s, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) == 0 {
+				// Root with no successors: the serial run is root-only.
+				if serial.TotalPaths != 1 {
+					t.Fatalf("empty partition but serial explored %d paths", serial.TotalPaths)
+				}
+				return
+			}
+			sumPaths := 0
+			orResp := false
+			merged := Stats{}
+			for _, id := range ids {
+				o := c.opts
+				o.Shards = []int{id.Index}
+				st, err := Collect(s, o)
+				if err != nil {
+					t.Fatalf("shard %d: %v", id.Index, err)
+				}
+				sumPaths += st.TotalPaths
+				orResp = orResp || st.ResponsesCapped
+				for d, n := range st.PathsPerDepth {
+					for len(merged.PathsPerDepth) <= d {
+						merged.PathsPerDepth = append(merged.PathsPerDepth, 0)
+					}
+					merged.PathsPerDepth[d] += n
+				}
+			}
+			// Every singleton run visits the root once; the merged count
+			// dedups it down to the single serial root visit.
+			got := sumPaths - (len(ids) - 1)
+			if got != serial.TotalPaths {
+				t.Errorf("merged paths = %d (sum %d over %d shards), serial %d",
+					got, sumPaths, len(ids), serial.TotalPaths)
+			}
+			if orResp != serial.ResponsesCapped {
+				t.Errorf("merged ResponsesCapped = %v, serial %v", orResp, serial.ResponsesCapped)
+			}
+			if len(merged.PathsPerDepth) != len(serial.PathsPerDepth) {
+				t.Fatalf("depth shape diverged: %v vs %v", merged.PathsPerDepth, serial.PathsPerDepth)
+			}
+			for d := range merged.PathsPerDepth {
+				want := serial.PathsPerDepth[d]
+				if d == 0 {
+					want += len(ids) - 1 // duplicate roots before dedup
+				}
+				if merged.PathsPerDepth[d] != want {
+					t.Errorf("depth %d: merged %d, want %d", d, merged.PathsPerDepth[d], want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardSubsetVisitsOnlyItsShard: a subset run must visit exactly the
+// prefixes opening with its shard's first access/response (plus the root),
+// disjointly from every other subset — the partition property.
+func TestShardSubsetVisitsOnlyItsShard(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	opts := Options{Universe: u, MaxDepth: 2}
+	ids, _, err := Shards(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{} // non-root path → shard that visited it
+	for _, id := range ids {
+		o := opts
+		o.Shards = []int{id.Index}
+		_, err := Explore(s, o, func(p *access.Path, _, _ *instance.Instance) (bool, error) {
+			if p.Len() == 0 {
+				return true, nil
+			}
+			key := p.String()
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("path %q visited by shards %d and %d", key, prev, id.Index)
+			}
+			seen[key] = id.Index
+			return true, nil
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", id.Index, err)
+		}
+	}
+	// The union must be the serial engine's non-root visit set.
+	total := 0
+	_, err = Explore(s, opts, func(p *access.Path, _, _ *instance.Instance) (bool, error) {
+		if p.Len() > 0 {
+			total++
+			if _, ok := seen[p.String()]; !ok {
+				t.Errorf("serial path %q missed by every shard subset", p.String())
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(seen) {
+		t.Errorf("subset union has %d paths, serial %d", len(seen), total)
+	}
+}
+
+// TestShardSubsetValidation: out-of-range indexes error, duplicates
+// collapse, the empty subset visits only the root, and factory receives
+// global canonical indexes.
+func TestShardSubsetValidation(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	opts := Options{Universe: u, MaxDepth: 2}
+	ids, _, err := Shards(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(ids)
+
+	bad := opts
+	bad.Shards = []int{n}
+	if _, err := Explore(s, bad, func(*access.Path, *instance.Instance, *instance.Instance) (bool, error) {
+		return true, nil
+	}); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+
+	empty := opts
+	empty.Shards = []int{}
+	rep, err := Explore(s, empty, func(p *access.Path, _, _ *instance.Instance) (bool, error) {
+		if p.Len() > 0 {
+			t.Errorf("empty subset visited %q", p.String())
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Paths != 1 {
+		t.Errorf("empty subset visited %d prefixes, want 1 (root)", rep.Paths)
+	}
+
+	dup := opts
+	dup.Shards = []int{1, 1, 0, 0}
+	dupRep, err := Explore(s, dup, func(*access.Path, *instance.Instance, *instance.Instance) (bool, error) {
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := opts
+	one.Shards = []int{0, 1}
+	oneRep, err := Explore(s, one, func(*access.Path, *instance.Instance, *instance.Instance) (bool, error) {
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupRep != oneRep {
+		t.Errorf("duplicate indexes changed the report: %+v vs %+v", dupRep, oneRep)
+	}
+
+	// factory receives global indexes even under a subset.
+	want := []int{n - 1}
+	sub := opts
+	sub.Shards = want
+	var got []int
+	_, err = ExploreSharded(s, sub,
+		func(*access.Path, *instance.Instance, *instance.Instance) (bool, error) { return true, nil },
+		func(shard int) Visitor {
+			got = append(got, shard)
+			return func(*access.Path, *instance.Instance, *instance.Instance) (bool, error) { return true, nil }
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != n-1 {
+		t.Errorf("factory saw shards %v, want %v", got, want)
+	}
+}
+
+// TestShardSubsetParallelMatches: a subset executed with several walkers
+// reports the same exhaustive counts as the same subset executed serially.
+func TestShardSubsetParallelMatches(t *testing.T) {
+	s := tinySchema(t)
+	u := tinyUniverse(t, s)
+	opts := Options{Universe: u, MaxDepth: 3}
+	ids, _, err := Shards(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := make([]int, 0, len(ids)/2+1)
+	for i := 0; i < len(ids); i += 2 {
+		half = append(half, i)
+	}
+	base := opts
+	base.Shards = half
+	want, err := Collect(s, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parallelGrid {
+		par := base
+		par.Parallelism = w
+		got, err := Collect(s, par)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if !statsEqual(want, got) {
+			t.Errorf("w=%d: subset stats diverged:\nserial:   %+v\nparallel: %+v", w, want, got)
+		}
+	}
+}

@@ -30,6 +30,7 @@ type TreeNode struct {
 // parent is attached before its children), so Parallelism is ignored.
 func BuildTree(sch *schema.Schema, opts Options) (*TreeNode, error) {
 	opts.Parallelism = 0
+	opts.Shards = nil
 	root := &TreeNode{}
 	// Map from path fingerprint to node so we can attach children. We rely
 	// on Explore's DFS order: a path's parent prefix is visited before it.

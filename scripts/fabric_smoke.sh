@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# fabric_smoke.sh — end-to-end smoke test of the distributed check fabric
+# as real processes: two accserve workers, one coordinator over them, a
+# mixed /v1/batch through the coordinator, and a verdict-by-verdict
+# comparison against a direct single-worker answer.
+#
+# Exits non-zero on any non-200 answer or verdict mismatch. Requires only
+# the go toolchain and python3 (for JSON comparison); picks free ports
+# itself.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building accserve"
+go build -o "$workdir/accserve" ./cmd/accserve
+
+pick_port() {
+  python3 - <<'EOF'
+import socket
+s = socket.socket()
+s.bind(("127.0.0.1", 0))
+print(s.getsockname()[1])
+s.close()
+EOF
+}
+
+W1_PORT=$(pick_port); W2_PORT=$(pick_port); C_PORT=$(pick_port)
+W1="http://127.0.0.1:$W1_PORT"; W2="http://127.0.0.1:$W2_PORT"; C="http://127.0.0.1:$C_PORT"
+
+echo "== starting workers on $W1 $W2"
+"$workdir/accserve" -worker -addr "127.0.0.1:$W1_PORT" &
+pids+=($!)
+"$workdir/accserve" -worker -addr "127.0.0.1:$W2_PORT" &
+pids+=($!)
+
+echo "== starting coordinator on $C"
+"$workdir/accserve" -coordinator -fabric-workers "$W1,$W2" -addr "127.0.0.1:$C_PORT" &
+pids+=($!)
+
+wait_up() {
+  local url=$1
+  for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$url/healthz"; then return 0; fi
+    sleep 0.1
+  done
+  echo "server at $url never came up" >&2
+  return 1
+}
+wait_up "$W1"; wait_up "$W2"; wait_up "$C"
+
+batch='{
+  "requests": [
+    {"relations": ["Mobile#:string,string,string,int", "Address:string,string,string,int"],
+     "methods": ["AcM1:Mobile#:0", "AcM2:Address:0,1"],
+     "formula": "(![exists n,p,s,ph. pre Mobile#(n,p,s,ph)]) U [exists n. bind AcM1(n)]"},
+    {"relations": ["Mobile#:string,string,string,int", "Address:string,string,string,int"],
+     "methods": ["AcM1:Mobile#:0", "AcM2:Address:0,1"],
+     "formula": "[exists n,p,s,ph. pre Mobile#(n,p,s,ph)] & (![exists n,p,s,ph. pre Mobile#(n,p,s,ph)])"},
+    {"relations": ["Mobile#:string,string,string,int", "Address:string,string,string,int"],
+     "methods": ["AcM1:Mobile#:0", "AcM2:Address:0,1"],
+     "formula": "[exists n. bind AcM1(n)]",
+     "options": {"grounded": true}}
+  ]
+}'
+
+echo "== mixed batch through the coordinator"
+curl -fsS -X POST "$C/v1/batch" -H 'Content-Type: application/json' \
+  -d "$batch" > "$workdir/fabric.json"
+echo "== same batch direct to one worker"
+curl -fsS -X POST "$W1/v1/batch" -H 'Content-Type: application/json' \
+  -d "$batch" > "$workdir/direct.json"
+
+python3 - "$workdir/fabric.json" "$workdir/direct.json" <<'EOF'
+import json, sys
+fabric = json.load(open(sys.argv[1]))["results"]
+direct = json.load(open(sys.argv[2]))["results"]
+if len(fabric) != len(direct):
+    sys.exit(f"item counts differ: {len(fabric)} vs {len(direct)}")
+fields = ["satisfiable", "fragment", "in_fragment", "decidable",
+          "engine", "truncated", "depth"]
+for i, (f, d) in enumerate(zip(fabric, direct)):
+    if ("error" in f) != ("error" in d):
+        sys.exit(f"item {i}: error parity differs: {f} vs {d}")
+    if "error" in f:
+        continue
+    fr, dr = f["result"], d["result"]
+    for k in fields:
+        if fr.get(k) != dr.get(k):
+            sys.exit(f"item {i}: {k} = {fr.get(k)!r} via fabric, {dr.get(k)!r} direct")
+    if not fr["satisfiable"] and fr["paths_explored"] != dr["paths_explored"]:
+        sys.exit(f"item {i}: paths {fr['paths_explored']} via fabric, {dr['paths_explored']} direct")
+print(f"verdicts match on all {len(fabric)} items")
+EOF
+
+echo "== coordinator health and metrics"
+curl -fsS "$C/healthz" | grep -q '"status":"ok"' || { echo "coordinator not healthy" >&2; exit 1; }
+curl -fsS "$C/metrics" | grep -q '^accserve_fabric_shards_dispatched_total [1-9]' || {
+  echo "coordinator dispatched no shards" >&2; exit 1; }
+
+echo "fabric smoke: OK"

@@ -23,24 +23,31 @@ type BatchItem struct {
 	Err    error
 }
 
-// CheckBatch runs Check over every request concurrently (bounded by
-// GOMAXPROCS workers) and returns one item per request, in request order.
-// The context applies to the whole batch: cancellation or deadline expiry
-// aborts in-flight checks with the context's error and fails not-yet-started
-// ones without running them. A Checker is immutable after construction, so
-// one checker may serve any number of concurrent CheckBatch (and Check)
-// calls.
-func (c *Checker) CheckBatch(ctx context.Context, reqs []Request) []BatchItem {
+// TaskBatchItem is the per-task outcome of DoBatch: exactly one of Result
+// and Err is meaningful, index-aligned with the task slice.
+type TaskBatchItem struct {
+	Result *TaskResult
+	Err    error
+}
+
+// DoBatch is the task-generic batch runner: it runs Do over every task
+// concurrently (bounded by GOMAXPROCS workers) and returns one item per
+// task, in task order. Kinds may mix freely within one batch; the context
+// applies to the whole batch — cancellation or deadline expiry aborts
+// in-flight tasks with the context's error and fails not-yet-started ones
+// without running them. A Checker is immutable after construction, so one
+// checker may serve any number of concurrent DoBatch (and Do/Check) calls.
+func (c *Checker) DoBatch(ctx context.Context, tasks []*Task) []TaskBatchItem {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := make([]BatchItem, len(reqs))
-	if len(reqs) == 0 {
+	out := make([]TaskBatchItem, len(tasks))
+	if len(tasks) == 0 {
 		return out
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if workers > len(tasks) {
+		workers = len(tasks)
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -50,19 +57,53 @@ func (c *Checker) CheckBatch(ctx context.Context, reqs []Request) []BatchItem {
 			defer wg.Done()
 			for i := range idx {
 				if err := ctx.Err(); err != nil {
-					out[i] = BatchItem{Err: fmt.Errorf("accesscheck: CheckBatch: %w", err)}
+					out[i] = TaskBatchItem{Err: fmt.Errorf("accesscheck: DoBatch: %w", err)}
 					continue
 				}
-				res, err := c.Check(ctx, reqs[i].Schema, reqs[i].Formula)
-				out[i] = BatchItem{Result: res, Err: err}
+				res, err := c.Do(ctx, tasks[i])
+				out[i] = TaskBatchItem{Result: res, Err: err}
 			}
 		}()
 	}
-	for i := range reqs {
+	for i := range tasks {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+	return out
+}
+
+// DoBatch is the one-shot form: build a throwaway Checker from opts and run
+// the batch through it. An option error fails every item.
+func DoBatch(ctx context.Context, tasks []*Task, opts ...Option) []TaskBatchItem {
+	c, err := NewChecker(opts...)
+	if err != nil {
+		out := make([]TaskBatchItem, len(tasks))
+		for i := range out {
+			out[i] = TaskBatchItem{Err: err}
+		}
+		return out
+	}
+	return c.DoBatch(ctx, tasks)
+}
+
+// CheckBatch runs Check over every request concurrently, preserving the
+// original check-only API on top of the task-generic runner: each request
+// wraps into a check task, and the unwrapped results line up
+// index-for-index with the request slice.
+func (c *Checker) CheckBatch(ctx context.Context, reqs []Request) []BatchItem {
+	tasks := make([]*Task, len(reqs))
+	for i, r := range reqs {
+		tasks[i] = NewCheckTask(r.Schema, r.Formula)
+	}
+	items := c.DoBatch(ctx, tasks)
+	out := make([]BatchItem, len(items))
+	for i, it := range items {
+		out[i].Err = it.Err
+		if it.Result != nil {
+			out[i].Result = it.Result.Check
+		}
+	}
 	return out
 }
 

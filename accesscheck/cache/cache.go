@@ -1,11 +1,13 @@
-// Package cache is the result cache of the check server: a concurrency-safe
-// LRU keyed by Checker.Fingerprint, with an admission rule that protects
+// Package cache is the result cache of the task server: a concurrency-safe
+// LRU keyed by Checker.FingerprintTask (task-kind-keyed, so results of
+// different kinds can never collide), with an admission rule that protects
 // correctness — only exact results enter. A truncated result (path cap,
-// depth interplay, or response cap — see accesscheck.Result.Truncated) is a
-// verdict relative to a budget, and a later caller with a different budget
-// must not inherit it; cancelled or failed checks never produce a Result at
-// all. Admitting only Truncated == false entries makes a cache hit
-// semantically identical to re-running the solve.
+// depth interplay, response cap, cut unfolding, or exhausted chase budget —
+// see accesscheck.TaskResult.Truncated) is a verdict relative to a budget,
+// and a later caller with a different budget must not inherit it; cancelled
+// or failed tasks never produce a TaskResult at all. Admitting only
+// Truncated == false entries makes a cache hit semantically identical to
+// re-running the solve.
 package cache
 
 import (
@@ -32,7 +34,7 @@ type LRU struct {
 
 type entry struct {
 	key string
-	res accesscheck.Result
+	res accesscheck.TaskResult
 }
 
 // New builds an LRU holding at most capacity results; capacity < 1 is
@@ -49,10 +51,11 @@ func New(capacity int) *LRU {
 }
 
 // Get returns the cached result for the key, marking it most recently used.
-// The returned Result is a copy of the cached value — callers may not
-// observe each other's mutations — but Witness (when set) is shared and
-// must be treated as immutable, which every caller of Check already does.
-func (c *LRU) Get(key string) (*accesscheck.Result, bool) {
+// The returned TaskResult is a copy of the cached value — callers may not
+// observe each other's mutations — but the embedded per-kind reports and
+// witnesses are shared and must be treated as immutable, which every caller
+// of Do already does.
+func (c *LRU) Get(key string) (*accesscheck.TaskResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -71,7 +74,7 @@ func (c *LRU) Get(key string) (*accesscheck.Result, bool) {
 // truncated results: a cap-relative verdict cached as exact would poison
 // every later identical request, which is precisely the failure mode the
 // server exists to avoid.
-func (c *LRU) Add(key string, res *accesscheck.Result) bool {
+func (c *LRU) Add(key string, res *accesscheck.TaskResult) bool {
 	if res == nil || res.Truncated {
 		c.mu.Lock()
 		c.rejected++

@@ -8,8 +8,9 @@ import (
 	"accltl/accesscheck"
 )
 
-func exact(sat bool) *accesscheck.Result {
-	return &accesscheck.Result{Satisfiable: sat}
+func exact(sat bool) *accesscheck.TaskResult {
+	return &accesscheck.TaskResult{Kind: accesscheck.TaskCheck, Verdict: sat,
+		Check: &accesscheck.Result{Satisfiable: sat}}
 }
 
 func TestAddGetRoundTrip(t *testing.T) {
@@ -18,7 +19,7 @@ func TestAddGetRoundTrip(t *testing.T) {
 		t.Fatal("exact result refused")
 	}
 	got, ok := c.Get("k1")
-	if !ok || !got.Satisfiable {
+	if !ok || !got.Verdict {
 		t.Fatalf("Get(k1) = %+v, %v", got, ok)
 	}
 	if _, ok := c.Get("absent"); ok {
@@ -32,7 +33,7 @@ func TestAddGetRoundTrip(t *testing.T) {
 
 func TestTruncatedResultsRefused(t *testing.T) {
 	c := New(4)
-	if c.Add("t", &accesscheck.Result{Truncated: true}) {
+	if c.Add("t", &accesscheck.TaskResult{Truncated: true}) {
 		t.Fatal("truncated result admitted")
 	}
 	if c.Add("n", nil) {
@@ -70,9 +71,9 @@ func TestGetReturnsCopy(t *testing.T) {
 	c := New(2)
 	c.Add("k", exact(true))
 	r1, _ := c.Get("k")
-	r1.Satisfiable = false
+	r1.Verdict = false
 	r2, _ := c.Get("k")
-	if !r2.Satisfiable {
+	if !r2.Verdict {
 		t.Error("mutating a returned result leaked into the cache")
 	}
 }

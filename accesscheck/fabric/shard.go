@@ -19,6 +19,7 @@
 package fabric
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 )
@@ -117,10 +118,14 @@ func (s *Shard) Encode() ([]byte, error) {
 }
 
 // DecodeShard unmarshals and validates a wire shard, rejecting unknown
-// versions and malformed slices before any schema parsing happens.
+// fields, unknown versions and malformed slices before any schema parsing
+// happens — a typo'd option between fabric versions must fail loudly, not
+// silently drop a restriction.
 func DecodeShard(data []byte) (*Shard, error) {
 	var s Shard
-	if err := json.Unmarshal(data, &s); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("fabric: bad shard encoding: %w", err)
 	}
 	if err := s.Validate(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"io"
 	"sort"
 )
@@ -37,13 +38,12 @@ import (
 // key that all shards of one check share should fingerprint a checker
 // without the shard option.
 func (c *Checker) Fingerprint(sch *Schema, f Formula) string {
-	h := sha256.New()
-	field := func(name, value string) {
-		io.WriteString(h, name)
-		h.Write([]byte{0})
-		io.WriteString(h, value)
-		h.Write([]byte{0x1e})
-	}
+	h := newHasher()
+	field := h.field
+	// The task-kind discriminator leads every fingerprint (see
+	// FingerprintTask): no containment/relevance/chase key can collide with
+	// a check key in any cache tier.
+	field("task", TaskCheck.String())
 	if sch != nil {
 		field("schema", sch.String())
 	}
@@ -86,8 +86,134 @@ func (c *Checker) Fingerprint(sch *Schema, f Formula) string {
 	if c.universe != nil {
 		field("universe", c.universe.Fingerprint())
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return h.sum()
 }
+
+// FingerprintTask is Fingerprint generalized over task kinds: a canonical
+// key for what Do on this task computes. Every key starts with the task
+// kind, so results of different kinds can never collide in any cache tier —
+// a containment verdict cached under its key can never answer a check of
+// textually identical schema/formula inputs, and vice versa.
+//
+// TaskCheck keys equal Fingerprint(schema, formula) — the check pipeline is
+// the one task the checker's options configure, and they are folded in
+// exactly as before. The other kinds are canonical in their payload alone
+// (their verdicts do not read the checker's options), so their keys cover
+// the payload and nothing else: two differently-configured checkers agree
+// on the key of the same containment task, and their cached results are
+// interchangeable.
+func (c *Checker) FingerprintTask(t *Task) (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	switch t.Kind {
+	case TaskCheck:
+		return c.Fingerprint(t.Check.Schema, t.Check.Formula), nil
+	case TaskContainment:
+		ct := t.Containment
+		h := newHasher()
+		h.field("task", TaskContainment.String())
+		h.field("mode", ct.Mode.String())
+		switch ct.Mode {
+		case ContainUCQ:
+			h.field("q1", ct.Q1.String())
+			h.field("q2", ct.Q2.String())
+		case ContainDatalog:
+			h.field("program", ct.Program.String())
+			h.field("q2", ct.Q2.String())
+			depth := ct.Depth
+			if depth == 0 {
+				// Canonical: an explicit depth equal to the derived default
+				// is the same computation as depth 0.
+				depth = ct.Program.DefaultContainmentDepth()
+			}
+			h.field("depth", fmt.Sprintf("%d", depth))
+		case ContainAccess:
+			h.field("schema", ct.Schema.String())
+			h.field("q1", ct.Q1.String())
+			h.field("q2", ct.Q2.String())
+			h.field("depth", fmt.Sprintf("%d", ct.Depth))
+			if ct.Seed != nil {
+				h.field("seed", ct.Seed.Fingerprint())
+			}
+		}
+		return h.sum(), nil
+	case TaskRelevance:
+		rt := t.Relevance
+		h := newHasher()
+		h.field("task", TaskRelevance.String())
+		h.field("schema", rt.Schema.String())
+		h.field("probe", rt.Probe)
+		for _, v := range rt.Binding {
+			h.field("bind", v.Key())
+		}
+		h.field("query", rt.Query.String())
+		h.field("grounded", boolKey(rt.Grounded))
+		h.field("maxDepth", fmt.Sprintf("%d", rt.MaxDepth))
+		if rt.Hidden != nil {
+			h.field("hidden", rt.Hidden.Fingerprint())
+		}
+		if rt.Seed != nil {
+			h.field("seed", rt.Seed.Fingerprint())
+		}
+		if rt.Universe != nil {
+			h.field("universe", rt.Universe.Fingerprint())
+		}
+		return h.sum(), nil
+	case TaskChase:
+		ch := t.Chase
+		h := newHasher()
+		h.field("task", TaskChase.String())
+		rels := make([]string, 0, len(ch.Arities))
+		for r := range ch.Arities {
+			rels = append(rels, r)
+		}
+		sort.Strings(rels)
+		for _, r := range rels {
+			h.field("arity", fmt.Sprintf("%s=%d", r, ch.Arities[r]))
+		}
+		fds := make([]string, len(ch.FDs))
+		for i, d := range ch.FDs {
+			fds[i] = d.String()
+		}
+		sort.Strings(fds)
+		for _, d := range fds {
+			h.field("fd", d)
+		}
+		ids := make([]string, len(ch.IDs))
+		for i, d := range ch.IDs {
+			ids[i] = d.String()
+		}
+		sort.Strings(ids)
+		for _, d := range ids {
+			h.field("id", d)
+		}
+		h.field("sigma", ch.Sigma.String())
+		budget := ch.StepBudget
+		if budget == 0 {
+			budget = 10000 // the chase default, canonicalized like depth above
+		}
+		h.field("budget", fmt.Sprintf("%d", budget))
+		return h.sum(), nil
+	default:
+		return "", fmt.Errorf("accesscheck: FingerprintTask: unknown task kind %v", t.Kind)
+	}
+}
+
+// hasher accumulates (name, value) fields into a SHA-256 with unambiguous
+// framing.
+type hasher struct{ h hash.Hash }
+
+func newHasher() *hasher { return &hasher{h: sha256.New()} }
+
+func (x *hasher) field(name, value string) {
+	io.WriteString(x.h, name)
+	x.h.Write([]byte{0})
+	io.WriteString(x.h, value)
+	x.h.Write([]byte{0x1e})
+}
+
+func (x *hasher) sum() string { return hex.EncodeToString(x.h.Sum(nil)) }
 
 func boolKey(b bool) string {
 	if b {

@@ -16,6 +16,13 @@ package server
 // whole-check cache stays hot). The coordinator holds no merged-result
 // cache of its own in this version — workers own all caching (see ROADMAP
 // follow-ons).
+//
+// Non-check tasks (/v1/containment, /v1/relevance, /v1/chase, and the
+// matching mixed-batch items) are never fanned out — shard planning is a
+// property of the check pipeline only. Each is forwarded whole to the
+// worker the ring selects for its task fingerprint, so repeat tasks land
+// where their cache entry lives; the worker's response is proxied back
+// unchanged.
 
 import (
 	"bytes"
@@ -60,12 +67,19 @@ type Coordinator struct {
 	reg    *fabric.Registry
 	disp   *fabric.Dispatcher
 	mux    *http.ServeMux
+	// taskChk derives task fingerprints for affinity routing; non-check
+	// fingerprints are canonical in the payload alone, so a default checker
+	// agrees with every worker.
+	taskChk *accesscheck.Checker
 
 	checks        atomic.Uint64
 	fanouts       atomic.Uint64
 	forwards      atomic.Uint64
 	dispatchErrs  atomic.Uint64
 	mergeFailures atomic.Uint64
+	// taskForwards counts whole-task forwards per kind (check forwards are
+	// the plan/worker fallback counted in forwards).
+	taskForwards [numTaskKinds]atomic.Uint64
 }
 
 // NewCoordinator builds a coordinator over a static worker list.
@@ -75,6 +89,10 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		client = &http.Client{}
 	}
 	reg, err := fabric.NewRegistry(cfg.Workers, client)
+	if err != nil {
+		return nil, err
+	}
+	taskChk, err := accesscheck.NewChecker()
 	if err != nil {
 		return nil, err
 	}
@@ -89,9 +107,13 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			HedgeAfter: cfg.HedgeAfter,
 			Registry:   reg,
 		},
-		mux: http.NewServeMux(),
+		mux:     http.NewServeMux(),
+		taskChk: taskChk,
 	}
 	c.mux.HandleFunc("POST /v1/check", c.handleCheck)
+	c.mux.HandleFunc("POST /v1/containment", c.handleContainment)
+	c.mux.HandleFunc("POST /v1/relevance", c.handleRelevance)
+	c.mux.HandleFunc("POST /v1/chase", c.handleChase)
 	c.mux.HandleFunc("POST /v1/batch", c.handleBatch)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
@@ -125,17 +147,7 @@ func (c *Coordinator) resolveBudget(item string, r *http.Request) (time.Duration
 
 func (c *Coordinator) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
-			return false
-		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
-		return false
-	}
-	return true
+	return decodeStrict(w, r.Body, v)
 }
 
 func (c *Coordinator) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -163,39 +175,128 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !c.decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Requests) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+	n := checkBatchSize(w, &req, c.cfg.MaxBatch)
+	if n < 0 {
 		return
 	}
-	if len(req.Requests) > c.cfg.MaxBatch {
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			errorResponse{Error: fmt.Sprintf("batch of %d exceeds the limit of %d", len(req.Requests), c.cfg.MaxBatch)})
-		return
-	}
-	out := BatchResponse{Results: make([]BatchItem, len(req.Requests))}
+	out := BatchResponse{Results: make([]BatchItem, n)}
 	var wg sync.WaitGroup
-	for i := range req.Requests {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			item := req.Requests[i]
-			budget, err := c.resolveBudget(item.Budget, r)
+			var itemBudget string
+			if req.Requests != nil {
+				itemBudget = req.Requests[i].Budget
+			} else {
+				itemBudget = req.Items[i].budget()
+			}
+			budget, err := c.resolveBudget(itemBudget, r)
 			if err != nil {
 				out.Results[i] = BatchItem{Error: err.Error()}
 				return
 			}
 			ctx, cancel := context.WithTimeout(r.Context(), budget)
 			defer cancel()
-			res, err := c.doCheck(ctx, item)
-			if err != nil {
-				out.Results[i] = BatchItem{Error: err.Error()}
+			if req.Requests != nil {
+				res, err := c.doCheck(ctx, req.Requests[i])
+				if err != nil {
+					out.Results[i] = BatchItem{Error: err.Error()}
+					return
+				}
+				out.Results[i] = BatchItem{Result: res}
 				return
 			}
-			out.Results[i] = BatchItem{Result: res}
+			out.Results[i] = c.doTaskItem(ctx, &req.Items[i])
 		}(i)
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, out)
+}
+
+// doTaskItem runs one mixed-batch item at the coordinator: check items go
+// through the usual plan/fan-out path, everything else is forwarded whole
+// to its ring-selected worker. Mirrors the worker-side Server.doTaskItem.
+func (c *Coordinator) doTaskItem(ctx context.Context, item *TaskRequest) BatchItem {
+	kind, err := accesscheck.ParseTaskKind(item.Task)
+	if err != nil {
+		return BatchItem{Task: item.Task, Error: err.Error()}
+	}
+	out := BatchItem{Task: kind.String()}
+	switch kind {
+	case accesscheck.TaskCheck:
+		if item.Check == nil {
+			out.Error = missingPayload(kind)
+			return out
+		}
+		res, err := c.doCheck(ctx, *item.Check)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.Result = res
+	case accesscheck.TaskContainment:
+		if item.Containment == nil {
+			out.Error = missingPayload(kind)
+			return out
+		}
+		t, err := parseContainmentTask(item.Containment)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		raw, err := c.forwardTask(ctx, taskPaths[kind], item.Containment, t)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.Containment = new(ContainmentResponse)
+		err = json.Unmarshal(raw, out.Containment)
+		if err != nil {
+			out.Containment, out.Error = nil, fmt.Sprintf("bad containment response: %v", err)
+		}
+	case accesscheck.TaskRelevance:
+		if item.Relevance == nil {
+			out.Error = missingPayload(kind)
+			return out
+		}
+		t, err := parseRelevanceTask(item.Relevance)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		raw, err := c.forwardTask(ctx, taskPaths[kind], item.Relevance, t)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.Relevance = new(RelevanceResponse)
+		err = json.Unmarshal(raw, out.Relevance)
+		if err != nil {
+			out.Relevance, out.Error = nil, fmt.Sprintf("bad relevance response: %v", err)
+		}
+	case accesscheck.TaskChase:
+		if item.Chase == nil {
+			out.Error = missingPayload(kind)
+			return out
+		}
+		t, err := parseChaseTask(item.Chase)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		raw, err := c.forwardTask(ctx, taskPaths[kind], item.Chase, t)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.Chase = new(ChaseResponse)
+		err = json.Unmarshal(raw, out.Chase)
+		if err != nil {
+			out.Chase, out.Error = nil, fmt.Sprintf("bad chase response: %v", err)
+		}
+	}
+	return out
 }
 
 // doCheck plans, fans out, and merges one check.
@@ -361,7 +462,21 @@ func (c *Coordinator) forward(ctx context.Context, req CheckRequest, router *fab
 }
 
 func (c *Coordinator) forwardOnce(ctx context.Context, worker string, body []byte) (*CheckResponse, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/check", bytes.NewReader(body))
+	data, err := c.postWorker(ctx, worker, "/v1/check", body)
+	if err != nil {
+		return nil, err
+	}
+	var out CheckResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("worker %s: bad check response: %w", worker, err)
+	}
+	return &out, nil
+}
+
+// postWorker POSTs one JSON body to a worker route and returns the raw
+// 200 response; any other status becomes a fabric.StatusError.
+func (c *Coordinator) postWorker(ctx context.Context, worker, path string, body []byte) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -382,11 +497,122 @@ func (c *Coordinator) forwardOnce(ctx context.Context, worker string, body []byt
 		}
 		return nil, &fabric.StatusError{Status: resp.StatusCode, Worker: worker, Body: msg}
 	}
-	var out CheckResponse
-	if err := json.Unmarshal(data, &out); err != nil {
-		return nil, fmt.Errorf("worker %s: bad check response: %w", worker, err)
+	return data, nil
+}
+
+// taskPaths maps a task kind to its worker route.
+var taskPaths = [numTaskKinds]string{
+	accesscheck.TaskCheck:       "/v1/check",
+	accesscheck.TaskContainment: "/v1/containment",
+	accesscheck.TaskRelevance:   "/v1/relevance",
+	accesscheck.TaskChase:       "/v1/chase",
+}
+
+// forwardTask ships one non-check task whole to the worker its fingerprint
+// ring-selects — shard fan-out is a check-pipeline property, so the other
+// kinds travel undivided and land where their cache entry lives. The
+// retry/health bookkeeping mirrors forward; the worker's 200 body is
+// returned raw for proxying.
+func (c *Coordinator) forwardTask(ctx context.Context, path string, req any, t *accesscheck.Task) (json.RawMessage, error) {
+	fp, err := c.taskChk.FingerprintTask(t)
+	if err != nil {
+		return nil, badRequest("%v", err)
 	}
-	return &out, nil
+	c.taskForwards[t.Kind].Add(1)
+	workers := c.reg.Healthy()
+	if len(workers) == 0 {
+		workers = c.reg.Workers()
+	}
+	router := fabric.NewRouter(workers)
+	seq := router.Sequence(fp, 4)
+	if len(seq) == 0 {
+		return nil, &httpError{status: http.StatusBadGateway, err: fmt.Errorf("no workers available")}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, worker := range seq {
+		data, err := c.postWorker(ctx, worker, path, body)
+		if err == nil {
+			c.reg.MarkUp(worker)
+			c.checks.Add(1)
+			return data, nil
+		}
+		lastErr = err
+		var se *fabric.StatusError
+		if !errors.As(err, &se) && !errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			c.reg.MarkDown(worker, err.Error())
+		}
+		if se != nil && (se.Status < 500 || se.Status == http.StatusGatewayTimeout) {
+			break // terminal everywhere
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.dispatchErrs.Add(1)
+	return nil, dispatchError(lastErr)
+}
+
+// serveForwardTask is the single-task handler tail the three non-check
+// routes share: budget, deadline, forward, proxy.
+func (c *Coordinator) serveForwardTask(w http.ResponseWriter, r *http.Request, itemBudget, path string, req any, t *accesscheck.Task) {
+	budget, err := c.resolveBudget(itemBudget, r)
+	if err != nil {
+		writeError(w, err, c.cfg.DefaultBudget)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	raw, err := c.forwardTask(ctx, path, req, t)
+	if err != nil {
+		writeError(w, err, budget)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
+}
+
+func (c *Coordinator) handleContainment(w http.ResponseWriter, r *http.Request) {
+	var req ContainmentRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	t, err := parseContainmentTask(&req)
+	if err != nil {
+		writeError(w, err, c.cfg.DefaultBudget)
+		return
+	}
+	c.serveForwardTask(w, r, req.Budget, taskPaths[accesscheck.TaskContainment], &req, t)
+}
+
+func (c *Coordinator) handleRelevance(w http.ResponseWriter, r *http.Request) {
+	var req RelevanceRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	t, err := parseRelevanceTask(&req)
+	if err != nil {
+		writeError(w, err, c.cfg.DefaultBudget)
+		return
+	}
+	c.serveForwardTask(w, r, req.Budget, taskPaths[accesscheck.TaskRelevance], &req, t)
+}
+
+func (c *Coordinator) handleChase(w http.ResponseWriter, r *http.Request) {
+	var req ChaseRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	t, err := parseChaseTask(&req)
+	if err != nil {
+		writeError(w, err, c.cfg.DefaultBudget)
+		return
+	}
+	c.serveForwardTask(w, r, req.Budget, taskPaths[accesscheck.TaskChase], &req, t)
 }
 
 // dispatchError maps a fabric failure onto the coordinator's own response:
@@ -481,6 +707,12 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "accserve_coordinator_forwards_total %d\n", c.forwards.Load())
 	fmt.Fprintf(w, "accserve_coordinator_dispatch_errors_total %d\n", c.dispatchErrs.Load())
 	fmt.Fprintf(w, "accserve_coordinator_merge_failures_total %d\n", c.mergeFailures.Load())
+	for _, k := range taskKinds {
+		if k == accesscheck.TaskCheck {
+			continue // whole-check forwards are accserve_coordinator_forwards_total
+		}
+		fmt.Fprintf(w, "accserve_coordinator_task_forwards_total{task=%q} %d\n", k.String(), c.taskForwards[k].Load())
+	}
 	fmt.Fprintf(w, "accserve_fabric_shards_dispatched_total %d\n", ds.Dispatched)
 	fmt.Fprintf(w, "accserve_fabric_retries_total %d\n", ds.Retried)
 	fmt.Fprintf(w, "accserve_fabric_hedges_total %d\n", ds.Hedged)

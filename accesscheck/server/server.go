@@ -6,11 +6,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/check   one check; body is a CheckRequest, reply a CheckResponse
-//	POST /v1/batch   many checks; body is a BatchRequest, reply a BatchResponse
-//	GET  /healthz    liveness probe
-//	GET  /metrics    Prometheus-style text counters (hits, misses,
-//	                 truncations, in-flight, ...)
+//	POST /v1/check        AccLTL satisfiability; CheckRequest → CheckResponse
+//	POST /v1/containment  query containment (ucq / datalog / access modes);
+//	                      ContainmentRequest → ContainmentResponse
+//	POST /v1/relevance    accessible part / long-term relevance;
+//	                      RelevanceRequest → RelevanceResponse
+//	POST /v1/chase        FD+ID implication; ChaseRequest → ChaseResponse
+//	POST /v1/batch        many tasks; BatchRequest (check-only "requests" or
+//	                      mixed-task "items") → BatchResponse
+//	GET  /healthz         liveness probe
+//	GET  /metrics         Prometheus-style text counters (hits, misses,
+//	                      truncations, per-task counters, in-flight, ...)
+//
+// Every task kind shares one spine: the same budget resolution, the same
+// bounded worker pool, the same 504 semantics on a blown budget, and the
+// same exact-results-only LRU keyed by task-kind-aware fingerprints.
 //
 // Budget semantics: every check runs under a deadline. The most specific
 // wins — the item's "budget" field, then the ?budget= query parameter, then
@@ -35,6 +45,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -111,6 +122,10 @@ type Server struct {
 	cache *cache.LRU
 	sem   chan struct{}
 	mux   *http.ServeMux
+	// taskChk runs the non-check tasks. Their verdicts and fingerprints are
+	// canonical in the payload alone (checker options do not leak in), so
+	// one default-configured checker serves every such request.
+	taskChk *accesscheck.Checker
 
 	inFlight      atomic.Int64
 	checks        atomic.Uint64
@@ -122,18 +137,44 @@ type Server struct {
 	parCount      atomic.Uint64
 	shardChecks   atomic.Uint64
 	shardMismatch atomic.Uint64
+
+	// Per-task-kind counters, indexed by accesscheck.TaskKind: requests
+	// received, truncated results served, and cache probe outcomes.
+	taskRequests    [numTaskKinds]atomic.Uint64
+	taskTruncations [numTaskKinds]atomic.Uint64
+	taskCacheHits   [numTaskKinds]atomic.Uint64
+	taskCacheMisses [numTaskKinds]atomic.Uint64
+}
+
+// numTaskKinds sizes the per-task metric arrays.
+const numTaskKinds = int(accesscheck.TaskChase) + 1
+
+// taskKinds enumerates the kinds for metric rendering, in wire order.
+var taskKinds = [numTaskKinds]accesscheck.TaskKind{
+	accesscheck.TaskCheck, accesscheck.TaskContainment,
+	accesscheck.TaskRelevance, accesscheck.TaskChase,
 }
 
 // New builds a Server from the config.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	taskChk, err := accesscheck.NewChecker()
+	if err != nil {
+		// NewChecker without options cannot fail; a change that makes it
+		// fail must be caught loudly, not served as nil panics.
+		panic(err)
+	}
 	s := &Server{
-		cfg:   cfg,
-		cache: cache.New(cfg.CacheSize),
-		sem:   make(chan struct{}, cfg.Workers),
-		mux:   http.NewServeMux(),
+		cfg:     cfg,
+		cache:   cache.New(cfg.CacheSize),
+		sem:     make(chan struct{}, cfg.Workers),
+		mux:     http.NewServeMux(),
+		taskChk: taskChk,
 	}
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
+	s.mux.HandleFunc("POST /v1/containment", s.handleContainment)
+	s.mux.HandleFunc("POST /v1/relevance", s.handleRelevance)
+	s.mux.HandleFunc("POST /v1/chase", s.handleChase)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -190,17 +231,34 @@ type CheckResponse struct {
 	Cached          bool    `json:"cached"`
 }
 
-// BatchRequest carries many checks; items are independent and answered in
-// order.
+// BatchRequest carries many tasks; items are independent and answered in
+// order. Exactly one of Requests (the original check-only form) and Items
+// (mixed task kinds) must be set.
 type BatchRequest struct {
-	Requests []CheckRequest `json:"requests"`
+	Requests []CheckRequest `json:"requests,omitempty"`
+	Items    []TaskRequest  `json:"items,omitempty"`
 }
 
-// BatchItem is one per-item outcome: exactly one of Result and Error is
-// set.
+// TaskRequest is one mixed-batch item: a task kind plus the matching
+// request payload (which carries its own budget).
+type TaskRequest struct {
+	Task        string              `json:"task"`
+	Check       *CheckRequest       `json:"check,omitempty"`
+	Containment *ContainmentRequest `json:"containment,omitempty"`
+	Relevance   *RelevanceRequest   `json:"relevance,omitempty"`
+	Chase       *ChaseRequest       `json:"chase,omitempty"`
+}
+
+// BatchItem is one per-item outcome: Error, or exactly one result field
+// matching the item's task kind (Result for checks, keeping the original
+// check-only wire shape intact). Task echoes the kind on mixed batches.
 type BatchItem struct {
-	Result *CheckResponse `json:"result,omitempty"`
-	Error  string         `json:"error,omitempty"`
+	Task        string               `json:"task,omitempty"`
+	Result      *CheckResponse       `json:"result,omitempty"`
+	Containment *ContainmentResponse `json:"containment,omitempty"`
+	Relevance   *RelevanceResponse   `json:"relevance,omitempty"`
+	Chase       *ChaseResponse       `json:"chase,omitempty"`
+	Error       string               `json:"error,omitempty"`
 }
 
 // BatchResponse lines up index-for-index with BatchRequest.Requests.
@@ -316,6 +374,7 @@ func checkerFor(o *CheckOptions, parallelism int, extra ...accesscheck.Option) (
 // doCheck runs one check end to end: parse, cache probe, bounded solve,
 // cache admission. ctx must already carry the request's budget.
 func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse, error) {
+	s.taskRequests[accesscheck.TaskCheck].Add(1)
 	if req.Formula == "" {
 		return nil, badRequest("missing formula")
 	}
@@ -337,9 +396,11 @@ func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse,
 	}
 
 	fp := chk.Fingerprint(sch, f)
-	if res, ok := s.cache.Get(fp); ok {
-		return wireResult(res, true), nil
+	if tr, ok := s.cache.Get(fp); ok && tr.Check != nil {
+		s.taskCacheHits[accesscheck.TaskCheck].Add(1)
+		return wireResult(tr.Check, true), nil
 	}
+	s.taskCacheMisses[accesscheck.TaskCheck].Add(1)
 
 	// Acquire a worker slot without outliving the budget.
 	select {
@@ -374,10 +435,24 @@ func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse,
 	if res.Truncated {
 		// Cap-relative verdict: served, counted, never cached.
 		s.truncations.Add(1)
+		s.taskTruncations[accesscheck.TaskCheck].Add(1)
 	} else {
-		s.cache.Add(fp, res)
+		s.cache.Add(fp, checkTaskResult(res))
 	}
 	return wireResult(res, false), nil
+}
+
+// checkTaskResult wraps a check Result in the task envelope the cache
+// stores.
+func checkTaskResult(res *accesscheck.Result) *accesscheck.TaskResult {
+	return &accesscheck.TaskResult{
+		Kind:      accesscheck.TaskCheck,
+		Verdict:   res.Satisfiable,
+		Truncated: res.Truncated,
+		Engine:    res.Engine.String(),
+		Elapsed:   res.Elapsed,
+		Check:     res,
+	}
 }
 
 func wireResult(res *accesscheck.Result, cached bool) *CheckResponse {
@@ -430,10 +505,20 @@ func statusOf(err error) int {
 }
 
 // decodeBody reads the JSON body under the size cap; oversized bodies are
-// rejected with 413 before they can exhaust memory.
+// rejected with 413 before they can exhaust memory, and unknown fields with
+// 400 — a typo'd option name must fail loudly instead of being silently
+// ignored (a misspelled "grounded" would otherwise run the wrong check).
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	return decodeStrict(w, r.Body, v)
+}
+
+// decodeStrict decodes JSON with DisallowUnknownFields, rendering the
+// structured error responses every /v1/* body shares.
+func decodeStrict(w http.ResponseWriter, body io.Reader, v any) bool {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge,
@@ -466,28 +551,64 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// checkBatchSize validates the two batch forms share one size policy;
+// returns the item count or writes the error and returns -1.
+func checkBatchSize(w http.ResponseWriter, req *BatchRequest, maxBatch int) int {
+	if len(req.Requests) > 0 && len(req.Items) > 0 {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: `batch carries both "requests" and "items"; use one`})
+		return -1
+	}
+	n := len(req.Requests) + len(req.Items)
+	if n == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+		return -1
+	}
+	if n > maxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("batch of %d exceeds the limit of %d", n, maxBatch)})
+		return -1
+	}
+	return n
+}
+
+// taskItemBudget names the budget field of a mixed-batch item's payload.
+func (t *TaskRequest) budget() string {
+	switch {
+	case t.Check != nil:
+		return t.Check.Budget
+	case t.Containment != nil:
+		return t.Containment.Budget
+	case t.Relevance != nil:
+		return t.Relevance.Budget
+	case t.Chase != nil:
+		return t.Chase.Budget
+	}
+	return ""
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Requests) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+	n := checkBatchSize(w, &req, s.cfg.MaxBatch)
+	if n < 0 {
 		return
 	}
-	if len(req.Requests) > s.cfg.MaxBatch {
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			errorResponse{Error: fmt.Sprintf("batch of %d exceeds the limit of %d", len(req.Requests), s.cfg.MaxBatch)})
-		return
-	}
-	out := BatchResponse{Results: make([]BatchItem, len(req.Requests))}
+	out := BatchResponse{Results: make([]BatchItem, n)}
 	var wg sync.WaitGroup
-	for i := range req.Requests {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			item := req.Requests[i]
-			budget, err := s.resolveBudget(item.Budget, r)
+			var itemBudget string
+			if req.Requests != nil {
+				itemBudget = req.Requests[i].Budget
+			} else {
+				itemBudget = req.Items[i].budget()
+			}
+			budget, err := s.resolveBudget(itemBudget, r)
 			if err != nil {
 				out.Results[i] = BatchItem{Error: err.Error()}
 				return
@@ -497,12 +618,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// expires while queued fails fast instead of hogging a slot.
 			ctx, cancel := context.WithTimeout(r.Context(), budget)
 			defer cancel()
-			res, err := s.doCheck(ctx, item)
-			if err != nil {
-				out.Results[i] = BatchItem{Error: err.Error()}
+			if req.Requests != nil {
+				res, err := s.doCheck(ctx, req.Requests[i])
+				if err != nil {
+					out.Results[i] = BatchItem{Error: err.Error()}
+					return
+				}
+				out.Results[i] = BatchItem{Result: res}
 				return
 			}
-			out.Results[i] = BatchItem{Result: res}
+			out.Results[i] = s.doTaskItem(ctx, &req.Items[i])
 		}(i)
 	}
 	wg.Wait()
@@ -532,6 +657,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "accserve_check_errors_total %d\n", s.errs.Load())
 	fmt.Fprintf(w, "accserve_shard_checks_total %d\n", s.shardChecks.Load())
 	fmt.Fprintf(w, "accserve_shard_plan_mismatches_total %d\n", s.shardMismatch.Load())
+	for _, k := range taskKinds {
+		fmt.Fprintf(w, "accserve_task_requests_total{task=%q} %d\n", k.String(), s.taskRequests[k].Load())
+		fmt.Fprintf(w, "accserve_task_truncations_total{task=%q} %d\n", k.String(), s.taskTruncations[k].Load())
+		fmt.Fprintf(w, "accserve_task_cache_hits_total{task=%q} %d\n", k.String(), s.taskCacheHits[k].Load())
+		fmt.Fprintf(w, "accserve_task_cache_misses_total{task=%q} %d\n", k.String(), s.taskCacheMisses[k].Load())
+	}
 	fmt.Fprintf(w, "accserve_in_flight %d\n", s.inFlight.Load())
 	fmt.Fprintf(w, "accserve_workers %d\n", s.cfg.Workers)
 	fmt.Fprintf(w, "accserve_workers_busy %d\n", len(s.sem))

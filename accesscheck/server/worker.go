@@ -125,8 +125,8 @@ func (s *Server) doShard(ctx context.Context, sh *fabric.Shard) (*fabric.ShardRe
 		return nil, badRequest("%v", err)
 	}
 	fp := chk.Fingerprint(sch, f)
-	if res, ok := s.cache.Get(fp); ok {
-		return shardResult(sh, res, true), nil
+	if tr, ok := s.cache.Get(fp); ok && tr.Check != nil {
+		return shardResult(sh, tr.Check, true), nil
 	}
 
 	select {
@@ -155,7 +155,7 @@ func (s *Server) doShard(ctx context.Context, sh *fabric.Shard) (*fabric.ShardRe
 	if res.Truncated {
 		s.truncations.Add(1)
 	} else {
-		s.cache.Add(fp, res)
+		s.cache.Add(fp, checkTaskResult(res))
 	}
 	return shardResult(sh, res, false), nil
 }

@@ -1,0 +1,309 @@
+package accesscheck_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"accltl/accesscheck"
+	"accltl/internal/workload"
+)
+
+// containmentTaskFrom builds a facade task from a textual workload
+// scenario — the same translation the server's wire layer performs.
+func containmentTaskFrom(t *testing.T, sc workload.ContainmentScenario) *accesscheck.Task {
+	t.Helper()
+	mode, err := accesscheck.ParseContainmentMode(sc.Mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := accesscheck.ParseSentence(sc.Q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch mode {
+	case accesscheck.ContainUCQ:
+		q1, err := accesscheck.ParseSentence(sc.Q1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return accesscheck.NewUCQContainmentTask(q1, q2)
+	case accesscheck.ContainDatalog:
+		prog, err := accesscheck.ParseProgram(sc.Rules, sc.Goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return accesscheck.NewDatalogContainmentTask(prog, q2, sc.Depth)
+	default:
+		sch, err := accesscheck.ParseSchema(sc.Relations, sc.Methods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q1, err := accesscheck.ParseSentence(sc.Q1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seed *accesscheck.Instance
+		if len(sc.Seed) > 0 {
+			if seed, err = accesscheck.ParseInstance(sch, sc.Seed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return accesscheck.NewAccessContainmentTask(sch, q1, q2, seed, sc.Depth)
+	}
+}
+
+// relevanceTaskFrom builds a facade task from a textual workload scenario.
+func relevanceTaskFrom(t *testing.T, sc workload.RelevanceScenario) *accesscheck.Task {
+	t.Helper()
+	sch, err := accesscheck.ParseSchema(sc.Relations, sc.Methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query, err := accesscheck.ParseSentence(sc.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &accesscheck.RelevanceTask{
+		Schema:   sch,
+		Probe:    sc.Probe,
+		Query:    query,
+		MaxDepth: sc.MaxDepth,
+	}
+	if len(sc.Hidden) > 0 {
+		if rt.Hidden, err = accesscheck.ParseInstance(sch, sc.Hidden); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sc.Seed) > 0 {
+		if rt.Seed, err = accesscheck.ParseInstance(sch, sc.Seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.Probe != "" {
+		m, ok := sch.Method(sc.Probe)
+		if !ok {
+			t.Fatalf("schema has no method %q", sc.Probe)
+		}
+		if rt.Binding, err = accesscheck.ParseBinding(m, sc.Binding); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return accesscheck.NewRelevanceTask(rt)
+}
+
+func TestWorkloadContainmentScenarios(t *testing.T) {
+	ctx := context.Background()
+	for _, sc := range workload.ContainmentScenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := accesscheck.Do(ctx, containmentTaskFrom(t, sc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != sc.WantContained {
+				t.Errorf("contained = %v, want %v", res.Verdict, sc.WantContained)
+			}
+			if res.Containment.Exact != sc.WantExact {
+				t.Errorf("exact = %v, want %v", res.Containment.Exact, sc.WantExact)
+			}
+			if res.Truncated != !sc.WantExact {
+				t.Errorf("truncated = %v, want %v", res.Truncated, !sc.WantExact)
+			}
+			if res.Kind != accesscheck.TaskContainment || res.Engine == "" {
+				t.Errorf("envelope wrong: kind=%v engine=%q", res.Kind, res.Engine)
+			}
+		})
+	}
+}
+
+func TestWorkloadRelevanceScenarios(t *testing.T) {
+	ctx := context.Background()
+	for _, sc := range workload.RelevanceScenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := accesscheck.Do(ctx, relevanceTaskFrom(t, sc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != sc.WantVerdict {
+				t.Errorf("verdict = %v, want %v", res.Verdict, sc.WantVerdict)
+			}
+			wantEngine := "accltl-plus"
+			if sc.Probe == "" {
+				wantEngine = "datalog-fixpoint"
+				if res.Relevance.Accessible == nil {
+					t.Error("accessible-part mode returned no instance")
+				}
+			}
+			if res.Engine != wantEngine {
+				t.Errorf("engine = %q, want %q", res.Engine, wantEngine)
+			}
+		})
+	}
+}
+
+func TestChaseTask(t *testing.T) {
+	// Armstrong transitivity: {R: 0→1, R: 1→2} ⊨ R: 0→2.
+	fd01, err := accesscheck.ParseFD("R:0->1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd12, err := accesscheck.ParseFD("R:1->2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := accesscheck.ParseFD("R:0->2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := accesscheck.Do(context.Background(), accesscheck.NewChaseTask(&accesscheck.ChaseTask{
+		Arities: map[string]int{"R": 3},
+		FDs:     []accesscheck.FD{fd01, fd12},
+		Sigma:   sigma,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdict || res.Truncated || res.Engine != "chase" {
+		t.Errorf("transitivity: verdict=%v truncated=%v engine=%q", res.Verdict, res.Truncated, res.Engine)
+	}
+	if !res.Chase.Terminated || res.Chase.Verdict != "implied" {
+		t.Errorf("report wrong: %+v", res.Chase)
+	}
+
+	// The reverse direction does not follow.
+	res, err = accesscheck.Do(context.Background(), accesscheck.NewChaseTask(&accesscheck.ChaseTask{
+		Arities: map[string]int{"R": 3},
+		FDs:     []accesscheck.FD{fd01},
+		Sigma:   sigma,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict || !res.Chase.Terminated {
+		t.Errorf("non-implication: verdict=%v report=%+v", res.Verdict, res.Chase)
+	}
+}
+
+func TestTaskCheckMatchesCheck(t *testing.T) {
+	// Do on a check task must wrap the identical Check pipeline: same
+	// verdict, same engine, the embedded Result usable as before.
+	phone := workload.MustPhone()
+	f := phone.IntroFormula()
+	chk, err := accesscheck.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	direct, err := chk.Check(ctx, phone.Schema, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTask, err := chk.Do(ctx, accesscheck.NewCheckTask(phone.Schema, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaTask.Kind != accesscheck.TaskCheck || viaTask.Check == nil {
+		t.Fatalf("envelope wrong: %+v", viaTask)
+	}
+	if viaTask.Verdict != direct.Satisfiable || viaTask.Check.Engine != direct.Engine {
+		t.Errorf("task check diverged: %v/%v vs %v/%v",
+			viaTask.Verdict, viaTask.Check.Engine, direct.Satisfiable, direct.Engine)
+	}
+}
+
+func TestTaskFingerprintsDistinctAcrossKinds(t *testing.T) {
+	// The task kind leads the fingerprint, so tasks built from identical
+	// schema and formula text can never collide across kinds — a cache
+	// warmed by one task must not answer another.
+	phone := workload.MustPhone()
+	q := phone.JonesQuery()
+	chk, err := accesscheck.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := map[string]*accesscheck.Task{
+		"check":       accesscheck.NewCheckTask(phone.Schema, accesscheck.Eventually(accesscheck.Atom(q))),
+		"containment": accesscheck.NewAccessContainmentTask(phone.Schema, q, q, nil, 3),
+		"relevance": accesscheck.NewRelevanceTask(&accesscheck.RelevanceTask{
+			Schema: phone.Schema, Query: q, Hidden: phone.SmithJonesUniverse(),
+		}),
+	}
+	fps := make(map[string]string, len(tasks))
+	for name, task := range tasks {
+		fp, err := chk.FingerprintTask(task)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for other, seen := range fps {
+			if seen == fp {
+				t.Errorf("%s and %s share fingerprint %s on identical text", name, other, fp)
+			}
+		}
+		fps[name] = fp
+	}
+
+	// Same task twice is stable; non-check fingerprints are canonical in
+	// the payload alone, so they survive checker-option changes.
+	again, err := accesscheck.NewChecker(accesscheck.WithMaxDepth(9), accesscheck.WithGrounded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, task := range tasks {
+		fp, err := again.FingerprintTask(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "check" {
+			if fp == fps[name] {
+				t.Error("check fingerprint ignores checker options")
+			}
+		} else if fp != fps[name] {
+			t.Errorf("%s fingerprint depends on checker options", name)
+		}
+	}
+}
+
+func TestDoBatchMixedKinds(t *testing.T) {
+	// One batch carrying all four kinds answers index-aligned with
+	// per-item isolation: the invalid item fails alone.
+	phone := workload.MustPhone()
+	sigma, err := accesscheck.ParseFD("R:0->1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csc := workload.ContainmentScenarios()[0]
+	rsc := workload.RelevanceScenarios()[0]
+	tasks := []*accesscheck.Task{
+		accesscheck.NewCheckTask(phone.Schema, phone.IntroFormula()),
+		containmentTaskFrom(t, csc),
+		relevanceTaskFrom(t, rsc),
+		accesscheck.NewChaseTask(&accesscheck.ChaseTask{Arities: map[string]int{"R": 2}, FDs: []accesscheck.FD{sigma}, Sigma: sigma}),
+		accesscheck.NewCheckTask(nil, nil), // invalid: must fail alone
+	}
+	items := accesscheck.DoBatch(context.Background(), tasks)
+	if len(items) != len(tasks) {
+		t.Fatalf("items = %d, want %d", len(items), len(tasks))
+	}
+	wantKinds := []accesscheck.TaskKind{
+		accesscheck.TaskCheck, accesscheck.TaskContainment,
+		accesscheck.TaskRelevance, accesscheck.TaskChase,
+	}
+	for i, want := range wantKinds {
+		if items[i].Err != nil {
+			t.Errorf("item %d: %v", i, items[i].Err)
+			continue
+		}
+		if items[i].Result.Kind != want {
+			t.Errorf("item %d kind = %v, want %v", i, items[i].Result.Kind, want)
+		}
+	}
+	if items[1].Result != nil && items[1].Result.Verdict != csc.WantContained {
+		t.Errorf("containment verdict = %v, want %v", items[1].Result.Verdict, csc.WantContained)
+	}
+	if items[2].Result != nil && items[2].Result.Verdict != rsc.WantVerdict {
+		t.Errorf("relevance verdict = %v, want %v", items[2].Result.Verdict, rsc.WantVerdict)
+	}
+	if items[4].Err == nil || !strings.Contains(items[4].Err.Error(), "nil schema") {
+		t.Errorf("invalid item error = %v, want nil-schema validation failure", items[4].Err)
+	}
+}

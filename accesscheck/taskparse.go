@@ -1,0 +1,383 @@
+package accesscheck
+
+// Textual front-ends for task inputs — the syntax the CLI flags and the
+// server wire format share:
+//
+//	datalog rule   "Path(x,y) :- Edge(x,y)"  /  "Goal() :- Path(x,y)"
+//	FD             "R:0,1->2"        (positions of R: {0,1} determine 2)
+//	ID             "R[0,1]<=S[2,3]"  (R's columns 0,1 included in S's 2,3)
+//	fact           "Address('Smith',7,true)"   (typed by the relation)
+//	arity          "R:3"
+//
+// Terms in rules are bare identifiers for variables and literals for
+// constants: single- or double-quoted strings, integers, true/false.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"accltl/internal/fo"
+	"accltl/internal/instance"
+	"accltl/internal/schema"
+)
+
+// ParseProgram reads a datalog program from one rule per string plus the
+// goal predicate name. A rule is "Head(args) :- Atom(args), Atom(args)" or a
+// bodyless fact "Head(args)"; an optional trailing period is ignored.
+func ParseProgram(rules []string, goal string) (*DatalogProgram, error) {
+	goal = strings.TrimSpace(goal)
+	if goal == "" {
+		return nil, fmt.Errorf("accesscheck: ParseProgram: empty goal predicate")
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("accesscheck: ParseProgram: no rules")
+	}
+	p := &DatalogProgram{Goal: fo.PlainPred(goal)}
+	for _, src := range rules {
+		r, err := parseRule(src)
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseRule(src string) (DatalogRule, error) {
+	s := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), "."))
+	if s == "" {
+		return DatalogRule{}, fmt.Errorf("accesscheck: empty datalog rule")
+	}
+	headSrc, bodySrc, hasBody := strings.Cut(s, ":-")
+	head, err := parseRuleAtom(headSrc)
+	if err != nil {
+		return DatalogRule{}, fmt.Errorf("accesscheck: rule %q: %v", src, err)
+	}
+	rule := DatalogRule{Head: head}
+	if hasBody {
+		atoms, err := splitTopLevel(bodySrc)
+		if err != nil {
+			return DatalogRule{}, fmt.Errorf("accesscheck: rule %q: %v", src, err)
+		}
+		for _, a := range atoms {
+			atom, err := parseRuleAtom(a)
+			if err != nil {
+				return DatalogRule{}, fmt.Errorf("accesscheck: rule %q: %v", src, err)
+			}
+			rule.Body = append(rule.Body, atom)
+		}
+	}
+	return rule, nil
+}
+
+func parseRuleAtom(src string) (fo.Atom, error) {
+	s := strings.TrimSpace(src)
+	name, rest, hasArgs := strings.Cut(s, "(")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return fo.Atom{}, fmt.Errorf("atom %q has no predicate name", src)
+	}
+	atom := fo.Atom{Pred: fo.PlainPred(name)}
+	if !hasArgs {
+		return atom, nil
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasSuffix(rest, ")") {
+		return fo.Atom{}, fmt.Errorf("atom %q: unbalanced parentheses", src)
+	}
+	inner := strings.TrimSpace(strings.TrimSuffix(rest, ")"))
+	if inner == "" {
+		return atom, nil
+	}
+	args, err := splitArgs(inner)
+	if err != nil {
+		return fo.Atom{}, fmt.Errorf("atom %q: %v", src, err)
+	}
+	for _, a := range args {
+		t, err := parseTerm(a)
+		if err != nil {
+			return fo.Atom{}, fmt.Errorf("atom %q: %v", src, err)
+		}
+		atom.Args = append(atom.Args, t)
+	}
+	return atom, nil
+}
+
+// parseTerm reads one rule term: a quoted string, integer or boolean is a
+// constant; anything else is a variable name.
+func parseTerm(src string) (fo.Term, error) {
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return fo.Term{}, fmt.Errorf("empty term")
+	}
+	if quoted(s) {
+		return fo.Const(instance.Str(s[1 : len(s)-1])), nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return fo.Const(instance.Int(n)), nil
+	}
+	switch s {
+	case "true":
+		return fo.Const(instance.Bool(true)), nil
+	case "false":
+		return fo.Const(instance.Bool(false)), nil
+	}
+	return fo.Var(s), nil
+}
+
+func quoted(s string) bool {
+	return len(s) >= 2 &&
+		((s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"'))
+}
+
+// splitTopLevel splits on commas outside parentheses and quotes — the body
+// atom separator.
+func splitTopLevel(s string) ([]string, error) {
+	var out []string
+	depth := 0
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced parentheses in %q", s)
+			}
+		case c == ',' && depth == 0:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if depth != 0 || quote != 0 {
+		return nil, fmt.Errorf("unbalanced parentheses or quotes in %q", s)
+	}
+	out = append(out, s[start:])
+	for i := range out {
+		if strings.TrimSpace(out[i]) == "" {
+			return nil, fmt.Errorf("empty element in %q", s)
+		}
+	}
+	return out, nil
+}
+
+// splitArgs splits an argument list on commas outside quotes.
+func splitArgs(s string) ([]string, error) {
+	var out []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ',':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if quote != 0 {
+		return nil, fmt.Errorf("unbalanced quotes in %q", s)
+	}
+	out = append(out, s[start:])
+	return out, nil
+}
+
+// ParseFD reads a functional dependency "R:0,1->2": the source positions of
+// R determine the target position.
+func ParseFD(src string) (FD, error) {
+	rel, rest, ok := strings.Cut(src, ":")
+	if !ok {
+		return FD{}, fmt.Errorf("accesscheck: bad FD %q (want R:src,...->target)", src)
+	}
+	srcPart, dstPart, ok := strings.Cut(rest, "->")
+	if !ok {
+		return FD{}, fmt.Errorf("accesscheck: bad FD %q (want R:src,...->target)", src)
+	}
+	fd := FD{Rel: strings.TrimSpace(rel)}
+	if fd.Rel == "" {
+		return FD{}, fmt.Errorf("accesscheck: bad FD %q: empty relation", src)
+	}
+	var err error
+	if fd.Source, err = parsePositions(srcPart); err != nil {
+		return FD{}, fmt.Errorf("accesscheck: bad FD %q: %v", src, err)
+	}
+	fd.Target, err = strconv.Atoi(strings.TrimSpace(dstPart))
+	if err != nil || fd.Target < 0 {
+		return FD{}, fmt.Errorf("accesscheck: bad FD %q: bad target position %q", src, dstPart)
+	}
+	return fd, nil
+}
+
+// ParseID reads an inclusion dependency "R[0,1]<=S[2,3]" (the ASCII form of
+// R[0,1] ⊆ S[2,3]; "⊆" is accepted too).
+func ParseID(src string) (ID, error) {
+	s := strings.ReplaceAll(src, "⊆", "<=")
+	left, right, ok := strings.Cut(s, "<=")
+	if !ok {
+		return ID{}, fmt.Errorf("accesscheck: bad ID %q (want R[pos,...]<=S[pos,...])", src)
+	}
+	var id ID
+	var err error
+	if id.SrcRel, id.SrcPos, err = parseRelPositions(left); err != nil {
+		return ID{}, fmt.Errorf("accesscheck: bad ID %q: %v", src, err)
+	}
+	if id.DstRel, id.DstPos, err = parseRelPositions(right); err != nil {
+		return ID{}, fmt.Errorf("accesscheck: bad ID %q: %v", src, err)
+	}
+	if len(id.SrcPos) != len(id.DstPos) {
+		return ID{}, fmt.Errorf("accesscheck: bad ID %q: position lists differ in length", src)
+	}
+	return id, nil
+}
+
+func parseRelPositions(s string) (string, []int, error) {
+	s = strings.TrimSpace(s)
+	name, rest, ok := strings.Cut(s, "[")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" || !strings.HasSuffix(rest, "]") {
+		return "", nil, fmt.Errorf("want Rel[pos,...], got %q", s)
+	}
+	pos, err := parsePositions(strings.TrimSuffix(rest, "]"))
+	if err != nil {
+		return "", nil, err
+	}
+	return name, pos, nil
+}
+
+func parsePositions(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad position %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseArity reads a relation arity declaration "R:3".
+func ParseArity(src string) (string, int, error) {
+	name, num, ok := strings.Cut(src, ":")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return "", 0, fmt.Errorf("accesscheck: bad arity %q (want R:n)", src)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(num))
+	if err != nil || n < 1 {
+		return "", 0, fmt.Errorf("accesscheck: bad arity %q: want a positive count", src)
+	}
+	return name, n, nil
+}
+
+// ParseFact reads one typed fact "Rel(v1,v2,...)" against the schema: each
+// value is coerced to the relation's column type (strings may be quoted;
+// they must be when they would parse as another type).
+func ParseFact(sch *Schema, src string) (string, Tuple, error) {
+	s := strings.TrimSpace(src)
+	name, rest, ok := strings.Cut(s, "(")
+	name = strings.TrimSpace(name)
+	if !ok || !strings.HasSuffix(rest, ")") {
+		return "", nil, fmt.Errorf("accesscheck: bad fact %q (want Rel(v,...))", src)
+	}
+	rel, okRel := sch.Relation(name)
+	if !okRel {
+		return "", nil, fmt.Errorf("accesscheck: fact %q names unknown relation %q", src, name)
+	}
+	inner := strings.TrimSpace(strings.TrimSuffix(rest, ")"))
+	var args []string
+	if inner != "" {
+		var err error
+		args, err = splitArgs(inner)
+		if err != nil {
+			return "", nil, fmt.Errorf("accesscheck: bad fact %q: %v", src, err)
+		}
+	}
+	if len(args) != rel.Arity() {
+		return "", nil, fmt.Errorf("accesscheck: fact %q has %d values; relation %s has arity %d", src, len(args), name, rel.Arity())
+	}
+	t := make(Tuple, len(args))
+	for i, a := range args {
+		v, err := coerceValue(a, rel.TypeAt(i))
+		if err != nil {
+			return "", nil, fmt.Errorf("accesscheck: bad fact %q: %v", src, err)
+		}
+		t[i] = v
+	}
+	return name, t, nil
+}
+
+// ParseInstance builds an instance over the schema from textual facts.
+func ParseInstance(sch *Schema, facts []string) (*Instance, error) {
+	in := NewInstance(sch)
+	for _, f := range facts {
+		rel, t, err := ParseFact(sch, f)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := in.Add(rel, t); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// ParseBinding coerces textual values to the method's input types.
+func ParseBinding(m *AccessMethod, vals []string) (Tuple, error) {
+	types := m.InputTypes()
+	if len(vals) != len(types) {
+		return nil, fmt.Errorf("accesscheck: binding has %d values; method %s takes %d inputs", len(vals), m.Name(), len(types))
+	}
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		val, err := coerceValue(v, types[i])
+		if err != nil {
+			return nil, fmt.Errorf("accesscheck: bad binding for %s: %v", m.Name(), err)
+		}
+		t[i] = val
+	}
+	return t, nil
+}
+
+func coerceValue(src string, typ schema.Type) (Value, error) {
+	s := strings.TrimSpace(src)
+	switch typ {
+	case schema.TypeString:
+		if quoted(s) {
+			s = s[1 : len(s)-1]
+		}
+		return Str(s), nil
+	case schema.TypeInt:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%q is not an int", src)
+		}
+		return Int(n), nil
+	case schema.TypeBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("%q is not a bool", src)
+		}
+		return Bool(b), nil
+	default:
+		return Value{}, fmt.Errorf("unknown column type %v", typ)
+	}
+}

@@ -1,8 +1,9 @@
-// acclcheck is the satisfiability checker CLI: declare a schema with access
-// methods, give an AccLTL formula in the textual syntax of
-// accesscheck.ParseFormula, and the tool classifies the formula into its
-// Table 1 fragment, dispatches the matching solver, and prints the verdict
-// with a witness path.
+// acclcheck is the paper-surface CLI of the accesscheck facade. The -task
+// flag selects the decision problem; the default is the original
+// satisfiability check: declare a schema with access methods, give an
+// AccLTL formula in the textual syntax of accesscheck.ParseFormula, and
+// the tool classifies the formula into its Table 1 fragment, dispatches
+// the matching solver, and prints the verdict with a witness path.
 //
 // Example (the introduction's query on the phone-directory schema):
 //
@@ -12,6 +13,16 @@
 //	  -method 'AcM1:Mobile#:0' \
 //	  -method 'AcM2:Address:0,1' \
 //	  -f '(![exists n,p,s,ph. pre Mobile#(n,p,s,ph)]) U [exists n,s,pc,h. bind AcM1(n) & pre Address(s,pc,n,h)]'
+//
+// The other tasks:
+//
+//	-task containment  -mode ucq      -q1 ... -q2 ...
+//	                   -mode datalog  -rule 'P(x) :- E(x,y)' ... -goal P -q2 ... [-depth n]
+//	                   -mode access   -rel ... -method ... -q1 ... -q2 ... [-seed 'R(v,...)'] [-depth n]
+//	-task relevance    -rel ... -method ... -q ...
+//	                   probe mode:            -probe M -bind v,... [-grounded] [-depth n]
+//	                   accessible-part mode:  -hidden 'R(v,...)' ... [-seed 'R(v,...)' ...]
+//	-task chase        -arity R:2 ... [-fd 'R:0->1' ...] [-id 'R[0]<=S[1]' ...] -sigma 'R:0->1' [-steps n]
 package main
 
 import (
@@ -19,48 +30,44 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"accltl/accesscheck"
 )
 
 func main() {
-	var rels, methods accesscheck.MultiFlag
+	var rels, methods, rules, seedFacts, hiddenFacts, arities, fds, ids accesscheck.MultiFlag
 	flag.Var(&rels, "rel", "relation declaration Name:type,type,... (repeatable)")
 	flag.Var(&methods, "method", "access method declaration Name:Relation:pos,pos,... (repeatable; empty position list = free scan)")
-	formula := flag.String("f", "", "AccLTL formula (see accesscheck.ParseFormula syntax)")
-	grounded := flag.Bool("grounded", false, "restrict to grounded access paths")
-	idempotent := flag.Bool("idempotent", false, "restrict to idempotent paths")
-	exact := flag.String("exact", "", "comma-separated methods restricted to exact responses ('*' = all)")
-	depth := flag.Int("depth", 0, "witness length bound (0 = derived from the formula)")
+	task := flag.String("task", "check", "decision problem: check, containment, relevance or chase")
+	formula := flag.String("f", "", "AccLTL formula (task check; see accesscheck.ParseFormula syntax)")
+	grounded := flag.Bool("grounded", false, "restrict to grounded access paths (check, relevance)")
+	idempotent := flag.Bool("idempotent", false, "restrict to idempotent paths (check)")
+	exact := flag.String("exact", "", "comma-separated methods restricted to exact responses ('*' = all; check)")
+	depth := flag.Int("depth", 0, "search depth bound (0 = derived)")
 	timeout := flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
+
+	mode := flag.String("mode", "ucq", "containment mode: ucq, datalog or access")
+	q1 := flag.String("q1", "", "left-hand positive sentence (containment)")
+	q2 := flag.String("q2", "", "right-hand positive sentence (containment)")
+	flag.Var(&rules, "rule", "datalog rule 'Head(x) :- Body(x,y)' (repeatable; containment -mode datalog)")
+	goal := flag.String("goal", "", "datalog goal predicate (containment -mode datalog)")
+	flag.Var(&seedFacts, "seed", "initially known fact 'Rel(v,...)' (repeatable; containment -mode access, relevance)")
+
+	probe := flag.String("probe", "", "boolean access method whose long-term relevance is asked (relevance)")
+	bind := flag.String("bind", "", "comma-separated probe input values (relevance)")
+	query := flag.String("q", "", "boolean positive query (relevance)")
+	flag.Var(&hiddenFacts, "hidden", "concealed fact 'Rel(v,...)' (repeatable; relevance accessible-part mode)")
+
+	flag.Var(&arities, "arity", "relation arity 'R:2' (repeatable; chase)")
+	flag.Var(&fds, "fd", "functional dependency 'R:0,1->2' (repeatable; chase)")
+	flag.Var(&ids, "id", "inclusion dependency 'R[0,1]<=S[2,3]' (repeatable; chase)")
+	sigma := flag.String("sigma", "", "the FD whose implication is asked (chase)")
+	steps := flag.Int("steps", 0, "chase step budget (0 = default 10000; chase)")
 	flag.Parse()
 
-	if *formula == "" || len(rels) == 0 {
-		flag.Usage()
-		log.Fatal("acclcheck: -f and at least one -rel are required")
-	}
-
-	sch, err := accesscheck.ParseSchema(rels, methods)
-	if err != nil {
-		log.Fatal(err)
-	}
-	f, err := accesscheck.ParseFormula(*formula)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	opts := []accesscheck.Option{
-		accesscheck.WithExactSpec(*exact),
-		accesscheck.WithMaxDepth(*depth),
-	}
-	if *grounded {
-		opts = append(opts, accesscheck.WithGrounded())
-	}
-	if *idempotent {
-		opts = append(opts, accesscheck.WithIdempotentOnly())
-	}
-	chk, err := accesscheck.NewChecker(opts...)
+	kind, err := accesscheck.ParseTaskKind(*task)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,6 +77,48 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	switch kind {
+	case accesscheck.TaskCheck:
+		runCheck(ctx, rels, methods, *formula, *grounded, *idempotent, *exact, *depth)
+	case accesscheck.TaskContainment:
+		runContainment(ctx, *mode, *q1, *q2, rules, *goal, rels, methods, seedFacts, *depth)
+	case accesscheck.TaskRelevance:
+		runRelevance(ctx, rels, methods, *probe, *bind, *query, hiddenFacts, seedFacts, *grounded, *depth)
+	case accesscheck.TaskChase:
+		runChase(ctx, arities, fds, ids, *sigma, *steps)
+	}
+}
+
+func runCheck(ctx context.Context, rels, methods []string, formula string, grounded, idempotent bool, exact string, depth int) {
+	if formula == "" || len(rels) == 0 {
+		flag.Usage()
+		log.Fatal("acclcheck: -f and at least one -rel are required")
+	}
+
+	sch, err := accesscheck.ParseSchema(rels, methods)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := accesscheck.ParseFormula(formula)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := []accesscheck.Option{
+		accesscheck.WithExactSpec(exact),
+		accesscheck.WithMaxDepth(depth),
+	}
+	if grounded {
+		opts = append(opts, accesscheck.WithGrounded())
+	}
+	if idempotent {
+		opts = append(opts, accesscheck.WithIdempotentOnly())
+	}
+	chk, err := accesscheck.NewChecker(opts...)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	frag, ok := accesscheck.Classify(f).Fragment()
@@ -100,4 +149,195 @@ func main() {
 	}
 	fmt.Printf("explored %d path prefixes in %s (engine %s)\n",
 		res.PathsExplored, res.Elapsed.Round(time.Microsecond), res.Engine)
+}
+
+func runContainment(ctx context.Context, mode, q1Src, q2Src string, rules []string, goal string, rels, methods, seedFacts []string, depth int) {
+	m, err := accesscheck.ParseContainmentMode(mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if q2Src == "" {
+		log.Fatal("acclcheck: -task containment requires -q2")
+	}
+	q2, err := accesscheck.ParseSentence(q2Src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var t *accesscheck.Task
+	switch m {
+	case accesscheck.ContainUCQ:
+		q1 := mustSentence(q1Src, "-q1")
+		t = accesscheck.NewUCQContainmentTask(q1, q2)
+	case accesscheck.ContainDatalog:
+		prog, err := accesscheck.ParseProgram(rules, goal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t = accesscheck.NewDatalogContainmentTask(prog, q2, depth)
+	case accesscheck.ContainAccess:
+		sch, err := accesscheck.ParseSchema(rels, methods)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q1 := mustSentence(q1Src, "-q1")
+		seed, err := parseOptionalInstance(sch, seedFacts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t = accesscheck.NewAccessContainmentTask(sch, q1, q2, seed, depth)
+	}
+
+	res, err := accesscheck.Do(ctx, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Containment
+	fmt.Printf("mode:     %s (engine %s)\n", rep.Mode, res.Engine)
+	if rep.Contained {
+		fmt.Println("verdict:  CONTAINED")
+	} else {
+		fmt.Println("verdict:  NOT CONTAINED")
+	}
+	if !rep.Exact {
+		fmt.Printf("note: verdict is relative to the bound (depth %d) — not exact\n", rep.DepthBound)
+	}
+	if rep.Counterexample != "" {
+		fmt.Println("counterexample:", rep.Counterexample)
+	}
+	if rep.Witness != nil {
+		fmt.Println("witness: ", rep.Witness)
+	}
+	switch rep.Mode {
+	case accesscheck.ContainDatalog:
+		fmt.Printf("checked %d expansions in %s\n", rep.ExpansionsChecked, res.Elapsed.Round(time.Microsecond))
+	case accesscheck.ContainAccess:
+		fmt.Printf("explored %d path prefixes in %s\n", rep.PathsExplored, res.Elapsed.Round(time.Microsecond))
+	default:
+		fmt.Printf("decided in %s\n", res.Elapsed.Round(time.Microsecond))
+	}
+}
+
+func runRelevance(ctx context.Context, rels, methods []string, probe, bind, querySrc string, hiddenFacts, seedFacts []string, grounded bool, depth int) {
+	sch, err := accesscheck.ParseSchema(rels, methods)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := mustSentence(querySrc, "-q")
+	rt := &accesscheck.RelevanceTask{
+		Schema:   sch,
+		Probe:    probe,
+		Query:    query,
+		Grounded: grounded,
+		MaxDepth: depth,
+	}
+	if rt.Hidden, err = parseOptionalInstance(sch, hiddenFacts); err != nil {
+		log.Fatal(err)
+	}
+	if rt.Seed, err = parseOptionalInstance(sch, seedFacts); err != nil {
+		log.Fatal(err)
+	}
+	if probe != "" && bind != "" {
+		m, ok := sch.Method(probe)
+		if !ok {
+			log.Fatalf("acclcheck: schema has no method %q", probe)
+		}
+		if rt.Binding, err = accesscheck.ParseBinding(m, strings.Split(bind, ",")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := accesscheck.Do(ctx, accesscheck.NewRelevanceTask(rt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Relevance
+	if probe != "" {
+		if rep.Relevant {
+			fmt.Printf("verdict:  RELEVANT — %s can still matter to the query\n", probe)
+		} else {
+			fmt.Printf("verdict:  NOT RELEVANT (within depth %d)\n", rep.Depth)
+		}
+		if res.Truncated {
+			fmt.Println("note: the search hit a cap — the verdict is relative to it")
+		}
+		if rep.Witness != nil {
+			fmt.Println("witness: ", rep.Witness)
+		}
+		fmt.Printf("explored %d path prefixes in %s (engine %s)\n",
+			rep.PathsExplored, res.Elapsed.Round(time.Microsecond), res.Engine)
+	} else {
+		if rep.Answer {
+			fmt.Println("verdict:  query HOLDS on the accessible part")
+		} else {
+			fmt.Println("verdict:  query does NOT hold on the accessible part")
+		}
+		fmt.Printf("accessible part: %d tuples (engine %s, %s)\n",
+			rep.Accessible.Size(), res.Engine, res.Elapsed.Round(time.Microsecond))
+	}
+}
+
+func runChase(ctx context.Context, aritySpecs, fdSpecs, idSpecs []string, sigmaSrc string, steps int) {
+	ct := &accesscheck.ChaseTask{
+		Arities:    make(map[string]int, len(aritySpecs)),
+		StepBudget: steps,
+	}
+	for _, a := range aritySpecs {
+		rel, n, err := accesscheck.ParseArity(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ct.Arities[rel] = n
+	}
+	for _, src := range fdSpecs {
+		fd, err := accesscheck.ParseFD(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ct.FDs = append(ct.FDs, fd)
+	}
+	for _, src := range idSpecs {
+		id, err := accesscheck.ParseID(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ct.IDs = append(ct.IDs, id)
+	}
+	if sigmaSrc == "" {
+		log.Fatal("acclcheck: -task chase requires -sigma")
+	}
+	sigma, err := accesscheck.ParseFD(sigmaSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct.Sigma = sigma
+
+	res, err := accesscheck.Do(ctx, accesscheck.NewChaseTask(ct))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Chase
+	fmt.Printf("verdict:  %s\n", strings.ToUpper(rep.Verdict))
+	if !rep.Terminated {
+		fmt.Printf("note: the chase exhausted its %d-step budget before a fixpoint — raise -steps\n", rep.Budget)
+	}
+	fmt.Printf("chased %d steps to %d tuples in %s (engine %s)\n",
+		rep.Steps, rep.Tuples, res.Elapsed.Round(time.Microsecond), res.Engine)
+}
+
+func mustSentence(src, flagName string) accesscheck.Sentence {
+	if src == "" {
+		log.Fatalf("acclcheck: %s is required for this task/mode", flagName)
+	}
+	q, err := accesscheck.ParseSentence(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q
+}
+
+func parseOptionalInstance(sch *accesscheck.Schema, facts []string) (*accesscheck.Instance, error) {
+	if len(facts) == 0 {
+		return nil, nil
+	}
+	return accesscheck.ParseInstance(sch, facts)
 }

@@ -12,7 +12,6 @@ import (
 
 	"accltl/accesscheck"
 	"accltl/internal/autom"
-	"accltl/internal/fo"
 	"accltl/internal/workload"
 )
 
@@ -107,8 +106,8 @@ func main() {
 	// built directly against the automaton layer, since parity is exactly
 	// what the AccLTL facade cannot say.
 	parity := autom.New(sch, 2, 0)
-	parity.MustAddTransition(0, fo.Truth{Val: true}, 1)
-	parity.MustAddTransition(1, fo.Truth{Val: true}, 0)
+	parity.MustAddTransition(0, accesscheck.TrueSentence(), 1)
+	parity.MustAddTransition(1, accesscheck.TrueSentence(), 0)
 	parity.SetAccepting(1)
 	res, err := parity.IsEmpty(autom.EmptinessOptions{Context: ctx, MaxDepth: 3})
 	check(err)

@@ -3,15 +3,16 @@
 // every configuration reachable by a grounded access path that satisfies Q1
 // also satisfies Q2. The paper expresses this as validity of the AccLTL
 // formula G¬(Q1^pre ∧ ¬Q2^pre); this example runs the dual satisfiability
-// check and shows how groundedness changes the verdict.
+// check through the facade's task API and shows how groundedness changes
+// the verdict.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"accltl/accesscheck"
-	"accltl/internal/relevance"
 )
 
 func main() {
@@ -36,26 +37,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+
 	// Classically, "some Detail row" does not imply "some Catalog row".
 	// Under grounded access patterns it does: the only way to reveal a
 	// Detail row is to first learn its id from a Catalog scan.
-	res, err := relevance.ContainedUnderAccessPatterns(s, qDetail, qCatalog, nil, 4)
+	res, err := accesscheck.Do(ctx, accesscheck.NewAccessContainmentTask(s, qDetail, qCatalog, nil, 4))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nQ1 = %s\nQ2 = %s\n", qDetail, qCatalog)
-	fmt.Println("formula checked:", res.Formula)
-	fmt.Println("contained under grounded access patterns:", res.Contained)
+	fmt.Println("formula checked:", res.Containment.Formula)
+	fmt.Println("contained under grounded access patterns:", res.Verdict)
 
 	// The reverse containment fails — a catalog row can be revealed while
 	// Detail stays empty — and the checker produces the counterexample
 	// path.
-	res, err = relevance.ContainedUnderAccessPatterns(s, qCatalog, qDetail, nil, 4)
+	res, err = accesscheck.Do(ctx, accesscheck.NewAccessContainmentTask(s, qCatalog, qDetail, nil, 4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nreverse containment: %v\n", res.Contained)
-	if !res.Contained && res.Counterexample.Witness != nil {
-		fmt.Println("counterexample path:", res.Counterexample.Witness)
+	fmt.Printf("\nreverse containment: %v\n", res.Verdict)
+	if !res.Verdict && res.Containment.Witness != nil {
+		fmt.Println("counterexample path:", res.Containment.Witness)
 	}
 }

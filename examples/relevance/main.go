@@ -3,20 +3,20 @@
 // it uncovers a query answer that would be missed without it. The example
 // also computes the accessible part of a hidden database (the maximal
 // answers of [15]) to show what grounded iteration can and cannot reach.
+// Everything runs through the facade's task API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"accltl/accesscheck"
-	"accltl/internal/fo"
-	"accltl/internal/instance"
-	"accltl/internal/relevance"
 	"accltl/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
 	phone := workload.MustPhone()
 	hidden := phone.SmithJonesUniverse()
 	fmt.Println("hidden database:", hidden)
@@ -27,56 +27,69 @@ func main() {
 
 	// Part 1 — maximal answers. Starting from knowing only "Smith", the
 	// brute-force iteration reaches Jones's address row; starting from
-	// "Jones" it does not (Jones has no Mobile# entry).
+	// "Jones" it does not (Jones has no Mobile# entry). An accessible-part
+	// relevance task answers both the maximal answer and the part itself.
 	for _, seedName := range []string{"Smith", "Jones"} {
-		seed := instance.NewInstance(phone.Schema)
-		seed.MustAdd("Mobile#", instance.Str(seedName), instance.Str("pc"), instance.Str("st"), instance.Int(0))
-		ans, err := relevance.MaximalAnswer(phone.Schema, q, hidden, seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		acc, err := relevance.AccessiblePart(phone.Schema, hidden, seed)
+		seed := accesscheck.NewInstance(phone.Schema)
+		seed.MustAdd("Mobile#", accesscheck.Str(seedName), accesscheck.Str("pc"), accesscheck.Str("st"), accesscheck.Int(0))
+		res, err := accesscheck.Do(ctx, accesscheck.NewRelevanceTask(&accesscheck.RelevanceTask{
+			Schema: phone.Schema,
+			Query:  q,
+			Hidden: hidden,
+			Seed:   seed,
+		}))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nseed name %q: accessible part has %d tuples; Q answered: %v\n",
-			seedName, acc.Size(), ans)
+			seedName, res.Relevance.Accessible.Size(), res.Relevance.Answer)
 	}
 
 	// Part 2 — long-term relevance via the Example 2.3 AccLTL formula
 	// F(¬Q^pre ∧ IsBind(b̄) ∧ Q^post). We add a boolean probe method on
 	// Address (declared through the facade's text front-end) and ask
 	// whether probing a specific row is LTR for Q.
-	probe, err := accesscheck.AddMethod(phone.Schema, "probeAddr:Address:0,1,2,3")
-	if err != nil {
+	if _, err := accesscheck.AddMethod(phone.Schema, "probeAddr:Address:0,1,2,3"); err != nil {
 		log.Fatal(err)
 	}
 
-	jonesRow := instance.Tuple{instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Jones"), instance.Int(16)}
-	smithRow := instance.Tuple{instance.Str("Parks Rd"), instance.Str("OX13QD"), instance.Str("Smith"), instance.Int(13)}
+	jonesRow := accesscheck.Tuple{accesscheck.Str("Parks Rd"), accesscheck.Str("OX13QD"), accesscheck.Str("Jones"), accesscheck.Int(16)}
+	smithRow := accesscheck.Tuple{accesscheck.Str("Parks Rd"), accesscheck.Str("OX13QD"), accesscheck.Str("Smith"), accesscheck.Int(13)}
 
 	qPlain := phone.JonesQuery()
-	for name, row := range map[string]instance.Tuple{"Jones row": jonesRow, "Smith row": smithRow} {
-		res, err := relevance.LongTermRelevant(phone.Schema, probe, row, qPlain, relevance.LTROptions{})
+	for name, row := range map[string]accesscheck.Tuple{"Jones row": jonesRow, "Smith row": smithRow} {
+		res, err := accesscheck.Do(ctx, accesscheck.NewRelevanceTask(&accesscheck.RelevanceTask{
+			Schema:  phone.Schema,
+			Probe:   "probeAddr",
+			Binding: row,
+			Query:   qPlain,
+		}))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nprobe %s %s\n  formula:  %s\n  relevant: %v\n", name, row, res.Formula, res.Relevant)
-		if res.Relevant && res.Witness != nil && res.Witness.Witness != nil {
-			fmt.Println("  witness: ", res.Witness.Witness)
+		rep := res.Relevance
+		fmt.Printf("\nprobe %s %s\n  formula:  %s\n  relevant: %v\n", name, row, rep.Formula, rep.Relevant)
+		if rep.Relevant && rep.Witness != nil {
+			fmt.Println("  witness: ", rep.Witness)
 		}
 	}
 
 	// A probe that can never matter: a row whose name is not Jones can
 	// never flip Q — compare the verdicts above. Probing for a query over
 	// a relation nothing reveals is also irrelevant:
-	unrelated := fo.Ex([]string{"n", "p", "s", "ph"}, fo.Atom{
-		Pred: fo.PlainPred("Mobile#"),
-		Args: []fo.Term{fo.Var("n"), fo.Var("p"), fo.Var("s"), fo.Const(instance.Int(99))},
-	})
-	res, err := relevance.LongTermRelevant(phone.Schema, probe, jonesRow, unrelated, relevance.LTROptions{MaxDepth: 2})
+	unrelated, err := accesscheck.ParseSentence(`exists n,p,s. Mobile#(n,p,s,99)`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nprobe Jones row against a Mobile#-only query: relevant = %v\n", res.Relevant)
+	res, err := accesscheck.Do(ctx, accesscheck.NewRelevanceTask(&accesscheck.RelevanceTask{
+		Schema:   phone.Schema,
+		Probe:    "probeAddr",
+		Binding:  jonesRow,
+		Query:    unrelated,
+		MaxDepth: 2,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprobe Jones row against a Mobile#-only query: relevant = %v\n", res.Relevance.Relevant)
 }

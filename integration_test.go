@@ -9,7 +9,6 @@ import (
 	"accltl/internal/access"
 	"accltl/internal/instance"
 	"accltl/internal/lts"
-	"accltl/internal/relevance"
 	"accltl/internal/workload"
 )
 
@@ -141,16 +140,21 @@ func TestIntegrationRelevancePipeline(t *testing.T) {
 	hidden := phone.SmithJonesUniverse()
 	seed := instance.NewInstance(phone.Schema)
 	seed.MustAdd("Mobile#", instance.Str("Smith"), instance.Str("x"), instance.Str("y"), instance.Int(0))
-	acc, err := relevance.AccessiblePart(phone.Schema, hidden, seed)
+	res, err := accesscheck.Do(context.Background(), accesscheck.NewRelevanceTask(&accesscheck.RelevanceTask{
+		Schema: phone.Schema,
+		Query:  phone.JonesQuery(),
+		Hidden: hidden,
+		Seed:   seed,
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := relevance.MaximalAnswer(phone.Schema, phone.JonesQuery(), hidden, seed)
-	if err != nil {
-		t.Fatal(err)
+	rep := res.Relevance
+	if !rep.Answer || rep.Accessible.Count("Address") != 2 {
+		t.Errorf("accessible part wrong: ans=%v addresses=%d", rep.Answer, rep.Accessible.Count("Address"))
 	}
-	if !ans || acc.Count("Address") != 2 {
-		t.Errorf("accessible part wrong: ans=%v addresses=%d", ans, acc.Count("Address"))
+	if res.Engine != "datalog-fixpoint" || res.Truncated {
+		t.Errorf("envelope wrong: engine=%q truncated=%v", res.Engine, res.Truncated)
 	}
 }
 

@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 
 	"accltl/internal/fo"
@@ -32,6 +33,14 @@ type Expansion struct {
 // for the program restricted to proof trees of that height; truncated
 // reports whether any unfolding was cut off by the bound.
 func (p *Program) Expansions(maxDepth int) ([]Expansion, bool, error) {
+	return p.ExpansionsCtx(context.Background(), maxDepth)
+}
+
+// ExpansionsCtx is Expansions honouring a context: cancellation or deadline
+// expiry aborts the breadth-first unfolding promptly with the context's
+// error, so a served containment check cannot outlive its budget inside a
+// recursive program's expansion space.
+func (p *Program) ExpansionsCtx(ctx context.Context, maxDepth int) ([]Expansion, bool, error) {
 	if err := p.Validate(); err != nil {
 		return nil, false, err
 	}
@@ -60,7 +69,15 @@ func (p *Program) Expansions(maxDepth int) ([]Expansion, bool, error) {
 	truncated := false
 	seen := make(map[string]bool)
 	queue := []state{{atoms: []fo.Atom{{Pred: p.Goal, Args: goalArgs}}, depth: 0}}
+	polled := 0
 	for len(queue) > 0 {
+		// Poll the context every few dequeues: recursive programs can have
+		// expansion spaces exponential in the depth bound.
+		if polled++; polled&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		// Find first intensional atom.
@@ -213,18 +230,27 @@ func (p *Program) DefaultContainmentDepth() int {
 // first-order sentence phi over the extensional schema (Proposition 4.11).
 // depth == 0 uses DefaultContainmentDepth.
 func (p *Program) ContainedIn(phi fo.Formula, depth int) (ContainmentResult, error) {
+	return p.ContainedInCtx(context.Background(), phi, depth)
+}
+
+// ContainedInCtx is ContainedIn honouring a context throughout expansion
+// enumeration and per-expansion evaluation.
+func (p *Program) ContainedInCtx(ctx context.Context, phi fo.Formula, depth int) (ContainmentResult, error) {
 	if err := fo.CheckPositiveSentence(phi); err != nil {
 		return ContainmentResult{}, err
 	}
 	if depth == 0 {
 		depth = p.DefaultContainmentDepth()
 	}
-	exps, truncated, err := p.Expansions(depth)
+	exps, truncated, err := p.ExpansionsCtx(ctx, depth)
 	if err != nil {
 		return ContainmentResult{}, err
 	}
 	res := ContainmentResult{Contained: true, DepthBound: depth}
 	for _, e := range exps {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		db, _, ok := e.CQ.CanonicalDB()
 		if !ok {
 			continue

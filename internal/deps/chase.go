@@ -1,6 +1,7 @@
 package deps
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -86,19 +87,37 @@ func (c *chaseState) key(t chaseTuple) string {
 	return strings.Join(parts, "|")
 }
 
+// ChaseStats reports the work a chase performed: fired chase steps (FD
+// equations plus ID tuple additions) and the final tableau size.
+type ChaseStats struct {
+	Steps  int
+	Tuples int
+	Budget int
+}
+
 // Implies runs the chase to decide whether gamma implies sigma, with the
 // given step budget (0 = 10000 steps). For FD-only gamma the chase always
 // terminates, so the verdict is never Unknown.
 func Implies(gamma Set, sigma FD, arities map[string]int, budget int) (ImplicationVerdict, error) {
+	v, _, err := Chase(context.Background(), gamma, sigma, arities, budget)
+	return v, err
+}
+
+// Chase is the stats-carrying, context-aware form of Implies: the standard
+// FD+ID chase run to fixpoint or budget under ctx, reporting how many steps
+// fired and how large the tableau grew — the numbers a served chase endpoint
+// surfaces alongside the verdict.
+func Chase(ctx context.Context, gamma Set, sigma FD, arities map[string]int, budget int) (ImplicationVerdict, ChaseStats, error) {
 	if budget == 0 {
 		budget = 10000
 	}
+	stats := ChaseStats{Budget: budget}
 	if len(gamma.Disjointness) != 0 {
-		return Unknown, fmt.Errorf("deps: disjointness constraints have no chase rule; implication over FDs+IDs only")
+		return Unknown, stats, fmt.Errorf("deps: disjointness constraints have no chase rule; implication over FDs+IDs only")
 	}
 	n, ok := arities[sigma.Rel]
 	if !ok {
-		return Unknown, fmt.Errorf("deps: arity of %s unknown", sigma.Rel)
+		return Unknown, stats, fmt.Errorf("deps: arity of %s unknown", sigma.Rel)
 	}
 	st := &chaseState{arity: arities}
 	// Tableau: two tuples agreeing exactly on sigma.Source.
@@ -115,6 +134,10 @@ func Implies(gamma Set, sigma FD, arities map[string]int, budget int) (Implicati
 
 	steps := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			stats.Steps, stats.Tuples = steps, len(st.tuples)
+			return Unknown, stats, err
+		}
 		changed := false
 		// FD rules: equate targets of tuples agreeing on sources.
 		for _, fd := range gamma.FDs {
@@ -149,7 +172,8 @@ func Implies(gamma Set, sigma FD, arities map[string]int, budget int) (Implicati
 		for _, id := range gamma.IDs {
 			dstArity, ok := st.arity[id.DstRel]
 			if !ok {
-				return Unknown, fmt.Errorf("deps: arity of %s unknown", id.DstRel)
+				stats.Steps, stats.Tuples = steps, len(st.tuples)
+				return Unknown, stats, fmt.Errorf("deps: arity of %s unknown", id.DstRel)
 			}
 			for _, t := range st.tuples {
 				if t.rel != id.SrcRel {
@@ -174,14 +198,15 @@ func Implies(gamma Set, sigma FD, arities map[string]int, budget int) (Implicati
 			}
 		}
 		st.tuples = append(st.tuples, added...)
+		stats.Steps, stats.Tuples = steps, len(st.tuples)
 		if st.find(a.vals[sigma.Target]) == st.find(b.vals[sigma.Target]) {
-			return Implied, nil
+			return Implied, stats, nil
 		}
 		if !changed {
-			return NotImplied, nil
+			return NotImplied, stats, nil
 		}
 		if steps > budget {
-			return Unknown, nil
+			return Unknown, stats, nil
 		}
 	}
 }

@@ -14,6 +14,7 @@
 package relevance
 
 import (
+	"context"
 	"fmt"
 
 	"accltl/internal/accltl"
@@ -125,6 +126,17 @@ func MaximalAnswer(sch *schema.Schema, q fo.Formula, hidden, seed *instance.Inst
 	return fo.Eval(q, instStructure{acc})
 }
 
+// QueryHolds evaluates the boolean positive query q directly on an instance
+// (typically an accessible part already computed by AccessiblePart), letting
+// callers that need both the subinstance and the verdict evaluate the
+// fixpoint once.
+func QueryHolds(q fo.Formula, in *instance.Instance) (bool, error) {
+	if err := fo.CheckPositiveSentence(q); err != nil {
+		return false, err
+	}
+	return fo.Eval(q, instStructure{in})
+}
+
 // instStructure adapts an instance to fo.Structure over Plain predicates.
 type instStructure struct{ in *instance.Instance }
 
@@ -188,6 +200,9 @@ func LTRFormula(method *schema.AccessMethod, binding instance.Tuple, q fo.Formul
 
 // LTROptions configures a long-term-relevance check.
 type LTROptions struct {
+	// Context, when non-nil, is honoured throughout the search loops so a
+	// served relevance check aborts promptly on deadline or cancellation.
+	Context context.Context
 	// Grounded restricts to grounded paths ("dependent accesses" of [3]).
 	Grounded bool
 	// Universe overrides the witness universe.
@@ -218,6 +233,7 @@ func LongTermRelevant(sch *schema.Schema, method *schema.AccessMethod, binding i
 		return LTRResult{}, err
 	}
 	res, err := accltl.SolvePlusDirect(f, accltl.SolveOptions{
+		Context:  opts.Context,
 		Schema:   sch,
 		Grounded: opts.Grounded,
 		Universe: opts.Universe,
@@ -260,11 +276,18 @@ type ContainmentResult struct {
 // the containment formula. seed supplies initially known values (the
 // paper's I0); nil means accesses must start from input-free methods.
 func ContainedUnderAccessPatterns(sch *schema.Schema, q1, q2 fo.Formula, seed *instance.Instance, maxDepth int) (ContainmentResult, error) {
+	return ContainedUnderAccessPatternsCtx(context.Background(), sch, q1, q2, seed, maxDepth)
+}
+
+// ContainedUnderAccessPatternsCtx is ContainedUnderAccessPatterns honouring
+// a context throughout the bounded search.
+func ContainedUnderAccessPatternsCtx(ctx context.Context, sch *schema.Schema, q1, q2 fo.Formula, seed *instance.Instance, maxDepth int) (ContainmentResult, error) {
 	f, err := ContainmentFormula(q1, q2)
 	if err != nil {
 		return ContainmentResult{}, err
 	}
 	res, err := accltl.SolveBounded(f, accltl.SolveOptions{
+		Context:  ctx,
 		Schema:   sch,
 		Grounded: true,
 		Initial:  seed,

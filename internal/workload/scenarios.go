@@ -1,0 +1,196 @@
+package workload
+
+// Served-scenario emitters: textual containment and relevance scenarios
+// with expected verdicts, in exactly the syntax the accesscheck facade's
+// text front-ends (ParseSchema, ParseSentence, ParseProgram, ParseInstance)
+// and the accesscheck/server wire format accept. Everything is plain
+// strings, so one scenario can drive the facade task API and the HTTP
+// routes and a differential test can require the two agree.
+
+// ContainmentScenario is one textual containment question plus its known
+// verdict. Mode selects which fields are meaningful, mirroring
+// accesscheck.ContainmentTask: "ucq" reads Q1/Q2; "datalog" reads
+// Rules/Goal/Q2/Depth; "access" reads Relations/Methods/Q1/Q2/Seed/Depth.
+type ContainmentScenario struct {
+	Name               string
+	Mode               string
+	Q1, Q2             string
+	Rules              []string
+	Goal               string
+	Relations, Methods []string
+	Seed               []string
+	Depth              int
+	// WantContained is the expected verdict; WantExact whether it must be
+	// unconditional (refutations always are; recursive-program
+	// confirmations are depth-relative).
+	WantContained bool
+	WantExact     bool
+}
+
+// ContainmentScenarios emits one scenario per containment mode and
+// polarity — the served surface of Example 2.2 and Proposition 4.11.
+func ContainmentScenarios() []ContainmentScenario {
+	tc := []string{
+		"Path(x,y) :- Edge(x,y)",
+		"Path(x,z) :- Edge(x,y), Path(y,z)",
+		"Goal() :- Path(x,y)",
+	}
+	catalog := []string{"Catalog:int", "Detail:int"}
+	catalogMethods := []string{"scanCatalog:Catalog", "lookupDetail:Detail:0"}
+	return []ContainmentScenario{
+		{
+			Name:          "ucq-contained",
+			Mode:          "ucq",
+			Q1:            "exists x,y. Edge(x,y) & Edge(y,x)",
+			Q2:            "exists x,y. Edge(x,y)",
+			WantContained: true,
+			WantExact:     true,
+		},
+		{
+			Name:          "ucq-not-contained",
+			Mode:          "ucq",
+			Q1:            "exists x,y. Edge(x,y)",
+			Q2:            "exists x,y. Edge(x,y) & Edge(y,x)",
+			WantContained: false,
+			WantExact:     true,
+		},
+		{
+			Name:  "datalog-contained-depth-relative",
+			Mode:  "datalog",
+			Rules: tc,
+			Goal:  "Goal",
+			Q2:    "exists x,y. Edge(x,y)",
+			Depth: 4,
+			// Every expansion of the transitive closure uses an edge, but
+			// the program is recursive: the depth-4 confirmation cannot
+			// speak for deeper expansions.
+			WantContained: true,
+			WantExact:     false,
+		},
+		{
+			Name:          "datalog-refuted",
+			Mode:          "datalog",
+			Rules:         tc,
+			Goal:          "Goal",
+			Q2:            "exists x. Edge(x,x)",
+			Depth:         4,
+			WantContained: false,
+			WantExact:     true,
+		},
+		{
+			Name:      "access-contained",
+			Mode:      "access",
+			Relations: catalog,
+			Methods:   catalogMethods,
+			// Under grounded access patterns a Detail row can only be
+			// revealed after its id came out of a Catalog scan (Example
+			// 2.2), so "some Detail" does imply "some Catalog".
+			Q1:            "exists x. Detail(x)",
+			Q2:            "exists x. Catalog(x)",
+			Depth:         4,
+			WantContained: true,
+			WantExact:     true,
+		},
+		{
+			Name:          "access-refuted",
+			Mode:          "access",
+			Relations:     catalog,
+			Methods:       catalogMethods,
+			Q1:            "exists x. Catalog(x)",
+			Q2:            "exists x. Detail(x)",
+			Depth:         4,
+			WantContained: false,
+			WantExact:     true,
+		},
+	}
+}
+
+// RelevanceScenario is one textual relevance question plus its known
+// verdict. A non-empty Probe selects long-term-relevance mode (Example
+// 2.3); an empty Probe selects accessible-part mode over Hidden/Seed.
+type RelevanceScenario struct {
+	Name               string
+	Relations, Methods []string
+	Probe              string
+	Binding            []string
+	Query              string
+	Hidden, Seed       []string
+	MaxDepth           int
+	// WantVerdict is the expected headline verdict: Relevant in probe
+	// mode, the maximal answer in accessible-part mode.
+	WantVerdict bool
+}
+
+// phoneRelations / phoneMethods are the Figure 1 schema in
+// accesscheck.ParseSchema syntax; probeAddr is the Example 2.3 boolean
+// probe.
+func phoneRelations() []string {
+	return []string{"Mobile#:string,string,string,int", "Address:string,string,string,int"}
+}
+
+func phoneMethods(withProbe bool) []string {
+	ms := []string{"AcM1:Mobile#:0", "AcM2:Address:0,1"}
+	if withProbe {
+		ms = append(ms, "probeAddr:Address:0,1,2,3")
+	}
+	return ms
+}
+
+// smithJonesFacts is SmithJonesUniverse as textual facts.
+func smithJonesFacts() []string {
+	return []string{
+		`Mobile#("Smith","OX13QD","Parks Rd",5551212)`,
+		`Address("Parks Rd","OX13QD","Smith",13)`,
+		`Address("Parks Rd","OX13QD","Jones",16)`,
+	}
+}
+
+// RelevanceScenarios emits the Figure 1 accessible-part questions and the
+// Example 2.3 long-term-relevance probes with their known verdicts.
+func RelevanceScenarios() []RelevanceScenario {
+	jones := `exists x,y,z. Address(x,y,"Jones",z)`
+	return []RelevanceScenario{
+		{
+			Name:      "accessible-part-smith-reaches-jones",
+			Relations: phoneRelations(),
+			Methods:   phoneMethods(false),
+			Query:     jones,
+			Hidden:    smithJonesFacts(),
+			Seed:      []string{`Mobile#("Smith","x","y",0)`},
+			// Knowing Smith's name unlocks the Mobile# lookup, whose street
+			// and postcode unlock the Address scan that reveals Jones.
+			WantVerdict: true,
+		},
+		{
+			Name:      "accessible-part-jones-dead-end",
+			Relations: phoneRelations(),
+			Methods:   phoneMethods(false),
+			Query:     jones,
+			Hidden:    smithJonesFacts(),
+			Seed:      []string{`Mobile#("Jones","x","y",0)`},
+			// Jones has no Mobile# tuple, so the seed unlocks nothing.
+			WantVerdict: false,
+		},
+		{
+			Name:      "ltr-jones-row-relevant",
+			Relations: phoneRelations(),
+			Methods:   phoneMethods(true),
+			Probe:     "probeAddr",
+			Binding:   []string{"Parks Rd", "OX13QD", "Jones", "16"},
+			Query:     jones,
+			// Probing Jones's own row can flip Q from false to true.
+			WantVerdict: true,
+		},
+		{
+			Name:      "ltr-unrelated-query-irrelevant",
+			Relations: phoneRelations(),
+			Methods:   phoneMethods(true),
+			Probe:     "probeAddr",
+			Binding:   []string{"Parks Rd", "OX13QD", "Jones", "16"},
+			Query:     `exists n,p,s. Mobile#(n,p,s,99)`,
+			MaxDepth:  2,
+			// An Address probe can never flip a Mobile#-only query.
+			WantVerdict: false,
+		},
+	}
+}

@@ -100,6 +100,29 @@ for i, (f, d) in enumerate(zip(fabric, direct)):
 print(f"verdicts match on all {len(fabric)} items")
 EOF
 
+echo "== containment task through the coordinator"
+containment='{
+  "mode": "access",
+  "relations": ["Catalog:int", "Detail:int"],
+  "methods": ["scanCatalog:Catalog", "lookupDetail:Detail:0"],
+  "q1": "exists x. Detail(x)",
+  "q2": "exists x. Catalog(x)",
+  "depth": 4
+}'
+curl -fsS -X POST "$C/v1/containment" -H 'Content-Type: application/json' \
+  -d "$containment" > "$workdir/containment.json"
+python3 - "$workdir/containment.json" <<'EOF'
+import json, sys
+out = json.load(open(sys.argv[1]))
+if out.get("contained") is not True or out.get("exact") is not True:
+    sys.exit(f"access containment verdict wrong: {out}")
+if not out.get("engine"):
+    sys.exit(f"containment answer names no engine: {out}")
+print("containment forwarded through the coordinator: OK")
+EOF
+curl -fsS "$C/metrics" | grep -q '^accserve_coordinator_task_forwards_total{task="containment"} [1-9]' || {
+  echo "coordinator forwarded no containment task" >&2; exit 1; }
+
 echo "== coordinator health and metrics"
 curl -fsS "$C/healthz" | grep -q '"status":"ok"' || { echo "coordinator not healthy" >&2; exit 1; }
 curl -fsS "$C/metrics" | grep -q '^accserve_fabric_shards_dispatched_total [1-9]' || {

@@ -415,6 +415,15 @@ type Result struct {
 	ResponsesCapped bool
 	// AutomatonStates is the compiled state count (EngineAutomaton only).
 	AutomatonStates int
+	// ShardsCompleted / ShardsTotal state coverage explicitly when the
+	// search ran a shard subset (WithShards) or was merged from one by a
+	// fabric coordinator: how many canonical root shards the verdict
+	// covers out of the plan's total. Both are zero for whole-space runs.
+	// Completed < Total alongside Satisfiable=false and Truncated means
+	// Unknown — no witness in the explored region, nothing claimed about
+	// the rest.
+	ShardsCompleted int
+	ShardsTotal     int
 	// Elapsed is the wall time of the solve.
 	Elapsed time.Duration
 }
@@ -522,6 +531,21 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 	// path cap: fold both into Truncated so no caller (or cache) mistakes
 	// a capped search for an exact one.
 	res.Truncated = sr.Truncated || sr.ResponsesCapped
+	if len(c.shards) > 0 {
+		// Shard-subset run: tag the verdict with its coverage so a partial
+		// answer is honest on its face. The plan derivation is a pure
+		// re-enumeration (no search), so its cost is negligible next to the
+		// solve; best-effort — a plan error leaves the totals at zero
+		// rather than failing a verdict already in hand.
+		distinct := make(map[int]bool, len(c.shards))
+		for _, idx := range c.shards {
+			distinct[idx] = true // duplicates collapse, like in the engine
+		}
+		res.ShardsCompleted = len(distinct)
+		if plan, _, err := c.ShardPlan(context.Background(), sch, f); err == nil {
+			res.ShardsTotal = len(plan)
+		}
+	}
 	return res, nil
 }
 

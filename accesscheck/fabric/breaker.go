@@ -1,0 +1,203 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the position of a per-worker circuit breaker.
+//
+//	closed    — dispatches flow normally; consecutive failures are counted.
+//	open      — every dispatch is denied locally until the cooldown elapses,
+//	            so a worker that just died stops absorbing retries.
+//	half-open — the cooldown elapsed; exactly one trial request is admitted.
+//	            Its success closes the breaker, its failure reopens it for
+//	            another full cooldown.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state as it appears on /v1/workers and /metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes the per-worker circuit breakers; zero values select
+// the defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips a closed
+	// breaker open (default 3). Any success resets the streak.
+	Threshold int
+	// Cooldown is how long an open breaker denies dispatches before
+	// admitting one half-open trial request (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker is one worker's circuit breaker: a closed → open → half-open
+// state machine driven by dispatch feedback. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	cfg    BreakerConfig
+	now    func() time.Time
+	onOpen func() // counted by the owning registry; may be nil
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive failures while closed (sticky at threshold once open)
+	openedAt time.Time
+	trial    bool // a half-open trial request is in flight
+}
+
+// NewBreaker builds a breaker. clock may be nil (time.Now); onOpen, when
+// non-nil, fires on every transition into the open state.
+func NewBreaker(cfg BreakerConfig, clock func() time.Time, onOpen func()) *Breaker {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Breaker{cfg: cfg.withDefaults(), now: clock, onOpen: onOpen}
+}
+
+// Allow reports whether a dispatch may proceed right now. It is the
+// admission side of the state machine: closed always admits; open admits
+// nothing until the cooldown elapses, then flips to half-open and admits
+// exactly one trial; half-open denies everything while that trial is in
+// flight. A granted half-open admission MUST be answered by OnSuccess or
+// OnFailure, or the breaker stays stuck waiting for its trial.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// OnSuccess records a successful exchange: any state closes, the failure
+// streak resets.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.trial = false
+}
+
+// OnFailure records a failed exchange. Closed breakers count the streak
+// and trip open at the threshold; a half-open trial failure reopens for a
+// fresh cooldown. Failures reported while already open (e.g. a concurrent
+// in-flight request that was admitted before the trip) do not push the
+// cooldown back — the clock runs from the transition.
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerOpen:
+		b.failures++
+	}
+}
+
+// open transitions to the open state; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.trial = false
+	if b.onOpen != nil {
+		b.onOpen()
+	}
+}
+
+// onProbeSuccess records a successful health probe. Unlike OnSuccess it
+// only clears the failure streak of a closed breaker: an open breaker is
+// protecting against a worker that answers probes but fails real work
+// (flapping), so only a successful half-open *dispatch* trial may close it.
+func (b *Breaker) onProbeSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerClosed {
+		b.failures = 0
+	}
+}
+
+// State reports the current position without side effects. An open breaker
+// whose cooldown has elapsed still reads open — the transition to
+// half-open happens on admission (Allow), not observation.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// ready reports, side-effect-free, whether Allow would currently admit a
+// dispatch, and when it would not, how long until it might (the remaining
+// cooldown). Used to build candidate sets and Retry-After hints without
+// consuming the half-open trial slot.
+func (b *Breaker) ready() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		if rem := b.cfg.Cooldown - b.now().Sub(b.openedAt); rem > 0 {
+			return false, rem
+		}
+		return true, 0
+	default: // half-open
+		if b.trial {
+			// The in-flight trial resolves on its own schedule; suggest a
+			// short horizon rather than a full cooldown.
+			return false, time.Second
+		}
+		return true, 0
+	}
+}
+
+// snapshot returns state and failure streak for status reporting.
+func (b *Breaker) snapshot() (BreakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.failures
+}

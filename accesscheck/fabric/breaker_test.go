@@ -1,0 +1,190 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	clock := newFakeClock()
+	var opens atomic.Int64
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 5 * time.Second},
+		clock.Now, func() { opens.Add(1) })
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("new breaker state = %v", b.State())
+	}
+	// Failures below the threshold keep it closed; a success resets the
+	// streak entirely.
+	b.OnFailure()
+	b.OnFailure()
+	b.OnSuccess()
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after interrupted streak = %v, want closed", b.State())
+	}
+	b.OnFailure() // third consecutive: trips
+	if b.State() != BreakerOpen {
+		t.Fatalf("state at threshold = %v, want open", b.State())
+	}
+	if opens.Load() != 1 {
+		t.Fatalf("opens = %d, want 1", opens.Load())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a dispatch inside the cooldown")
+	}
+	// Failures while open must NOT push the cooldown back.
+	clock.Advance(4 * time.Second)
+	b.OnFailure()
+	clock.Advance(1500 * time.Millisecond) // 5.5s since the trip
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no half-open trial admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after trial admission = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	// Trial failure: reopen for a fresh cooldown.
+	b.OnFailure()
+	if b.State() != BreakerOpen || opens.Load() != 2 {
+		t.Fatalf("state after failed trial = %v (opens %d), want open (2)", b.State(), opens.Load())
+	}
+	clock.Advance(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed but no trial admitted")
+	}
+	// Trial success: close and reset.
+	b.OnSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied a dispatch")
+	}
+}
+
+func TestBreakerProbeSuccessCannotCloseOpenBreaker(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute}, clock.Now, nil)
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	// A flapping worker answers health probes while failing real work; the
+	// probe must not restore traffic.
+	b.onProbeSuccess()
+	if b.State() != BreakerOpen {
+		t.Fatal("probe success closed an open breaker")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted after probe success")
+	}
+	// But on a closed breaker, a probe success clears the (sub-threshold)
+	// failure streak.
+	b2 := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Minute}, clock.Now, nil)
+	b2.OnFailure()
+	b2.onProbeSuccess()
+	b2.OnFailure() // would trip if the streak had survived the probe
+	if b2.State() != BreakerClosed {
+		t.Fatal("probe success did not clear a closed breaker's streak")
+	}
+}
+
+func TestBreakerReadyIsSideEffectFree(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 10 * time.Second}, clock.Now, nil)
+	b.OnFailure()
+	ok, rem := b.ready()
+	if ok || rem != 10*time.Second {
+		t.Fatalf("ready() = %v, %v; want false, 10s", ok, rem)
+	}
+	clock.Advance(4 * time.Second)
+	if _, rem := b.ready(); rem != 6*time.Second {
+		t.Fatalf("remaining cooldown = %v, want 6s", rem)
+	}
+	clock.Advance(7 * time.Second)
+	ok, _ = b.ready()
+	if !ok {
+		t.Fatal("ready() false after cooldown elapsed")
+	}
+	// ready must not have consumed the trial: state still reads open, and
+	// Allow still grants exactly one admission.
+	if b.State() != BreakerOpen {
+		t.Fatalf("ready() transitioned state to %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("trial not admitted after ready()")
+	}
+	if b.Allow() {
+		t.Fatal("ready() leaked an extra trial slot")
+	}
+}
+
+// TestBreakerHalfOpenSingleTrialUnderRace hammers Allow from many
+// goroutines at the half-open boundary: exactly one admission may win.
+func TestBreakerHalfOpenSingleTrialUnderRace(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Millisecond}, clock.Now, nil)
+	b.OnFailure()
+	clock.Advance(time.Second) // cooldown elapsed: next Allow flips to half-open
+
+	const goroutines = 32
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Load() != 1 {
+		t.Fatalf("half-open admitted %d concurrent trials, want exactly 1", admitted.Load())
+	}
+	// The winner reports success: everyone flows again.
+	b.OnSuccess()
+	var reAdmitted atomic.Int64
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				reAdmitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if reAdmitted.Load() != goroutines {
+		t.Fatalf("closed breaker admitted %d/%d", reAdmitted.Load(), goroutines)
+	}
+}

@@ -1,0 +1,195 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDispatcherBackoffFullJitter pins the capped full-jitter schedule:
+// sleep before retry k is jitter() * min(MaxBackoff, Backoff*2^(k-1)).
+func TestDispatcherBackoffFullJitter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	jitters := []float64{1.0, 0.5, 1.0, 1.0, 1.0}
+	var draw int
+	d := &Dispatcher{
+		Client:     srv.Client(),
+		Retries:    4,
+		Backoff:    100 * time.Millisecond,
+		MaxBackoff: 300 * time.Millisecond,
+		Jitter: func() float64 {
+			v := jitters[draw%len(jitters)]
+			draw++
+			return v
+		},
+		SleepFn: func(ctx context.Context, dur time.Duration) error {
+			slept = append(slept, dur)
+			return nil
+		},
+	}
+	if _, err := d.Do(context.Background(), srv.URL, sampleShard()); err == nil {
+		t.Fatal("dispatch to a 500ing worker succeeded")
+	}
+	// Uncapped ceilings would be 100, 200, 400, 800ms; MaxBackoff clamps the
+	// tail to 300ms, and the jitter draws scale each ceiling.
+	want := []time.Duration{
+		100 * time.Millisecond, // 1.0 * min(300, 100)
+		100 * time.Millisecond, // 0.5 * min(300, 200)
+		300 * time.Millisecond, // 1.0 * min(300, 400)
+		300 * time.Millisecond, // 1.0 * min(300, 800)
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %d backoffs", slept, len(want))
+	}
+	for i, w := range want {
+		if slept[i] != w {
+			t.Errorf("backoff %d = %v, want %v", i+1, slept[i], w)
+		}
+	}
+	if st := d.Stats(); st.Retried != 4 {
+		t.Errorf("retried = %d, want 4", st.Retried)
+	}
+}
+
+// TestDispatcherBackoffInterruptible: a dying context cuts the sleep short
+// instead of blocking the retry loop.
+func TestDispatcherBackoffInterruptible(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	d := &Dispatcher{
+		Client:  srv.Client(),
+		Retries: 3,
+		Backoff: time.Hour, // would hang forever if the context were ignored
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := d.Do(ctx, srv.URL, sampleShard())
+	if err == nil {
+		t.Fatal("dispatch succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff ignored the dying context (took %v)", elapsed)
+	}
+}
+
+func TestMergeCover(t *testing.T) {
+	t.Run("full cover matches Merge", func(t *testing.T) {
+		parts := []ShardResult{
+			part([]int{0, 1}, false, "", false, 4),
+			part([]int{2}, false, "", false, 2),
+		}
+		res, err := MergeCover(parts, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Merge(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Satisfiable != plain.Satisfiable || res.Truncated != plain.Truncated ||
+			res.PathsExplored != plain.PathsExplored {
+			t.Fatalf("MergeCover diverged from Merge: %+v vs %+v", res, plain)
+		}
+		if res.ShardsCompleted != 3 || res.ShardsTotal != 3 {
+			t.Fatalf("coverage = %d/%d, want 3/3", res.ShardsCompleted, res.ShardsTotal)
+		}
+	})
+
+	t.Run("partial sat is exact", func(t *testing.T) {
+		// A witness from shard 1 settles satisfiability regardless of the
+		// missing shards: the answer is exact, only the coverage is partial.
+		res, err := MergeCover([]ShardResult{part([]int{1}, true, "w1", false, 3)}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Satisfiable || res.Witness != "w1" {
+			t.Fatalf("res = %+v", res)
+		}
+		if res.Truncated {
+			t.Fatal("a found witness must not be reported truncated")
+		}
+		if res.ShardsCompleted != 1 || res.ShardsTotal != 4 {
+			t.Fatalf("coverage = %d/%d, want 1/4", res.ShardsCompleted, res.ShardsTotal)
+		}
+	})
+
+	t.Run("partial unsat is forced truncated", func(t *testing.T) {
+		res, err := MergeCover([]ShardResult{
+			part([]int{0}, false, "", false, 2),
+			part([]int{2}, false, "", false, 2),
+		}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Satisfiable {
+			t.Fatalf("res = %+v", res)
+		}
+		if !res.Truncated {
+			t.Fatal("unsat over partial coverage must be truncated (Unknown)")
+		}
+		if res.ShardsCompleted != 2 || res.ShardsTotal != 4 {
+			t.Fatalf("coverage = %d/%d, want 2/4", res.ShardsCompleted, res.ShardsTotal)
+		}
+	})
+
+	t.Run("guards", func(t *testing.T) {
+		if _, err := MergeCover([]ShardResult{part([]int{0}, false, "", false, 1)}, 0); err == nil {
+			t.Error("planSize 0 accepted")
+		}
+		if _, err := MergeCover([]ShardResult{part([]int{5}, false, "", false, 1)}, 3); err == nil {
+			t.Error("shard index beyond the plan accepted")
+		}
+		if _, err := MergeCover([]ShardResult{
+			part([]int{0}, false, "", false, 1),
+			part([]int{1}, false, "", false, 1),
+		}, 1); err == nil {
+			t.Error("more covered shards than the plan holds accepted")
+		}
+		if _, err := MergeCover(nil, 3); err == nil {
+			t.Error("empty parts accepted")
+		}
+	})
+}
+
+// TestDispatcherDeniedCounter: locally denied dispatches are counted and
+// never reach the wire.
+func TestDispatcherDeniedCounter(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		json.NewEncoder(w).Encode(part([]int{0}, true, "w", false, 1))
+	}))
+	defer srv.Close()
+	reg, err := NewRegistryWithConfig(RegistryConfig{
+		Workers: []string{srv.URL},
+		Client:  srv.Client(),
+		Breaker: BreakerConfig{Threshold: 1, Cooldown: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.MarkDown(srv.URL, "induced")
+	d := &Dispatcher{Client: srv.Client(), Retries: -1, Registry: reg}
+	if _, err := d.Do(context.Background(), srv.URL, sampleShard()); err == nil {
+		t.Fatal("dispatch through an open breaker succeeded")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("denied dispatch reached the worker (%d hits)", hits.Load())
+	}
+	st := d.Stats()
+	if st.Denied != 1 || st.Dispatched != 0 {
+		t.Fatalf("stats = %+v, want 1 denied / 0 dispatched", st)
+	}
+}

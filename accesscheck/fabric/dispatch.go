@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,15 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("fabric: worker %s answered %d: %s", e.Worker, e.Status, e.Body)
 }
 
+// BreakerOpenError is a dispatch denied locally because the worker's
+// circuit breaker is open: no request left the coordinator. It is
+// retryable — DoHedged fails over to the next candidate immediately.
+type BreakerOpenError struct{ Worker string }
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("fabric: breaker open for worker %s", e.Worker)
+}
+
 // retryable reports whether a fresh attempt (same or another worker) could
 // plausibly succeed.
 func retryable(err error) bool {
@@ -41,7 +51,25 @@ func retryable(err error) bool {
 	if errors.As(err, &se) {
 		return se.Status >= 500 && se.Status != http.StatusGatewayTimeout
 	}
-	return true // transport-level failure
+	return true // transport-level failure (or a locally denied breaker)
+}
+
+// BreakerFailure reports whether the error should count toward the
+// worker's circuit breaker: transport-level failures and 5xx answers
+// (except budget-spent 504). A 4xx or 504 proves the worker is reachable
+// and reasoning about the request, so it feeds the breaker as a success;
+// context expiry is the caller's deadline, not the worker's fault, and
+// feeds nothing. Exported so the coordinator's whole-request forward
+// paths apply the same classification as shard dispatch.
+func BreakerFailure(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status >= 500 && se.Status != http.StatusGatewayTimeout
+	}
+	return true
 }
 
 // Dispatcher ships shards to workers over HTTP: POST {worker}/v1/shard
@@ -54,20 +82,37 @@ type Dispatcher struct {
 	// Retries is the number of re-attempts per worker after the first try
 	// (default 2). Only retryable failures are re-attempted.
 	Retries int
-	// Backoff is the first retry delay, doubling per attempt (default
-	// 25ms).
+	// Backoff is the base retry delay (default 25ms). The actual sleep
+	// before retry k is drawn uniformly from [0, min(MaxBackoff,
+	// Backoff·2^(k-1))] — "full jitter", so a fleet of coordinators
+	// retrying against a recovering worker spreads out instead of
+	// hammering it in lockstep.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
 	// HedgeAfter is how long DoHedged waits for the primary before firing
 	// the same shard at the next candidate (default 400ms). The first
 	// success wins and the loser's request is cancelled.
 	HedgeAfter time.Duration
-	// Registry, when set, receives dispatch feedback: transport failures
-	// mark workers down, successful exchanges mark them up.
+	// Registry, when set, supplies the per-worker circuit-breaker gate
+	// (Allow) and receives dispatch feedback: breaker-relevant failures
+	// (transport, 5xx≠504) mark workers down, everything the worker
+	// answered sanely marks them up.
 	Registry *Registry
+	// Failpoints, when armed, is consulted before every outbound shard
+	// request (site "dispatch.send").
+	Failpoints *Failpoints
+	// Jitter returns a uniform draw from [0,1) for backoff jitter
+	// (default math/rand). Injectable for deterministic tests.
+	Jitter func() float64
+	// SleepFn waits the given duration or until ctx dies (default: a
+	// timer). Injectable so retry tests need no wall-clock time.
+	SleepFn func(ctx context.Context, d time.Duration) error
 
 	dispatched atomic.Uint64
 	retried    atomic.Uint64
 	hedged     atomic.Uint64
+	denied     atomic.Uint64
 }
 
 // DispatchStats is a snapshot of the dispatcher's lifetime counters:
@@ -78,6 +123,8 @@ type DispatchStats struct {
 	Dispatched uint64
 	Retried    uint64
 	Hedged     uint64
+	// Denied counts dispatches refused locally by an open breaker.
+	Denied uint64
 }
 
 // Stats snapshots the dispatch counters for /metrics exposition.
@@ -86,6 +133,7 @@ func (d *Dispatcher) Stats() DispatchStats {
 		Dispatched: d.dispatched.Load(),
 		Retried:    d.retried.Load(),
 		Hedged:     d.hedged.Load(),
+		Denied:     d.denied.Load(),
 	}
 }
 
@@ -113,6 +161,41 @@ func (d *Dispatcher) backoff() time.Duration {
 	return 25 * time.Millisecond
 }
 
+func (d *Dispatcher) maxBackoff() time.Duration {
+	if d.MaxBackoff > 0 {
+		return d.MaxBackoff
+	}
+	return 2 * time.Second
+}
+
+func (d *Dispatcher) jitter() float64 {
+	if d.Jitter != nil {
+		return d.Jitter()
+	}
+	return rand.Float64()
+}
+
+// sleepBackoff waits before retry attempt k (1-based) using capped full
+// jitter: uniform in [0, min(MaxBackoff, Backoff·2^(k-1))].
+func (d *Dispatcher) sleepBackoff(ctx context.Context, attempt int) error {
+	ceil := d.maxBackoff()
+	if exp := d.backoff() << (attempt - 1); exp > 0 && exp < ceil {
+		ceil = exp
+	}
+	wait := time.Duration(d.jitter() * float64(ceil))
+	if d.SleepFn != nil {
+		return d.SleepFn(ctx, wait)
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 func (d *Dispatcher) hedgeAfter() time.Duration {
 	if d.HedgeAfter > 0 {
 		return d.HedgeAfter
@@ -121,25 +204,33 @@ func (d *Dispatcher) hedgeAfter() time.Duration {
 }
 
 // Do executes the shard on one worker, retrying retryable failures with
-// exponential backoff until the attempts or the context run out.
+// capped full-jitter backoff until the attempts or the context run out.
+// Every attempt passes the worker's circuit breaker first: a denial fails
+// locally with BreakerOpenError (no request sent, no feedback recorded)
+// so callers can fail over without burning the worker's cooldown.
 func (d *Dispatcher) Do(ctx context.Context, worker string, sh *Shard) (*ShardResult, error) {
 	body, err := sh.Encode()
 	if err != nil {
 		return nil, err
 	}
 	attempts := d.retries() + 1
-	backoff := d.backoff()
-	d.dispatched.Add(1)
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			d.retried.Add(1)
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(backoff):
+			if err := d.sleepBackoff(ctx, i); err != nil {
+				return nil, err
 			}
-			backoff *= 2
+		}
+		if d.Registry != nil && !d.Registry.Allow(worker) {
+			d.denied.Add(1)
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, &BreakerOpenError{Worker: worker}
+		}
+		if i == 0 {
+			d.dispatched.Add(1)
 		}
 		res, err := d.once(ctx, worker, body)
 		if err == nil {
@@ -150,11 +241,12 @@ func (d *Dispatcher) Do(ctx context.Context, worker string, sh *Shard) (*ShardRe
 		}
 		lastErr = err
 		if d.Registry != nil {
-			var se *StatusError
-			if !errors.As(err, &se) && !errors.Is(err, context.Canceled) {
-				// Only transport-level failures demote the worker: an HTTP
-				// answer, even a 5xx, proves the process is reachable.
+			if BreakerFailure(err) {
 				d.Registry.MarkDown(worker, err.Error())
+			} else if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				// A 4xx or 504 answer proves the worker is alive and sane;
+				// count it as contact, not failure.
+				d.Registry.MarkUp(worker)
 			}
 		}
 		if !retryable(err) {
@@ -165,6 +257,21 @@ func (d *Dispatcher) Do(ctx context.Context, worker string, sh *Shard) (*ShardRe
 }
 
 func (d *Dispatcher) once(ctx context.Context, worker string, body []byte) (*ShardResult, error) {
+	if inj := d.Failpoints.Hit(FailDispatchSend); inj != nil {
+		switch inj.Action {
+		case ActDrop:
+			return nil, &FailpointError{Name: FailDispatchSend}
+		case ActErr500:
+			return nil, &StatusError{Status: http.StatusInternalServerError, Worker: worker, Body: "failpoint " + FailDispatchSend}
+		case ActBlackhole:
+			<-ctx.Done()
+			return nil, ctx.Err()
+		case ActDelay:
+			if err := inj.Sleep(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/shard", bytes.NewReader(body))
 	if err != nil {
 		return nil, err

@@ -200,7 +200,13 @@ func TestRegistryProbesAndFeedback(t *testing.T) {
 	}))
 	defer down.Close()
 
-	reg, err := NewRegistry([]string{up.URL, down.URL + "/", up.URL}, up.Client())
+	// Threshold 1: a single failure opens the breaker, so the probe/feedback
+	// assertions below read like the old binary healthy flag.
+	reg, err := NewRegistryWithConfig(RegistryConfig{
+		Workers: []string{up.URL, down.URL + "/", up.URL},
+		Client:  up.Client(),
+		Breaker: BreakerConfig{Threshold: 1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,16 +223,26 @@ func TestRegistryProbesAndFeedback(t *testing.T) {
 	if len(snap) != 2 || !snap[0].Healthy || snap[1].Healthy || snap[1].LastError == "" {
 		t.Errorf("snapshot = %+v", snap)
 	}
+	if snap[1].State != "open" {
+		t.Errorf("failed worker breaker state = %q, want open", snap[1].State)
+	}
 	reg.MarkDown(up.URL, "dispatch failed")
 	if len(reg.Healthy()) != 0 {
 		t.Error("MarkDown ignored")
 	}
+	// MarkUp is a successful dispatch exchange: it closes the breaker from
+	// any state (this is how a half-open trial succeeds).
 	reg.MarkUp(up.URL)
 	if len(reg.Healthy()) != 1 {
 		t.Error("MarkUp ignored")
 	}
 
-	for _, bad := range [][]string{nil, {""}, {"not a url"}, {"/just/a/path"}} {
+	// An empty member list is now legal — the table grows through Join —
+	// but malformed URLs still fail construction.
+	if _, err := NewRegistry(nil, nil); err != nil {
+		t.Errorf("NewRegistry(nil) = %v, want empty table", err)
+	}
+	for _, bad := range [][]string{{""}, {"not a url"}, {"/just/a/path"}} {
 		if _, err := NewRegistry(bad, nil); err == nil {
 			t.Errorf("NewRegistry(%v) accepted", bad)
 		}
@@ -334,7 +350,10 @@ func TestDispatcherFailsOverOnWorkerDeath(t *testing.T) {
 	}))
 	defer alive.Close()
 
-	reg, err := NewRegistry([]string{dead.URL, alive.URL}, nil)
+	reg, err := NewRegistryWithConfig(RegistryConfig{
+		Workers: []string{dead.URL, alive.URL},
+		Breaker: BreakerConfig{Threshold: 1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,244 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseFailpoints(t *testing.T) {
+	fps, err := ParseFailpoints("dispatch.send=drop:1, worker.shard=err500:2+ ,slow=delay:3:200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fps == nil || len(fps.points) != 3 {
+		t.Fatalf("parsed %+v", fps)
+	}
+	if fp := fps.points["slow"]; fp.action != ActDelay || fp.count != 3 || fp.sticky || fp.duration != 200*time.Millisecond {
+		t.Errorf("slow = %+v", fp)
+	}
+	if fp := fps.points["worker.shard"]; fp.action != ActErr500 || fp.count != 2 || !fp.sticky {
+		t.Errorf("worker.shard = %+v", fp)
+	}
+
+	if fps, err := ParseFailpoints("  "); err != nil || fps != nil {
+		t.Errorf("empty spec = %v, %v; want nil, nil", fps, err)
+	}
+	for _, bad := range []string{
+		"noequals", "x=", "x=drop", "x=warp:1", "x=drop:0", "x=drop:-1",
+		"x=drop:one", "x=delay:1:notadur", "x=drop:1:1s:extra", "x=drop:1,x=drop:2",
+	} {
+		if _, err := ParseFailpoints(bad); err == nil {
+			t.Errorf("ParseFailpoints(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFailpointHitOrdinals(t *testing.T) {
+	fps, err := ParseFailpoints("a=drop:2,b=err500:1+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a fires on exactly the 2nd hit.
+	if fps.Hit("a") != nil {
+		t.Error("a fired on hit 1")
+	}
+	if inj := fps.Hit("a"); inj == nil || inj.Action != ActDrop {
+		t.Errorf("a did not fire on hit 2: %+v", inj)
+	}
+	if fps.Hit("a") != nil {
+		t.Error("non-sticky a fired on hit 3")
+	}
+	// b fires on every hit from the 1st.
+	for i := 0; i < 3; i++ {
+		if inj := fps.Hit("b"); inj == nil || inj.Action != ActErr500 {
+			t.Errorf("sticky b did not fire on hit %d", i+1)
+		}
+	}
+	// Unarmed names and nil tables are inert.
+	if fps.Hit("unarmed") != nil {
+		t.Error("unarmed name fired")
+	}
+	var nilFps *Failpoints
+	if nilFps.Hit("a") != nil || nilFps.Fired() != 0 {
+		t.Error("nil table fired")
+	}
+	if fps.Fired() != 4 {
+		t.Errorf("fired = %d, want 4 (one from a, three from b)", fps.Fired())
+	}
+}
+
+// dispatcherTo builds a dispatcher with failpoints against one worker URL.
+func dispatcherTo(srv *httptest.Server, spec string, t *testing.T) *Dispatcher {
+	t.Helper()
+	fps, err := ParseFailpoints(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Dispatcher{
+		Client:     srv.Client(),
+		Backoff:    time.Millisecond,
+		Failpoints: fps,
+	}
+}
+
+func TestFailpointActionsThroughDispatcher(t *testing.T) {
+	want := part([]int{0}, true, "w", false, 1)
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		json.NewEncoder(w).Encode(want)
+	}))
+	defer srv.Close()
+
+	t.Run("drop retries then succeeds", func(t *testing.T) {
+		served.Store(0)
+		d := dispatcherTo(srv, "dispatch.send=drop:1", t)
+		res, err := d.Do(context.Background(), srv.URL, sampleShard())
+		if err != nil || !res.Satisfiable {
+			t.Fatalf("res=%+v err=%v", res, err)
+		}
+		if served.Load() != 1 {
+			t.Errorf("server saw %d requests, want 1 (first was dropped locally)", served.Load())
+		}
+		var fe *FailpointError
+		if !errors.As(&FailpointError{Name: "x"}, &fe) {
+			t.Error("FailpointError does not satisfy errors.As")
+		}
+	})
+
+	t.Run("err500 is retryable", func(t *testing.T) {
+		served.Store(0)
+		d := dispatcherTo(srv, "dispatch.send=err500:1", t)
+		if _, err := d.Do(context.Background(), srv.URL, sampleShard()); err != nil {
+			t.Fatal(err)
+		}
+		if served.Load() != 1 {
+			t.Errorf("server saw %d requests, want 1", served.Load())
+		}
+	})
+
+	t.Run("sticky err500 exhausts retries", func(t *testing.T) {
+		d := dispatcherTo(srv, "dispatch.send=err500:1+", t)
+		_, err := d.Do(context.Background(), srv.URL, sampleShard())
+		var se *StatusError
+		if !errors.As(err, &se) || se.Status != http.StatusInternalServerError {
+			t.Fatalf("err = %v, want injected 500", err)
+		}
+	})
+
+	t.Run("delay stalls then proceeds", func(t *testing.T) {
+		d := dispatcherTo(srv, "dispatch.send=delay:1:30ms", t)
+		start := time.Now()
+		if _, err := d.Do(context.Background(), srv.URL, sampleShard()); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+			t.Errorf("delayed dispatch finished in %v, want >= 30ms", elapsed)
+		}
+	})
+
+	t.Run("blackhole holds until the context dies", func(t *testing.T) {
+		d := dispatcherTo(srv, "dispatch.send=blackhole:1+", t)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		_, err := d.Do(ctx, srv.URL, sampleShard())
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want deadline exceeded", err)
+		}
+	})
+}
+
+// TestBreakerBlocksDispatchUntilHalfOpen is the failpoint-driven breaker
+// proof the issue asks for: a worker whose shard handler 500s trips its
+// breaker; while the breaker is open the worker receives ZERO requests
+// (the hit counter pins it); after the cooldown exactly one half-open
+// trial goes through and, succeeding, closes the breaker.
+func TestBreakerBlocksDispatchUntilHalfOpen(t *testing.T) {
+	want := part([]int{0}, true, "w", false, 1)
+	var healthy atomic.Bool
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(want)
+	}))
+	defer srv.Close()
+
+	clock := newFakeClock()
+	reg, err := NewRegistryWithConfig(RegistryConfig{
+		Workers: []string{srv.URL},
+		Client:  srv.Client(),
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: 10 * time.Second},
+		Clock:   clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Dispatcher{
+		Client:   srv.Client(),
+		Retries:  -1, // isolate breaker behaviour from retry behaviour
+		Registry: reg,
+	}
+
+	// Two failing dispatches trip the threshold-2 breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := d.Do(context.Background(), srv.URL, sampleShard()); err == nil {
+			t.Fatal("dispatch to the failing worker succeeded")
+		}
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("worker saw %d requests during the failure streak, want 2", hits.Load())
+	}
+	if got := reg.Snapshot()[0].State; got != "open" {
+		t.Fatalf("breaker state = %q, want open", got)
+	}
+
+	// Open: every dispatch is denied locally; the worker sees NOTHING.
+	healthy.Store(true) // even though it recovered, the breaker doesn't know yet
+	for i := 0; i < 5; i++ {
+		_, err := d.Do(context.Background(), srv.URL, sampleShard())
+		var boe *BreakerOpenError
+		if !errors.As(err, &boe) {
+			t.Fatalf("dispatch %d: err = %v, want BreakerOpenError", i, err)
+		}
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("open breaker let %d requests through, want 0", hits.Load()-2)
+	}
+	if reg.Stats().BreakerOpens != 1 {
+		t.Fatalf("breaker opens = %d, want 1", reg.Stats().BreakerOpens)
+	}
+
+	// Cooldown elapses: the next dispatch is the single half-open trial;
+	// its success closes the breaker and traffic resumes.
+	clock.Advance(11 * time.Second)
+	res, err := d.Do(context.Background(), srv.URL, sampleShard())
+	if err != nil || !res.Satisfiable {
+		t.Fatalf("half-open trial: res=%+v err=%v", res, err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("worker saw %d requests, want 3 (exactly one trial)", hits.Load())
+	}
+	if got := reg.Snapshot()[0].State; got != "closed" {
+		t.Fatalf("breaker state after successful trial = %q, want closed", got)
+	}
+	if _, err := d.Do(context.Background(), srv.URL, sampleShard()); err != nil {
+		t.Fatalf("dispatch after recovery: %v", err)
+	}
+}
+
+// TestWorkerShardFailpointName pins the site constants the CLI documents.
+func TestWorkerShardFailpointName(t *testing.T) {
+	if FailDispatchSend != "dispatch.send" || FailWorkerShard != "worker.shard" {
+		t.Fatalf("failpoint names drifted: %q, %q", FailDispatchSend, FailWorkerShard)
+	}
+}

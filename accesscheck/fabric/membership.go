@@ -1,0 +1,129 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// JoinRequest is the body of POST /v1/join: a worker announcing its base
+// URL to the coordinator, with an optional lease TTL (Go duration string;
+// empty selects the coordinator's default, oversized requests are
+// clamped).
+type JoinRequest struct {
+	URL string `json:"url"`
+	TTL string `json:"ttl,omitempty"`
+}
+
+// JoinResponse acknowledges a join: the granted lease (zero for permanent
+// members) and the member's registry status.
+type JoinResponse struct {
+	Granted string       `json:"granted_ttl"`
+	Worker  WorkerStatus `json:"worker"`
+}
+
+// Heartbeat is the worker-side membership loop: it joins a coordinator
+// and renews the lease on an interval until the context dies. The worker
+// stays registered as long as the loop runs; once it stops (shutdown or
+// SIGKILL), the lease expires on its own and the coordinator evicts the
+// member from the ring — no explicit leave message is needed, which is
+// exactly the property that makes kill -9 safe.
+type Heartbeat struct {
+	// Coordinator is the coordinator base URL (scheme://host[:port]).
+	Coordinator string
+	// Advertise is the worker's own base URL as the coordinator should
+	// dial it.
+	Advertise string
+	// TTL is the lease to request (zero: coordinator default).
+	TTL time.Duration
+	// Interval between renewals (zero: TTL/3, floor 500ms; if TTL is also
+	// zero, 5s).
+	Interval time.Duration
+	// Client for the join calls (nil: 5s-timeout client).
+	Client *http.Client
+	// OnError, when non-nil, observes failed renewals (the loop keeps
+	// retrying regardless — the coordinator may just be restarting).
+	OnError func(error)
+}
+
+func (h *Heartbeat) interval() time.Duration {
+	if h.Interval > 0 {
+		return h.Interval
+	}
+	if h.TTL > 0 {
+		iv := h.TTL / 3
+		if iv < 500*time.Millisecond {
+			iv = 500 * time.Millisecond
+		}
+		return iv
+	}
+	return 5 * time.Second
+}
+
+func (h *Heartbeat) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// JoinOnce performs a single join/renew call.
+func (h *Heartbeat) JoinOnce(ctx context.Context) (*JoinResponse, error) {
+	reqBody := JoinRequest{URL: h.Advertise}
+	if h.TTL > 0 {
+		reqBody.TTL = h.TTL.String()
+	}
+	buf, err := json.Marshal(reqBody)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		h.Coordinator+"/v1/join", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fabric: join answered %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var jr JoinResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		return nil, fmt.Errorf("fabric: bad join response: %w", err)
+	}
+	return &jr, nil
+}
+
+// Run joins immediately, then renews every interval until ctx is
+// cancelled. Renewal failures are reported to OnError and retried on the
+// next tick; the first join's error is also only reported, not fatal, so
+// a worker may come up before its coordinator.
+func (h *Heartbeat) Run(ctx context.Context) {
+	if _, err := h.JoinOnce(ctx); err != nil && h.OnError != nil && ctx.Err() == nil {
+		h.OnError(err)
+	}
+	t := time.NewTicker(h.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := h.JoinOnce(ctx); err != nil && h.OnError != nil && ctx.Err() == nil {
+				h.OnError(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package fabric
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRegistry(t *testing.T, cfg RegistryConfig) (*Registry, *fakeClock) {
+	t.Helper()
+	clock := newFakeClock()
+	cfg.Clock = clock.Now
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: time.Second}
+	}
+	reg, err := NewRegistryWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, clock
+}
+
+func TestRegistryJoinRenewExpire(t *testing.T) {
+	reg, clock := testRegistry(t, RegistryConfig{DefaultTTL: 10 * time.Second})
+	if got := len(reg.Workers()); got != 0 {
+		t.Fatalf("empty registry has %d workers", got)
+	}
+
+	st, granted, err := reg.Join("http://w1:8080/", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted != 10*time.Second {
+		t.Fatalf("granted = %v, want the 10s default", granted)
+	}
+	if st.URL != "http://w1:8080" || st.Permanent {
+		t.Fatalf("joined status = %+v", st)
+	}
+	if ws := reg.Workers(); len(ws) != 1 || ws[0] != "http://w1:8080" {
+		t.Fatalf("workers after join = %v", ws)
+	}
+
+	// A renewal inside the lease extends it.
+	clock.Advance(8 * time.Second)
+	if _, _, err := reg.Join("http://w1:8080", 0); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(8 * time.Second) // 16s after first join, 8s after renewal
+	if len(reg.Workers()) != 1 {
+		t.Fatal("renewed lease expired early")
+	}
+
+	// No more renewals: the lease lapses and the member evicts lazily.
+	clock.Advance(3 * time.Second)
+	if ws := reg.Workers(); len(ws) != 0 {
+		t.Fatalf("expired member still in ring: %v", ws)
+	}
+	if s := reg.Stats(); s.Joins != 2 || s.Expirations != 1 {
+		t.Fatalf("stats = %+v, want 2 joins / 1 expiration", s)
+	}
+
+	// TTL requests above MaxTTL clamp.
+	_, granted, err = reg.Join("http://w2:8080", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted != 5*time.Minute {
+		t.Fatalf("granted = %v, want the 5m MaxTTL clamp", granted)
+	}
+
+	if _, _, err := reg.Join("not a url", 0); err == nil {
+		t.Error("malformed join URL accepted")
+	}
+}
+
+func TestRegistryPermanentMembersNeverExpire(t *testing.T) {
+	reg, clock := testRegistry(t, RegistryConfig{Workers: []string{"http://perm:1"}})
+	st, granted, err := reg.Join("http://perm:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Permanent || granted != 0 {
+		t.Fatalf("join of permanent member: status %+v, granted %v", st, granted)
+	}
+	clock.Advance(24 * time.Hour)
+	if ws := reg.Workers(); len(ws) != 1 {
+		t.Fatalf("permanent member evicted: %v", ws)
+	}
+}
+
+func TestRegistryRejoinPreservesBreaker(t *testing.T) {
+	reg, clock := testRegistry(t, RegistryConfig{
+		Breaker: BreakerConfig{Threshold: 1, Cooldown: time.Hour},
+	})
+	if _, _, err := reg.Join("http://flappy:1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	reg.MarkDown("http://flappy:1", "boom")
+	if snap := reg.Snapshot(); snap[0].State != "open" {
+		t.Fatalf("state = %q, want open", snap[0].State)
+	}
+	// The flapping worker re-registers: the lease renews, the breaker must
+	// NOT reset — rejoining is not a laundering mechanism.
+	clock.Advance(30 * time.Second)
+	if _, _, err := reg.Join("http://flappy:1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if snap := reg.Snapshot(); snap[0].State != "open" {
+		t.Fatalf("state after rejoin = %q, want still open", snap[0].State)
+	}
+	if reg.Allow("http://flappy:1") {
+		t.Fatal("rejoin granted traffic through an open breaker")
+	}
+}
+
+func TestRegistryLeaseExpiryMidDispatch(t *testing.T) {
+	reg, clock := testRegistry(t, RegistryConfig{})
+	if _, _, err := reg.Join("http://w:1", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Allow("http://w:1") {
+		t.Fatal("fresh member denied")
+	}
+	// The lease dies while a dispatch is in flight: the member leaves the
+	// ring, the in-hand dispatch may proceed (Allow on an unknown/expired
+	// member is the caller's business), and its late feedback is dropped
+	// rather than resurrecting the member.
+	clock.Advance(2 * time.Second)
+	if len(reg.Workers()) != 0 {
+		t.Fatal("expired member still listed")
+	}
+	if !reg.Allow("http://w:1") {
+		t.Fatal("in-flight dispatch to an expired member blocked")
+	}
+	reg.MarkDown("http://w:1", "late failure after expiry")
+	reg.MarkUp("http://w:1")
+	if len(reg.Workers()) != 0 || len(reg.Snapshot()) != 0 {
+		t.Fatal("late feedback resurrected an expired member")
+	}
+}
+
+func TestRegistryAvailableAndRetryHint(t *testing.T) {
+	reg, clock := testRegistry(t, RegistryConfig{
+		Workers: []string{"http://a:1", "http://b:1"},
+		Breaker: BreakerConfig{Threshold: 1, Cooldown: 10 * time.Second},
+	})
+	avail, hint := reg.Available()
+	if len(avail) != 2 || hint != 0 {
+		t.Fatalf("cold Available() = %v, %v", avail, hint)
+	}
+	reg.MarkDown("http://a:1", "x")
+	if avail, _ := reg.Available(); len(avail) != 1 || avail[0] != "http://b:1" {
+		t.Fatalf("Available() with one open breaker = %v", avail)
+	}
+	clock.Advance(3 * time.Second)
+	reg.MarkDown("http://b:1", "x")
+	avail, hint = reg.Available()
+	if len(avail) != 0 {
+		t.Fatalf("Available() with all breakers open = %v", avail)
+	}
+	// The hint is the soonest horizon: a's breaker opened 3s ago, so 7s.
+	if hint != 7*time.Second {
+		t.Fatalf("retry hint = %v, want 7s (soonest cooldown)", hint)
+	}
+	// Past the cooldown, open members become available again (as trial
+	// candidates) without Available consuming the trial slot.
+	clock.Advance(11 * time.Second)
+	if avail, _ := reg.Available(); len(avail) != 2 {
+		t.Fatalf("Available() past cooldown = %v", avail)
+	}
+	if !reg.Allow("http://a:1") {
+		t.Fatal("trial not admitted after Available()")
+	}
+
+	// An empty table hints a default horizon.
+	empty, _ := testRegistry(t, RegistryConfig{})
+	if avail, hint := empty.Available(); len(avail) != 0 || hint != time.Second {
+		t.Fatalf("empty Available() = %v, %v", avail, hint)
+	}
+}
+
+// TestRegistryFlappingUnderRace runs concurrent probes, dispatch feedback,
+// joins and reads against one registry — the -race harness for the
+// membership/breaker locking.
+func TestRegistryFlappingUnderRace(t *testing.T) {
+	flap := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every other probe fails: a flapping worker.
+		if r.URL.Query().Get("n") == "" && time.Now().UnixNano()%2 == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer flap.Close()
+
+	reg, err := NewRegistryWithConfig(RegistryConfig{
+		Workers: []string{flap.URL},
+		Client:  flap.Client(),
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				reg.ProbeAll(context.Background())
+			}
+		}()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if reg.Allow(flap.URL) {
+					if j%2 == 0 {
+						reg.MarkDown(flap.URL, "induced")
+					} else {
+						reg.MarkUp(flap.URL)
+					}
+				}
+				reg.Available()
+				reg.Healthy()
+				reg.Snapshot()
+				if j%10 == 0 {
+					reg.Join(flap.URL, time.Minute) // permanent: no-op renew
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Whatever state the flapping left, the structure must be intact.
+	if len(reg.Workers()) != 1 {
+		t.Fatalf("workers = %v", reg.Workers())
+	}
+	reg.MarkUp(flap.URL)
+	if len(reg.Healthy()) != 1 {
+		t.Fatal("breaker unrecoverable after flapping")
+	}
+}

@@ -34,6 +34,13 @@ type ShardResult struct {
 	PathsExplored int     `json:"paths_explored"`
 	Cached        bool    `json:"cached"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
+	// ShardsCompleted / ShardsTotal state coverage explicitly: how many of
+	// the plan's canonical shards this verdict actually executed, out of
+	// how many the plan holds. A worker answering for its assigned subset
+	// reports len(Shards) / PlanSize; a coordinator merge reports the
+	// union it collected. Completed == Total means a full-cover verdict.
+	ShardsCompleted int `json:"shards_completed,omitempty"`
+	ShardsTotal     int `json:"shards_total,omitempty"`
 }
 
 // Merge folds the partial results of a full partition cover into one
@@ -115,6 +122,45 @@ func Merge(parts []ShardResult) (ShardResult, error) {
 	} else {
 		out.Truncated = trunc
 		out.ResponsesCapped = respCapped
+	}
+	out.ShardsCompleted = len(out.Shards)
+	out.ShardsTotal = len(out.Shards)
+	return out, nil
+}
+
+// MergeCover folds whatever partial results survived dispatch into one
+// coverage-tagged verdict against a plan of planSize canonical shards —
+// the graceful-degradation merge. Witness-over-error priority holds: a
+// verified witness from any completed shard settles the whole check as
+// satisfiable and exact, however many shards are missing. Without a
+// witness, an unsatisfiable claim is only exact under full coverage;
+// under partial coverage the verdict is "no witness in the explored
+// region" — Satisfiable=false with Truncated set and ShardsCompleted <
+// ShardsTotal, which callers surface as Unknown. Partial verdicts must
+// never be cache-admitted (the exact-only admission rule handles that,
+// since partials are always Truncated).
+func MergeCover(parts []ShardResult, planSize int) (ShardResult, error) {
+	if planSize <= 0 {
+		return ShardResult{}, fmt.Errorf("fabric: merge against empty plan")
+	}
+	out, err := Merge(parts)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	if len(out.Shards) > planSize {
+		return ShardResult{}, fmt.Errorf("fabric: merge covers %d shards but the plan holds %d", len(out.Shards), planSize)
+	}
+	for _, idx := range out.Shards {
+		if idx < 0 || idx >= planSize {
+			return ShardResult{}, fmt.Errorf("fabric: merge part covers shard %d outside plan of %d", idx, planSize)
+		}
+	}
+	out.ShardsCompleted = len(out.Shards)
+	out.ShardsTotal = planSize
+	if out.ShardsCompleted < planSize && !out.Satisfiable {
+		// The unexplored shards could hold a witness: the unsat claim is
+		// not exact, whatever the completed slices reported.
+		out.Truncated = true
 	}
 	return out, nil
 }

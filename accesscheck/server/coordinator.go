@@ -43,18 +43,29 @@ import (
 
 // CoordinatorConfig sizes a coordinator.
 type CoordinatorConfig struct {
-	// Workers is the static worker registry: base URLs of accserve worker
-	// processes. At least one is required.
+	// Workers are the permanent members of the membership table: base URLs
+	// of accserve worker processes. May be empty — workers can self-register
+	// via POST /v1/join and keep their TTL lease alive on a heartbeat.
 	Workers []string
 	// Server carries the shared HTTP knobs (DefaultBudget, MaxBatch,
 	// MaxBodyBytes); solver-pool fields (Workers, Parallelism, CacheSize)
 	// are unused by the coordinator, which never solves locally.
 	Server Config
-	// Retries / Backoff / HedgeAfter tune the fabric dispatcher (zero
-	// values select its defaults).
+	// Retries / Backoff / MaxBackoff / HedgeAfter tune the fabric
+	// dispatcher (zero values select its defaults).
 	Retries    int
 	Backoff    time.Duration
+	MaxBackoff time.Duration
 	HedgeAfter time.Duration
+	// Breaker tunes the per-worker circuit breakers (zero values select
+	// the registry defaults: threshold 3, cooldown 5s).
+	Breaker fabric.BreakerConfig
+	// DefaultLeaseTTL is the lease granted to joins that name no TTL
+	// (default 15s).
+	DefaultLeaseTTL time.Duration
+	// Failpoints, when armed, injects deterministic faults into shard
+	// dispatch ("dispatch.send"). Nil in production.
+	Failpoints *fabric.Failpoints
 	// Client is the HTTP client used for worker traffic (default: one with
 	// no global timeout — budgets arrive per request via contexts).
 	Client *http.Client
@@ -77,18 +88,28 @@ type Coordinator struct {
 	forwards      atomic.Uint64
 	dispatchErrs  atomic.Uint64
 	mergeFailures atomic.Uint64
+	partials      atomic.Uint64
+	noWorkers     atomic.Uint64
+	failpoints    *fabric.Failpoints
 	// taskForwards counts whole-task forwards per kind (check forwards are
 	// the plan/worker fallback counted in forwards).
 	taskForwards [numTaskKinds]atomic.Uint64
 }
 
-// NewCoordinator builds a coordinator over a static worker list.
+// NewCoordinator builds a coordinator over a (possibly empty) permanent
+// worker list; the membership table grows and shrinks at runtime through
+// /v1/join leases.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{}
 	}
-	reg, err := fabric.NewRegistry(cfg.Workers, client)
+	reg, err := fabric.NewRegistryWithConfig(fabric.RegistryConfig{
+		Workers:    cfg.Workers,
+		Client:     client,
+		Breaker:    cfg.Breaker,
+		DefaultTTL: cfg.DefaultLeaseTTL,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -104,17 +125,22 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			Client:     client,
 			Retries:    cfg.Retries,
 			Backoff:    cfg.Backoff,
+			MaxBackoff: cfg.MaxBackoff,
 			HedgeAfter: cfg.HedgeAfter,
 			Registry:   reg,
+			Failpoints: cfg.Failpoints,
 		},
-		mux:     http.NewServeMux(),
-		taskChk: taskChk,
+		mux:        http.NewServeMux(),
+		taskChk:    taskChk,
+		failpoints: cfg.Failpoints,
 	}
 	c.mux.HandleFunc("POST /v1/check", c.handleCheck)
 	c.mux.HandleFunc("POST /v1/containment", c.handleContainment)
 	c.mux.HandleFunc("POST /v1/relevance", c.handleRelevance)
 	c.mux.HandleFunc("POST /v1/chase", c.handleChase)
 	c.mux.HandleFunc("POST /v1/batch", c.handleBatch)
+	c.mux.HandleFunc("POST /v1/join", c.handleJoin)
+	c.mux.HandleFunc("GET /v1/workers", c.handleWorkers)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
 	return c, nil
@@ -324,18 +350,20 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 	}
 	fp := chk.Fingerprint(sch, f)
 
-	workers := c.reg.Healthy()
-	if len(workers) == 0 {
-		// Optimistic last resort: probes may be stale; dispatch feedback
-		// will re-mark whatever is genuinely down.
-		workers = c.reg.Workers()
+	// The ring is built over every member — open breakers stay in it so
+	// affinity survives brief outages (the dispatcher's breaker gate skips
+	// them and fails over along the sequence) — but a request only
+	// proceeds if someone could admit it.
+	workers, err := c.availableWorkers()
+	if err != nil {
+		return nil, err
 	}
 	router := fabric.NewRouter(workers)
 
 	plan, _, planErr := chk.ShardPlan(ctx, sch, f)
 	if planErr != nil || len(plan) < 2 || len(workers) < 2 {
 		c.forwards.Add(1)
-		return c.forward(ctx, req, router, fp)
+		return c.forward(ctx, req, router, fp, len(workers))
 	}
 	c.fanouts.Add(1)
 
@@ -405,10 +433,30 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 		merged = append(merged, *parts[i])
 	}
 	if firstErr != nil {
-		// A witness already in hand settles the verdict despite another
-		// group's failure — the same witness-over-error priority the
-		// in-process engine applies across walkers. Unsat partials cannot
-		// stand in for the missing slices, so those fail the request.
+		// Graceful degradation: a shard group that exhausted its retries
+		// and failovers loses its slices, not the request. Whatever
+		// verdicts DID come back merge into a coverage-tagged partial —
+		// witness-over-error priority holds (a witness from any completed
+		// shard settles the whole check, exactly), and without a witness
+		// the answer is Unknown: Satisfiable=false, Truncated,
+		// ShardsCompleted < ShardsTotal. Partials are always Truncated, so
+		// the exact-only cache-admission rule keeps them out of every
+		// cache. Only infrastructure failures degrade: a 4xx means the
+		// request itself is wrong on every worker and fails outright.
+		if len(merged) > 0 && degradable(firstErr) {
+			res, err := fabric.MergeCover(merged, len(plan))
+			if err == nil {
+				c.checks.Add(1)
+				if res.ShardsCompleted < res.ShardsTotal {
+					c.partials.Add(1)
+				}
+				return wireShardMerge(res), nil
+			}
+			c.mergeFailures.Add(1)
+		}
+		// Non-degradable failure: a witness already in hand still settles
+		// the verdict (the in-process engine's witness-over-error
+		// priority); unsat partials cannot stand in for the missing slices.
 		for _, p := range merged {
 			if p.Satisfiable {
 				return wireShardMerge(p), nil
@@ -417,7 +465,7 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 		c.dispatchErrs.Add(1)
 		return nil, dispatchError(firstErr)
 	}
-	res, err := fabric.Merge(merged)
+	res, err := fabric.MergeCover(merged, len(plan))
 	if err != nil {
 		c.mergeFailures.Add(1)
 		return nil, &httpError{status: http.StatusBadGateway, err: err}
@@ -426,10 +474,52 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 	return wireShardMerge(res), nil
 }
 
+// degradable reports whether a shard-group failure may be absorbed into a
+// coverage-tagged partial answer. Infrastructure failures — transport,
+// 5xx, open breakers, a budget that died inside the fabric — degrade; a
+// 4xx means the request itself is wrong on every worker and must fail.
+func degradable(err error) bool {
+	var se *fabric.StatusError
+	if errors.As(err, &se) {
+		return se.Status >= 500
+	}
+	return true
+}
+
+// availableWorkers returns the full membership ring, failing with the
+// structured 503 no_healthy_workers error when the table is empty or no
+// breaker would admit a dispatch.
+func (c *Coordinator) availableWorkers() ([]string, error) {
+	avail, hint := c.reg.Available()
+	if len(avail) == 0 {
+		c.noWorkers.Add(1)
+		return nil, noHealthyWorkersError(hint)
+	}
+	return c.reg.Workers(), nil
+}
+
+// noHealthyWorkersError is the structured 503 the coordinator answers when
+// nothing could accept a dispatch: code "no_healthy_workers" plus a
+// Retry-After derived from the soonest breaker cooldown.
+func noHealthyWorkersError(hint time.Duration) error {
+	secs := int((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return &httpError{
+		status:     http.StatusServiceUnavailable,
+		code:       "no_healthy_workers",
+		retryAfter: secs,
+		err:        fmt.Errorf("no healthy workers: membership table empty or every breaker open"),
+	}
+}
+
 // forward ships the whole check to one worker's /v1/check, trying the
-// fingerprint's preference sequence until a worker answers.
-func (c *Coordinator) forward(ctx context.Context, req CheckRequest, router *fabric.Router, fp string) (*CheckResponse, error) {
-	seq := router.Sequence(fp, 4)
+// fingerprint's full preference sequence until a worker answers. Breaker-
+// open candidates are skipped without a request; feedback uses the same
+// classification as shard dispatch.
+func (c *Coordinator) forward(ctx context.Context, req CheckRequest, router *fabric.Router, fp string, n int) (*CheckResponse, error) {
+	seq := router.Sequence(fp, n)
 	if len(seq) == 0 {
 		return nil, &httpError{status: http.StatusBadGateway, err: fmt.Errorf("no workers available")}
 	}
@@ -439,6 +529,9 @@ func (c *Coordinator) forward(ctx context.Context, req CheckRequest, router *fab
 	}
 	var lastErr error
 	for _, worker := range seq {
+		if !c.reg.Allow(worker) {
+			continue
+		}
 		res, err := c.forwardOnce(ctx, worker, body)
 		if err == nil {
 			c.reg.MarkUp(worker)
@@ -446,19 +539,38 @@ func (c *Coordinator) forward(ctx context.Context, req CheckRequest, router *fab
 			return res, nil
 		}
 		lastErr = err
+		c.recordForward(worker, err, ctx)
 		var se *fabric.StatusError
-		if !errors.As(err, &se) && !errors.Is(err, context.Canceled) && ctx.Err() == nil {
-			c.reg.MarkDown(worker, err.Error())
-		}
-		if se != nil && (se.Status < 500 || se.Status == http.StatusGatewayTimeout) {
+		if errors.As(err, &se) && (se.Status < 500 || se.Status == http.StatusGatewayTimeout) {
 			break // terminal everywhere
 		}
 		if ctx.Err() != nil {
 			break
 		}
 	}
+	if lastErr == nil {
+		// Every candidate was denied locally by its breaker.
+		c.noWorkers.Add(1)
+		_, hint := c.reg.Available()
+		return nil, noHealthyWorkersError(hint)
+	}
 	c.dispatchErrs.Add(1)
 	return nil, dispatchError(lastErr)
+}
+
+// recordForward feeds one whole-request forward outcome to the registry,
+// with the dispatcher's classification: breaker-relevant failures mark
+// down, sane answers (4xx, 504) mark up, our own context expiry feeds
+// nothing.
+func (c *Coordinator) recordForward(worker string, err error, ctx context.Context) {
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	if fabric.BreakerFailure(err) {
+		c.reg.MarkDown(worker, err.Error())
+	} else {
+		c.reg.MarkUp(worker)
+	}
 }
 
 func (c *Coordinator) forwardOnce(ctx context.Context, worker string, body []byte) (*CheckResponse, error) {
@@ -519,12 +631,12 @@ func (c *Coordinator) forwardTask(ctx context.Context, path string, req any, t *
 		return nil, badRequest("%v", err)
 	}
 	c.taskForwards[t.Kind].Add(1)
-	workers := c.reg.Healthy()
-	if len(workers) == 0 {
-		workers = c.reg.Workers()
+	workers, err := c.availableWorkers()
+	if err != nil {
+		return nil, err
 	}
 	router := fabric.NewRouter(workers)
-	seq := router.Sequence(fp, 4)
+	seq := router.Sequence(fp, len(workers))
 	if len(seq) == 0 {
 		return nil, &httpError{status: http.StatusBadGateway, err: fmt.Errorf("no workers available")}
 	}
@@ -534,6 +646,9 @@ func (c *Coordinator) forwardTask(ctx context.Context, path string, req any, t *
 	}
 	var lastErr error
 	for _, worker := range seq {
+		if !c.reg.Allow(worker) {
+			continue
+		}
 		data, err := c.postWorker(ctx, worker, path, body)
 		if err == nil {
 			c.reg.MarkUp(worker)
@@ -541,16 +656,19 @@ func (c *Coordinator) forwardTask(ctx context.Context, path string, req any, t *
 			return data, nil
 		}
 		lastErr = err
+		c.recordForward(worker, err, ctx)
 		var se *fabric.StatusError
-		if !errors.As(err, &se) && !errors.Is(err, context.Canceled) && ctx.Err() == nil {
-			c.reg.MarkDown(worker, err.Error())
-		}
-		if se != nil && (se.Status < 500 || se.Status == http.StatusGatewayTimeout) {
+		if errors.As(err, &se) && (se.Status < 500 || se.Status == http.StatusGatewayTimeout) {
 			break // terminal everywhere
 		}
 		if ctx.Err() != nil {
 			break
 		}
+	}
+	if lastErr == nil {
+		c.noWorkers.Add(1)
+		_, hint := c.reg.Available()
+		return nil, noHealthyWorkersError(hint)
 	}
 	c.dispatchErrs.Add(1)
 	return nil, dispatchError(lastErr)
@@ -672,7 +790,51 @@ func wireShardMerge(res fabric.ShardResult) *CheckResponse {
 		Witness:         res.Witness,
 		ElapsedMS:       res.ElapsedMS,
 		Cached:          res.Cached,
+		ShardsCompleted: res.ShardsCompleted,
+		ShardsTotal:     res.ShardsTotal,
 	}
+}
+
+// handleJoin is the membership endpoint: a worker announces (or renews)
+// itself and receives its granted lease. Rejoining preserves the member's
+// breaker state — a flapping worker cannot launder its failure history by
+// re-registering.
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req fabric.JoinRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	var ttl time.Duration
+	if req.TTL != "" {
+		d, err := time.ParseDuration(req.TTL)
+		if err != nil || d <= 0 {
+			writeError(w, badRequest("bad ttl %q: want a positive Go duration", req.TTL), c.cfg.DefaultBudget)
+			return
+		}
+		ttl = d
+	}
+	st, granted, err := c.reg.Join(req.URL, ttl)
+	if err != nil {
+		writeError(w, badRequest("%v", err), c.cfg.DefaultBudget)
+		return
+	}
+	writeJSON(w, http.StatusOK, fabric.JoinResponse{Granted: granted.String(), Worker: st})
+}
+
+// handleWorkers is the admin view of the membership table. Unlike
+// /healthz it never probes and always answers 200 — an empty table is an
+// observable state, not an error — so operators and smoke scripts can
+// watch membership converge.
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	rs := c.reg.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers":       c.reg.Snapshot(),
+		"members":       rs.Members,
+		"permanent":     rs.Permanent,
+		"joins_total":   rs.Joins,
+		"expirations":   rs.Expirations,
+		"breaker_opens": rs.BreakerOpens,
+	})
 }
 
 // handleHealthz probes every worker and reports per-worker reachability:
@@ -707,6 +869,8 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "accserve_coordinator_forwards_total %d\n", c.forwards.Load())
 	fmt.Fprintf(w, "accserve_coordinator_dispatch_errors_total %d\n", c.dispatchErrs.Load())
 	fmt.Fprintf(w, "accserve_coordinator_merge_failures_total %d\n", c.mergeFailures.Load())
+	fmt.Fprintf(w, "accserve_coordinator_partial_answers_total %d\n", c.partials.Load())
+	fmt.Fprintf(w, "accserve_coordinator_no_workers_total %d\n", c.noWorkers.Load())
 	for _, k := range taskKinds {
 		if k == accesscheck.TaskCheck {
 			continue // whole-check forwards are accserve_coordinator_forwards_total
@@ -716,6 +880,14 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "accserve_fabric_shards_dispatched_total %d\n", ds.Dispatched)
 	fmt.Fprintf(w, "accserve_fabric_retries_total %d\n", ds.Retried)
 	fmt.Fprintf(w, "accserve_fabric_hedges_total %d\n", ds.Hedged)
+	fmt.Fprintf(w, "accserve_fabric_breaker_denied_total %d\n", ds.Denied)
+	rs := c.reg.Stats()
+	fmt.Fprintf(w, "accserve_registry_members %d\n", rs.Members)
+	fmt.Fprintf(w, "accserve_registry_permanent_members %d\n", rs.Permanent)
+	fmt.Fprintf(w, "accserve_registry_joins_total %d\n", rs.Joins)
+	fmt.Fprintf(w, "accserve_registry_expirations_total %d\n", rs.Expirations)
+	fmt.Fprintf(w, "accserve_registry_breaker_opens_total %d\n", rs.BreakerOpens)
+	fmt.Fprintf(w, "accserve_failpoints_fired_total %d\n", c.failpoints.Fired())
 	snap := c.reg.Snapshot()
 	sorted := make([]fabric.WorkerStatus, len(snap))
 	copy(sorted, snap)
@@ -726,5 +898,18 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			up = 1
 		}
 		fmt.Fprintf(w, "accserve_worker_up{worker=%q} %d\n", ws.URL, up)
+		// Breaker position as a gauge: 0 closed, 1 open, 2 half-open.
+		fmt.Fprintf(w, "accserve_worker_breaker_state{worker=%q,state=%q} %d\n", ws.URL, ws.State, breakerGauge(ws.State))
+	}
+}
+
+func breakerGauge(state string) int {
+	switch state {
+	case "open":
+		return 1
+	case "half-open":
+		return 2
+	default:
+		return 0
 	}
 }

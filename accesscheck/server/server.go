@@ -57,6 +57,7 @@ import (
 
 	"accltl/accesscheck"
 	"accltl/accesscheck/cache"
+	"accltl/accesscheck/fabric"
 )
 
 // Config sizes the server; zero values select sensible defaults.
@@ -88,6 +89,10 @@ type Config struct {
 	// endpoints (default 8 MiB): oversized bodies answer 413 instead of
 	// being buffered into memory.
 	MaxBodyBytes int64
+	// Failpoints, when armed (accserve -failpoints / ACCSERVE_FAILPOINTS),
+	// injects deterministic faults at the worker's shard handler
+	// ("worker.shard") for chaos testing. Nil in production.
+	Failpoints *fabric.Failpoints
 }
 
 func (c Config) withDefaults() Config {
@@ -229,6 +234,13 @@ type CheckResponse struct {
 	Witness         string  `json:"witness,omitempty"`
 	ElapsedMS       float64 `json:"elapsed_ms"`
 	Cached          bool    `json:"cached"`
+	// ShardsCompleted / ShardsTotal tag a fabric coordinator's partial
+	// verdict with its coverage (see accesscheck.Result); both zero on
+	// whole-space answers. Completed < Total with Truncated set and
+	// Satisfiable false reads as Unknown: no witness in the explored
+	// region, nothing claimed about the rest.
+	ShardsCompleted int `json:"shards_completed,omitempty"`
+	ShardsTotal     int `json:"shards_total,omitempty"`
 }
 
 // BatchRequest carries many tasks; items are independent and answered in
@@ -284,7 +296,16 @@ type errorResponse struct {
 func writeError(w http.ResponseWriter, err error, budget time.Duration) {
 	status := statusOf(err)
 	body := errorResponse{Error: err.Error()}
-	if status == http.StatusGatewayTimeout {
+	var he *httpError
+	if errors.As(err, &he) && he.code != "" {
+		// An error carrying its own machine-readable code and backoff
+		// (e.g. the coordinator's no_healthy_workers 503) renders them.
+		body.Code = he.code
+		if he.retryAfter > 0 {
+			body.RetryAfter = he.retryAfter
+			w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+		}
+	} else if status == http.StatusGatewayTimeout {
 		secs := int((budget + time.Second - 1) / time.Second)
 		if secs < 1 {
 			secs = 1
@@ -296,10 +317,13 @@ func writeError(w http.ResponseWriter, err error, budget time.Duration) {
 	writeJSON(w, status, body)
 }
 
-// httpError is an error with a dedicated HTTP status.
+// httpError is an error with a dedicated HTTP status, and optionally a
+// machine-readable code plus Retry-After horizon for structured bodies.
 type httpError struct {
-	status int
-	err    error
+	status     int
+	err        error
+	code       string
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.err.Error() }
@@ -446,12 +470,14 @@ func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse,
 // stores.
 func checkTaskResult(res *accesscheck.Result) *accesscheck.TaskResult {
 	return &accesscheck.TaskResult{
-		Kind:      accesscheck.TaskCheck,
-		Verdict:   res.Satisfiable,
-		Truncated: res.Truncated,
-		Engine:    res.Engine.String(),
-		Elapsed:   res.Elapsed,
-		Check:     res,
+		Kind:            accesscheck.TaskCheck,
+		Verdict:         res.Satisfiable,
+		Truncated:       res.Truncated,
+		ShardsCompleted: res.ShardsCompleted,
+		ShardsTotal:     res.ShardsTotal,
+		Engine:          res.Engine.String(),
+		Elapsed:         res.Elapsed,
+		Check:           res,
 	}
 }
 
@@ -468,6 +494,8 @@ func wireResult(res *accesscheck.Result, cached bool) *CheckResponse {
 		Depth:           res.Depth,
 		ElapsedMS:       float64(res.Elapsed) / float64(time.Millisecond),
 		Cached:          cached,
+		ShardsCompleted: res.ShardsCompleted,
+		ShardsTotal:     res.ShardsTotal,
 	}
 	if res.Witness != nil {
 		out.Witness = res.Witness.String()
@@ -657,6 +685,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "accserve_check_errors_total %d\n", s.errs.Load())
 	fmt.Fprintf(w, "accserve_shard_checks_total %d\n", s.shardChecks.Load())
 	fmt.Fprintf(w, "accserve_shard_plan_mismatches_total %d\n", s.shardMismatch.Load())
+	fmt.Fprintf(w, "accserve_failpoints_fired_total %d\n", s.cfg.Failpoints.Fired())
 	for _, k := range taskKinds {
 		fmt.Fprintf(w, "accserve_task_requests_total{task=%q} %d\n", k.String(), s.taskRequests[k].Load())
 		fmt.Fprintf(w, "accserve_task_truncations_total{task=%q} %d\n", k.String(), s.taskTruncations[k].Load())

@@ -44,6 +44,25 @@ func shardCheckOptions(o *fabric.CheckOptions) *CheckOptions {
 }
 
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if inj := s.cfg.Failpoints.Hit(fabric.FailWorkerShard); inj != nil {
+		switch inj.Action {
+		case fabric.ActDrop:
+			// Abort the connection without a response — the coordinator sees
+			// a transport failure, exactly like a crashed worker.
+			panic(http.ErrAbortHandler)
+		case fabric.ActErr500:
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: "failpoint " + fabric.FailWorkerShard})
+			return
+		case fabric.ActBlackhole:
+			<-r.Context().Done()
+			return
+		case fabric.ActDelay:
+			if err := inj.Sleep(r.Context()); err != nil {
+				return
+			}
+		}
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	data, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -176,6 +195,8 @@ func shardResult(sh *fabric.Shard, res *accesscheck.Result, cached bool) *fabric
 		PathsExplored:   res.PathsExplored,
 		Cached:          cached,
 		ElapsedMS:       float64(res.Elapsed) / float64(time.Millisecond),
+		ShardsCompleted: len(sh.Indexes()),
+		ShardsTotal:     sh.PlanSize,
 	}
 	if res.Witness != nil {
 		out.Witness = res.Witness.String()

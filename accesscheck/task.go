@@ -449,6 +449,10 @@ type TaskResult struct {
 	// containment), an exhausted step budget (chase). Truncated results
 	// are served but never cached; accesscheck/cache enforces it.
 	Truncated bool
+	// ShardsCompleted / ShardsTotal carry a sharded check's coverage
+	// (see Result); zero for whole-space runs and non-check kinds.
+	ShardsCompleted int
+	ShardsTotal     int
 	// Engine names the decision procedure that ran.
 	Engine string
 	// Elapsed is the wall time of the solve.
@@ -482,12 +486,14 @@ func (c *Checker) Do(ctx context.Context, t *Task) (*TaskResult, error) {
 			return nil, err
 		}
 		return &TaskResult{
-			Kind:      TaskCheck,
-			Verdict:   res.Satisfiable,
-			Truncated: res.Truncated,
-			Engine:    res.Engine.String(),
-			Elapsed:   res.Elapsed,
-			Check:     res,
+			Kind:            TaskCheck,
+			Verdict:         res.Satisfiable,
+			Truncated:       res.Truncated,
+			ShardsCompleted: res.ShardsCompleted,
+			ShardsTotal:     res.ShardsTotal,
+			Engine:          res.Engine.String(),
+			Elapsed:         res.Elapsed,
+			Check:           res,
 		}, nil
 	case TaskContainment:
 		return doContainment(ctx, t.Containment)

@@ -13,15 +13,26 @@
 //	POST /v1/check?budget=250ms   one check
 //	POST /v1/batch                many checks, answered in order
 //	POST /v1/shard                one fabric shard (partial check)
+//	POST /v1/join                 coordinator: worker membership join/renew
+//	GET  /v1/workers              coordinator: membership table admin view
 //	GET  /healthz                 liveness
 //	GET  /metrics                 counters: cache hits/misses, truncations,
 //	                              in-flight solves, deadline expiries
 //
 // Distributed roles: `-worker` names the default standalone role (every
-// server accepts /v1/shard); `-coordinator -fabric-workers=url,url` runs
-// the fan-out role instead, which solves nothing locally and dispatches
-// shards to the listed workers with cache-affinity routing, retries and
-// hedging.
+// server accepts /v1/shard); `-coordinator` runs the fan-out role instead,
+// which solves nothing locally and dispatches shards to its membership
+// table with cache-affinity routing, retries, hedging and per-worker
+// circuit breakers. Members arrive two ways, combinable:
+//
+//   - `-fabric-workers=url,url` names permanent members;
+//   - workers started with `-join=http://coordinator:8080` self-register
+//     and renew a TTL lease (`-lease-ttl`) on a heartbeat, so the ring
+//     grows and shrinks without a coordinator restart.
+//
+// Deterministic chaos: `-failpoints` (or ACCSERVE_FAILPOINTS) arms named
+// fault injections, e.g. `-failpoints='worker.shard=err500:1'` to 500 the
+// first shard request. See accltl/accesscheck/fabric.ParseFailpoints.
 //
 // Example:
 //
@@ -46,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"accltl/accesscheck/fabric"
 	"accltl/accesscheck/server"
 )
 
@@ -57,10 +69,17 @@ func main() {
 	cacheSize := flag.Int("cache-size", 1024, "LRU result cache capacity (entries)")
 	defaultBudget := flag.Duration("default-budget", 5*time.Second, "per-request deadline when the request names none")
 	worker := flag.Bool("worker", false, "run as a fabric worker (the default standalone role; the flag only names it)")
-	coordinator := flag.Bool("coordinator", false, "run as a fabric coordinator: dispatch shards to -fabric-workers instead of solving locally")
-	fabricWorkers := flag.String("fabric-workers", "", "comma-separated worker base URLs for -coordinator (e.g. http://h1:8080,http://h2:8080)")
+	coordinator := flag.Bool("coordinator", false, "run as a fabric coordinator: dispatch shards to the membership table instead of solving locally")
+	fabricWorkers := flag.String("fabric-workers", "", "comma-separated permanent worker base URLs for -coordinator (e.g. http://h1:8080,http://h2:8080); may be empty when workers self-register via -join")
 	hedgeAfter := flag.Duration("hedge-after", 400*time.Millisecond, "coordinator: duplicate a straggling shard onto a second worker after this long")
 	retries := flag.Int("dispatch-retries", 2, "coordinator: re-attempts per worker on transient failure")
+	maxBackoff := flag.Duration("max-backoff", 2*time.Second, "coordinator: cap on the jittered exponential retry backoff")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "coordinator: consecutive failures that open a worker's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "coordinator: how long an open breaker denies dispatches before one half-open trial")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "membership lease: coordinator default grant / worker requested TTL for -join")
+	join := flag.String("join", "", "worker: coordinator base URL to self-register with and heartbeat against")
+	advertise := flag.String("advertise", "", "worker: own base URL as the coordinator should dial it (default http://localhost<addr>)")
+	failpointSpec := flag.String("failpoints", "", "deterministic fault injection spec, e.g. 'worker.shard=err500:1,dispatch.send=drop:2+' (overrides ACCSERVE_FAILPOINTS)")
 	flag.Parse()
 
 	if *worker && *coordinator {
@@ -71,17 +90,32 @@ func main() {
 		role = "coordinator"
 	}
 
+	spec := *failpointSpec
+	if spec == "" {
+		spec = os.Getenv("ACCSERVE_FAILPOINTS")
+	}
+	failpoints, err := fabric.ParseFailpoints(spec)
+	if err != nil {
+		log.Fatalf("accserve: %v", err)
+	}
+	if failpoints != nil {
+		log.Printf("accserve: FAILPOINTS ARMED: %s", spec)
+	}
+
 	var handler http.Handler
 	var workerList []string
 	switch role {
 	case "coordinator":
+		if *join != "" {
+			log.Fatal("accserve: -join is a worker flag; a coordinator accepts joins, it does not send them")
+		}
 		for _, u := range strings.Split(*fabricWorkers, ",") {
 			if u = strings.TrimSpace(u); u != "" {
 				workerList = append(workerList, u)
 			}
 		}
 		if len(workerList) == 0 {
-			log.Fatal("accserve: -coordinator requires -fabric-workers=url[,url...]")
+			log.Print("accserve: no -fabric-workers; membership starts empty and grows via POST /v1/join")
 		}
 		coord, err := server.NewCoordinator(server.CoordinatorConfig{
 			Workers: workerList,
@@ -89,7 +123,14 @@ func main() {
 				DefaultBudget: *defaultBudget,
 			},
 			Retries:    *retries,
+			MaxBackoff: *maxBackoff,
 			HedgeAfter: *hedgeAfter,
+			Breaker: fabric.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+			},
+			DefaultLeaseTTL: *leaseTTL,
+			Failpoints:      failpoints,
 		})
 		if err != nil {
 			log.Fatalf("accserve: %v", err)
@@ -101,6 +142,7 @@ func main() {
 			Parallelism:   *parallelism,
 			CacheSize:     *cacheSize,
 			DefaultBudget: *defaultBudget,
+			Failpoints:    failpoints,
 		})
 	}
 
@@ -115,11 +157,34 @@ func main() {
 
 	log.Printf("accserve %s starting: role=%s addr=%s", buildVersion(), role, *addr)
 	if role == "coordinator" {
-		log.Printf("accserve coordinator: workers=%s hedge-after=%s retries=%d default-budget=%s",
-			strings.Join(workerList, ","), *hedgeAfter, *retries, *defaultBudget)
+		log.Printf("accserve coordinator: workers=%s hedge-after=%s retries=%d default-budget=%s breaker=%d/%s lease-ttl=%s",
+			strings.Join(workerList, ","), *hedgeAfter, *retries, *defaultBudget, *breakerThreshold, *breakerCooldown, *leaseTTL)
 	} else {
 		log.Printf("accserve worker: workers=%d parallelism=%d cache=%d default-budget=%s",
 			*workers, *parallelism, *cacheSize, *defaultBudget)
+	}
+
+	// Worker self-registration: join the coordinator now and keep the TTL
+	// lease renewed until shutdown. The loop dies with the process — no
+	// leave message; the lease expiring is what evicts us, which is what
+	// makes SIGKILL safe.
+	hbCtx, hbCancel := context.WithCancel(context.Background())
+	defer hbCancel()
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://localhost" + *addr
+		}
+		hb := &fabric.Heartbeat{
+			Coordinator: strings.TrimRight(*join, "/"),
+			Advertise:   adv,
+			TTL:         *leaseTTL,
+			OnError: func(err error) {
+				log.Printf("accserve: membership renewal: %v", err)
+			},
+		}
+		log.Printf("accserve worker: joining %s as %s (lease %s)", hb.Coordinator, adv, *leaseTTL)
+		go hb.Run(hbCtx)
 	}
 
 	errc := make(chan error, 1)
@@ -136,6 +201,7 @@ func main() {
 		}
 	case sig := <-sigc:
 		log.Printf("accserve: %s — draining", sig)
+		hbCancel() // stop renewing; the lease lapses and the ring drops us
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

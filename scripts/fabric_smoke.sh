@@ -4,11 +4,20 @@
 # mixed /v1/batch through the coordinator, and a verdict-by-verdict
 # comparison against a direct single-worker answer.
 #
+# fabric_smoke.sh --chaos runs the self-healing scenario instead: a
+# coordinator born with an EMPTY membership table, three workers that
+# self-register via -join, a SIGKILL of one worker mid-batch, and a
+# replacement join — asserting every answer is either exact or an honest
+# coverage-tagged partial, and that the killed worker's lease evicts it.
+#
 # Exits non-zero on any non-200 answer or verdict mismatch. Requires only
 # the go toolchain and python3 (for JSON comparison); picks free ports
 # itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE=default
+if [[ "${1:-}" == "--chaos" ]]; then MODE=chaos; fi
 
 workdir=$(mktemp -d)
 pids=()
@@ -32,19 +41,6 @@ s.close()
 EOF
 }
 
-W1_PORT=$(pick_port); W2_PORT=$(pick_port); C_PORT=$(pick_port)
-W1="http://127.0.0.1:$W1_PORT"; W2="http://127.0.0.1:$W2_PORT"; C="http://127.0.0.1:$C_PORT"
-
-echo "== starting workers on $W1 $W2"
-"$workdir/accserve" -worker -addr "127.0.0.1:$W1_PORT" &
-pids+=($!)
-"$workdir/accserve" -worker -addr "127.0.0.1:$W2_PORT" &
-pids+=($!)
-
-echo "== starting coordinator on $C"
-"$workdir/accserve" -coordinator -fabric-workers "$W1,$W2" -addr "127.0.0.1:$C_PORT" &
-pids+=($!)
-
 wait_up() {
   local url=$1
   for _ in $(seq 1 50); do
@@ -54,7 +50,6 @@ wait_up() {
   echo "server at $url never came up" >&2
   return 1
 }
-wait_up "$W1"; wait_up "$W2"; wait_up "$C"
 
 batch='{
   "requests": [
@@ -70,6 +65,137 @@ batch='{
      "options": {"grounded": true}}
   ]
 }'
+
+if [[ $MODE == chaos ]]; then
+  C_PORT=$(pick_port); W1_PORT=$(pick_port); W2_PORT=$(pick_port); W3_PORT=$(pick_port); W4_PORT=$(pick_port)
+  C="http://127.0.0.1:$C_PORT"
+  W2="http://127.0.0.1:$W2_PORT"
+
+  echo "== chaos: coordinator on $C with an empty membership table"
+  "$workdir/accserve" -coordinator -addr "127.0.0.1:$C_PORT" \
+    -dispatch-retries 2 -breaker-threshold 1 -breaker-cooldown 10s &
+  pids+=($!)
+
+  # /healthz 503s while the table is empty — watch membership converge via
+  # the admin view instead.
+  wait_members() {
+    local want=$1
+    for _ in $(seq 1 100); do
+      got=$(curl -fsS "$C/v1/workers" 2>/dev/null \
+        | python3 -c 'import json,sys; print(json.load(sys.stdin)["members"])' 2>/dev/null || echo "")
+      if [[ "$got" == "$want" ]]; then return 0; fi
+      sleep 0.1
+    done
+    echo "membership never reached $want members (last: ${got:-unreachable})" >&2
+    curl -fsS "$C/v1/workers" >&2 || true
+    return 1
+  }
+  wait_members 0
+
+  # start_worker leaves the new process's PID in LAST_WORKER_PID (a plain
+  # function, not a command substitution, so the pids cleanup array grows).
+  start_worker() {
+    local port=$1
+    "$workdir/accserve" -worker -addr "127.0.0.1:$port" \
+      -join "$C" -advertise "http://127.0.0.1:$port" -lease-ttl 2s &
+    LAST_WORKER_PID=$!
+    pids+=("$LAST_WORKER_PID")
+  }
+
+  echo "== chaos: three workers self-register via /v1/join"
+  start_worker "$W1_PORT"; W1_PID=$LAST_WORKER_PID
+  start_worker "$W2_PORT"
+  start_worker "$W3_PORT"
+  wait_members 3
+  wait_up "$W2"
+
+  echo "== chaos: batch in flight, SIGKILL worker :$W1_PORT mid-batch"
+  curl -fsS -X POST "$C/v1/batch" -H 'Content-Type: application/json' \
+    -d "$batch" > "$workdir/chaos1.json" &
+  BATCH_PID=$!
+  sleep 0.05
+  kill -9 "$W1_PID" 2>/dev/null || true
+  wait "$BATCH_PID"
+
+  curl -fsS -X POST "$W2/v1/batch" -H 'Content-Type: application/json' \
+    -d "$batch" > "$workdir/direct.json"
+
+  python3 - "$workdir/chaos1.json" "$workdir/direct.json" <<'EOF'
+import json, sys
+fabric = json.load(open(sys.argv[1]))["results"]
+direct = json.load(open(sys.argv[2]))["results"]
+if len(fabric) != len(direct):
+    sys.exit(f"item counts differ: {len(fabric)} vs {len(direct)}")
+fields = ["satisfiable", "fragment", "in_fragment", "decidable",
+          "engine", "truncated", "depth"]
+partials = 0
+for i, (f, d) in enumerate(zip(fabric, direct)):
+    if "error" in f:
+        sys.exit(f"item {i} errored during chaos (failover should absorb a kill): {f['error']}")
+    fr, dr = f["result"], d["result"]
+    done, total = fr.get("shards_completed", 0), fr.get("shards_total", 0)
+    if total and done < total:
+        # Honest partial: coverage declared, truncation flagged.
+        if not fr.get("truncated"):
+            sys.exit(f"item {i}: partial cover {done}/{total} without truncated")
+        partials += 1
+        continue
+    for k in fields:
+        if fr.get(k) != dr.get(k):
+            sys.exit(f"item {i}: {k} = {fr.get(k)!r} via chaos fabric, {dr.get(k)!r} direct")
+print(f"chaos batch: {len(fabric)} items, {partials} honest partial(s), rest exact")
+EOF
+
+  echo "== chaos: lease of the killed worker lapses (no coordinator restart)"
+  wait_members 2
+  curl -fsS "$C/metrics" | grep -q '^accserve_registry_expirations_total [1-9]' || {
+    echo "killed worker's lease never expired" >&2; exit 1; }
+
+  echo "== chaos: replacement worker joins on :$W4_PORT"
+  start_worker "$W4_PORT"
+  wait_members 3
+
+  curl -fsS -X POST "$C/v1/batch" -H 'Content-Type: application/json' \
+    -d "$batch" > "$workdir/chaos2.json"
+  python3 - "$workdir/chaos2.json" "$workdir/direct.json" <<'EOF'
+import json, sys
+fabric = json.load(open(sys.argv[1]))["results"]
+direct = json.load(open(sys.argv[2]))["results"]
+fields = ["satisfiable", "fragment", "in_fragment", "decidable",
+          "engine", "truncated", "depth"]
+for i, (f, d) in enumerate(zip(fabric, direct)):
+    if "error" in f:
+        sys.exit(f"item {i} errored after heal: {f['error']}")
+    fr, dr = f["result"], d["result"]
+    done, total = fr.get("shards_completed", 0), fr.get("shards_total", 0)
+    if total and done < total:
+        sys.exit(f"item {i}: still partial ({done}/{total}) after the replacement joined")
+    for k in fields:
+        if fr.get(k) != dr.get(k):
+            sys.exit(f"item {i}: {k} = {fr.get(k)!r} via healed fabric, {dr.get(k)!r} direct")
+print(f"healed batch: all {len(fabric)} items exact")
+EOF
+
+  curl -fsS "$C/metrics" | grep -q '^accserve_registry_joins_total [1-9]' || {
+    echo "joins not counted" >&2; exit 1; }
+  echo "fabric smoke (chaos): OK"
+  exit 0
+fi
+
+W1_PORT=$(pick_port); W2_PORT=$(pick_port); C_PORT=$(pick_port)
+W1="http://127.0.0.1:$W1_PORT"; W2="http://127.0.0.1:$W2_PORT"; C="http://127.0.0.1:$C_PORT"
+
+echo "== starting workers on $W1 $W2"
+"$workdir/accserve" -worker -addr "127.0.0.1:$W1_PORT" &
+pids+=($!)
+"$workdir/accserve" -worker -addr "127.0.0.1:$W2_PORT" &
+pids+=($!)
+
+echo "== starting coordinator on $C"
+"$workdir/accserve" -coordinator -fabric-workers "$W1,$W2" -addr "127.0.0.1:$C_PORT" &
+pids+=($!)
+
+wait_up "$W1"; wait_up "$W2"; wait_up "$C"
 
 echo "== mixed batch through the coordinator"
 curl -fsS -X POST "$C/v1/batch" -H 'Content-Type: application/json' \

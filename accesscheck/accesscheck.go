@@ -163,6 +163,15 @@ type Checker struct {
 	shards             []int
 	initial            *Instance
 	universe           *Instance
+	// anytimeChunk bounds how many not-yet-completed shards one
+	// CheckAnytime round attempts (0 = all remaining); see WithAnytimeChunk.
+	anytimeChunk int
+	// solverMemo/emptinessMemo are never set on user-constructed checkers:
+	// CheckAnytime sets them on the derived per-round copy so the engines
+	// reuse a checkpoint's warm tables. They are execution detail, excluded
+	// from Fingerprint like parallelism.
+	solverMemo    *accltl.SolverMemo
+	emptinessMemo *autom.EmptinessMemo
 }
 
 // Option configures a Checker; invalid settings surface as errors from
@@ -308,6 +317,25 @@ func WithShards(indexes ...int) Option {
 	}
 }
 
+// WithAnytimeChunk bounds how many not-yet-completed root shards a single
+// CheckAnytime round attempts: with n > 0 each round solves at most n
+// remaining shards and returns a resumable coverage-tagged partial until
+// the plan is covered. 0 (the default) lets every round attempt all
+// remaining shards, so rounds end only when the budget does. The knob
+// exists to make resume behaviour deterministic — tests slice a check into
+// an exact number of rounds with it — and to let callers trade round
+// latency against convergence granularity. It does not affect what is
+// computed, only how it is sliced, so it is not part of Fingerprint.
+func WithAnytimeChunk(n int) Option {
+	return func(c *Checker) error {
+		if n < 0 {
+			return fmt.Errorf("accesscheck: WithAnytimeChunk(%d): chunk must be non-negative", n)
+		}
+		c.anytimeChunk = n
+		return nil
+	}
+}
+
 // WithInitialInstance sets the initially known instance I0.
 func WithInitialInstance(i *Instance) Option {
 	return func(c *Checker) error {
@@ -424,6 +452,23 @@ type Result struct {
 	// the rest.
 	ShardsCompleted int
 	ShardsTotal     int
+	// Coverage estimates how much of the planned search space the verdict
+	// covers, as the fraction of canonical root shards fully explored over
+	// the shards the check targeted: 1 for exact answers (including final
+	// truncated ones — the caps, not missing shards, are then what limits
+	// them), strictly below 1 for resumable partials. Shards are the unit
+	// because they are what resume can skip; paths explored per shard vary
+	// too much for a path-ratio to order rounds honestly. Populated by
+	// CheckAnytime (plain Check leaves it zero).
+	Coverage float64
+	// Resumable reports that this is a suspended partial answer: the search
+	// ran out of budget (or hit its round chunk) with root shards still
+	// unexplored, a checkpoint captures the remaining frontier, and
+	// re-running the identical check against that checkpoint continues
+	// instead of restarting. Always false for exact and final truncated
+	// answers. A resumable result is always Truncated, and is never
+	// cache-admissible.
+	Resumable bool
 	// Elapsed is the wall time of the solve.
 	Elapsed time.Duration
 }
@@ -458,66 +503,9 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 	engine := c.resolveEngine(f)
 	res.Engine = engine
 
-	opts := accltl.SolveOptions{
-		Context:            ctx,
-		Schema:             sch,
-		Initial:            c.initial,
-		Grounded:           c.grounded,
-		IdempotentOnly:     c.idempotentOnly,
-		ExactMethods:       c.exactMethods,
-		AllExact:           c.allExact,
-		MaxDepth:           c.maxDepth,
-		Universe:           c.universe,
-		MaxResponseChoices: c.maxResponseChoices,
-		MaxPaths:           c.maxPaths,
-		Parallelism:        c.parallelism,
-		Shards:             c.shards,
-	}
-
 	start := time.Now()
-	var sr accltl.SolveResult
-	var err error
-	switch engine {
-	case EngineX:
-		sr, err = accltl.SolveX(f, opts)
-	case EngineZeroAcc:
-		sr, err = accltl.SolveZeroAcc(f, opts)
-	case EnginePlus:
-		sr, err = accltl.SolvePlusDirect(f, opts)
-	case EngineBounded:
-		sr, err = accltl.SolveBounded(f, opts)
-	case EngineAutomaton:
-		var a *autom.Automaton
-		a, err = autom.CompileAccLTLPlus(sch, f)
-		if err == nil {
-			res.AutomatonStates = a.NumStates
-			var er autom.EmptinessResult
-			er, err = a.IsEmpty(autom.EmptinessOptions{
-				Context:            ctx,
-				Initial:            c.initial,
-				Grounded:           c.grounded,
-				IdempotentOnly:     c.idempotentOnly,
-				ExactMethods:       c.exactMethods,
-				AllExact:           c.allExact,
-				MaxDepth:           c.maxDepth,
-				MaxResponseChoices: c.maxResponseChoices,
-				MaxPaths:           c.maxPaths,
-				Universe:           c.universe,
-				Parallelism:        c.parallelism,
-				Shards:             c.shards,
-			})
-			sr = accltl.SolveResult{
-				Satisfiable:     !er.Empty,
-				Witness:         er.Witness,
-				PathsExplored:   er.PathsExplored,
-				Depth:           er.Depth,
-				Truncated:       er.Truncated,
-				ResponsesCapped: er.ResponsesCapped,
-			}
-		}
-	default:
-		err = fmt.Errorf("accesscheck: Check: unknown engine %v", engine)
-	}
+	sr, automStates, err := c.runSolve(ctx, sch, f, engine)
+	res.AutomatonStates = automStates
 	res.Elapsed = time.Since(start)
 	if err != nil {
 		return nil, err
@@ -547,6 +535,80 @@ func (c *Checker) Check(ctx context.Context, sch *Schema, f Formula) (*Result, e
 		}
 	}
 	return res, nil
+}
+
+// runSolve dispatches the engine and runs the search: the engine-switch
+// core of Check, shared with CheckAnytime (which runs it on derived
+// per-round copies carrying shard subsets and warm memo tables). The
+// returned SolveResult is meaningful even when err is non-nil — in
+// particular CompletedShards/TotalShards survive a deadline expiry, which
+// is what checkpoint capture reads. The int result is the compiled state
+// count for EngineAutomaton (zero otherwise).
+func (c *Checker) runSolve(ctx context.Context, sch *Schema, f Formula, engine Engine) (accltl.SolveResult, int, error) {
+	opts := accltl.SolveOptions{
+		Context:            ctx,
+		Schema:             sch,
+		Initial:            c.initial,
+		Grounded:           c.grounded,
+		IdempotentOnly:     c.idempotentOnly,
+		ExactMethods:       c.exactMethods,
+		AllExact:           c.allExact,
+		MaxDepth:           c.maxDepth,
+		Universe:           c.universe,
+		MaxResponseChoices: c.maxResponseChoices,
+		MaxPaths:           c.maxPaths,
+		Parallelism:        c.parallelism,
+		Shards:             c.shards,
+		Memo:               c.solverMemo,
+	}
+
+	switch engine {
+	case EngineX:
+		sr, err := accltl.SolveX(f, opts)
+		return sr, 0, err
+	case EngineZeroAcc:
+		sr, err := accltl.SolveZeroAcc(f, opts)
+		return sr, 0, err
+	case EnginePlus:
+		sr, err := accltl.SolvePlusDirect(f, opts)
+		return sr, 0, err
+	case EngineBounded:
+		sr, err := accltl.SolveBounded(f, opts)
+		return sr, 0, err
+	case EngineAutomaton:
+		a, err := autom.CompileAccLTLPlus(sch, f)
+		if err != nil {
+			return accltl.SolveResult{}, 0, err
+		}
+		er, err := a.IsEmpty(autom.EmptinessOptions{
+			Context:            ctx,
+			Initial:            c.initial,
+			Grounded:           c.grounded,
+			IdempotentOnly:     c.idempotentOnly,
+			ExactMethods:       c.exactMethods,
+			AllExact:           c.allExact,
+			MaxDepth:           c.maxDepth,
+			MaxResponseChoices: c.maxResponseChoices,
+			MaxPaths:           c.maxPaths,
+			Universe:           c.universe,
+			Parallelism:        c.parallelism,
+			Shards:             c.shards,
+			Memo:               c.emptinessMemo,
+		})
+		sr := accltl.SolveResult{
+			Satisfiable:     !er.Empty,
+			Witness:         er.Witness,
+			PathsExplored:   er.PathsExplored,
+			Depth:           er.Depth,
+			Truncated:       er.Truncated,
+			ResponsesCapped: er.ResponsesCapped,
+			CompletedShards: er.CompletedShards,
+			TotalShards:     er.TotalShards,
+		}
+		return sr, a.NumStates, err
+	default:
+		return accltl.SolveResult{}, 0, fmt.Errorf("accesscheck: Check: unknown engine %v", engine)
+	}
 }
 
 // ShardPlan enumerates the root shards a Check on (sch, f) under this

@@ -1,0 +1,491 @@
+package accesscheck
+
+// Anytime checking: suspend/resume over the canonical shard partition. A
+// deadline-expired sharded search does not discard its work — CheckAnytime
+// captures which root shards were fully explored, keeps the engines' memo
+// tables warm, and returns a coverage-tagged resumable partial; running the
+// identical check again against the returned Checkpoint executes only the
+// unfinished shard subset (Options.Shards underneath) and merges with the
+// suspended progress, so repeated budget pressure converges monotonically
+// to the exact verdict instead of restarting from scratch every time.
+//
+// Soundness across rounds rests on two invariants the layers below
+// maintain:
+//
+//   - a shard is recorded completed only when its whole subtree walk
+//     returned without a witness, an error, a cap denial or a cancel
+//     (lts.Report.CompletedShards), so skipping it in a later round can
+//     never hide a witness;
+//   - the persistent dominance memos scrub the commitments of walks that
+//     were cut short before every search returns (accltl.SolverMemo /
+//     autom.EmptinessMemo), so an entry a resumed round prunes against was
+//     always fully searched by some earlier round.
+//
+// Exact results and suspended partials never mix: a Checkpoint is not an
+// answer and is never served as one, and every resumable Result is
+// Truncated, which the exact-only result caches refuse by construction.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"accltl/accesscheck/cache"
+	"accltl/internal/accltl"
+	"accltl/internal/autom"
+)
+
+// Checkpoint is the suspended state of one check: which canonical root
+// shards have been fully explored so far, the cumulative search statistics,
+// and the engines' warm memo tables. It is keyed by the shard-less
+// fingerprint of the check (see Checker.Fingerprint — the same key a fabric
+// coordinator routes by), so partial progress made by different shard
+// subsets of the same check composes into one frontier.
+//
+// A Checkpoint serializes the rounds that use it: CheckAnytime holds an
+// internal lock for the duration of a round, so concurrent identical
+// requests resume one after the other against a consistent frontier rather
+// than racing on the shared memo tables. All exported methods are safe for
+// concurrent use.
+type Checkpoint struct {
+	mu        sync.Mutex
+	key       string
+	engine    Engine
+	planSize  int
+	completed map[int]bool
+
+	rounds          int
+	paths           int
+	elapsed         time.Duration
+	responsesCapped bool
+	depth           int
+	automStates     int
+
+	solverMemo    *accltl.SolverMemo
+	emptinessMemo *autom.EmptinessMemo
+}
+
+func newCheckpoint(key string, engine Engine, planSize int) *Checkpoint {
+	cp := &Checkpoint{
+		key:       key,
+		engine:    engine,
+		planSize:  planSize,
+		completed: make(map[int]bool),
+	}
+	if engine == EngineAutomaton {
+		cp.emptinessMemo = autom.NewEmptinessMemo()
+	} else {
+		cp.solverMemo = accltl.NewSolverMemo()
+	}
+	return cp
+}
+
+// Key returns the shard-less fingerprint the checkpoint belongs to.
+func (cp *Checkpoint) Key() string {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.key
+}
+
+// Rounds counts the CheckAnytime rounds that have run against this
+// checkpoint.
+func (cp *Checkpoint) Rounds() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.rounds
+}
+
+// PlanSize is the size of the canonical shard partition the completed
+// indexes refer to (zero while unknown — shard-subset rounds that never
+// needed the full plan).
+func (cp *Checkpoint) PlanSize() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.planSize
+}
+
+// Completed returns the fully-explored canonical shard indexes, ascending.
+func (cp *Checkpoint) Completed() []int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	out := make([]int, 0, len(cp.completed))
+	for s := range cp.completed {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CompletedWithin returns, ascending, the subset of the given canonical
+// indexes the checkpoint has fully explored — what a fabric worker reports
+// as the covered slice of its assigned shard group.
+func (cp *Checkpoint) CompletedWithin(indexes []int) []int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.completedWithinLocked(indexes)
+}
+
+func (cp *Checkpoint) completedWithinLocked(indexes []int) []int {
+	seen := make(map[int]bool, len(indexes))
+	var out []int
+	for _, i := range indexes {
+		if !seen[i] && cp.completed[i] {
+			out = append(out, i)
+		}
+		seen[i] = true
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Coverage is the fraction of the plan's shards fully explored so far
+// (zero while the plan size is unknown).
+func (cp *Checkpoint) Coverage() float64 {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.planSize == 0 {
+		return 0
+	}
+	return float64(len(cp.completed)) / float64(cp.planSize)
+}
+
+// CheckpointStore is a bounded LRU of suspended checks keyed by their
+// shard-less fingerprint: the frontier persistence that turns a follow-up
+// identical request into a resume. It deliberately mirrors the exact-result
+// cache's shape but inverts its admission: only partial state lives here,
+// and entries are removed — never served — once the check settles. Eviction
+// under capacity pressure is safe: a resumed check that lost its checkpoint
+// merely starts from scratch, exactly as if the store had never existed.
+type CheckpointStore struct {
+	lru *cache.LRU[*Checkpoint]
+}
+
+// NewCheckpointStore builds a store holding at most capacity suspended
+// checks (capacity < 1 is treated as 1).
+func NewCheckpointStore(capacity int) *CheckpointStore {
+	return &CheckpointStore{lru: cache.New(capacity, func(cp *Checkpoint) bool { return cp != nil })}
+}
+
+// Get returns the suspended checkpoint for the fingerprint, if any.
+func (s *CheckpointStore) Get(key string) (*Checkpoint, bool) {
+	return s.lru.Get(key)
+}
+
+// Put stores the checkpoint under its own key.
+func (s *CheckpointStore) Put(cp *Checkpoint) {
+	if cp == nil {
+		return
+	}
+	s.PutAs(cp.Key(), cp)
+}
+
+// PutAs stores the checkpoint under an explicit key. Fabric workers use
+// this to scope frontiers per shard group — the shard-keyed fingerprint —
+// so sibling groups of one check never share a checkpoint's cumulative
+// statistics (each group's reported paths must cover exactly its own
+// slices for the coordinator's merge arithmetic to stay honest).
+func (s *CheckpointStore) PutAs(key string, cp *Checkpoint) {
+	if cp == nil {
+		return
+	}
+	s.lru.Add(key, cp)
+}
+
+// Remove drops the fingerprint's checkpoint, if any: called when the check
+// reaches a final answer so stale frontiers cannot be resumed.
+func (s *CheckpointStore) Remove(key string) bool {
+	return s.lru.Remove(key)
+}
+
+// Len reports the number of suspended checks.
+func (s *CheckpointStore) Len() int { return s.lru.Len() }
+
+// Stats snapshots the store counters.
+func (s *CheckpointStore) Stats() cache.Stats { return s.lru.Stats() }
+
+// anytimeKey is the checkpoint identity of a check under this checker: the
+// fingerprint with the shard subset stripped, so every shard slice of one
+// check shares a frontier. For checkers without WithShards it equals
+// Fingerprint.
+func (c *Checker) anytimeKey(sch *Schema, f Formula) string {
+	if c.shards == nil {
+		return c.Fingerprint(sch, f)
+	}
+	shardless := *c
+	shardless.shards = nil
+	return shardless.Fingerprint(sch, f)
+}
+
+// CheckAnytime is Check with suspend/resume: it runs (a slice of) the check
+// against prev's frontier and returns the answer plus the checkpoint to
+// carry forward.
+//
+// Contract:
+//
+//   - prev nil starts fresh; prev non-nil must come from a CheckAnytime of
+//     an identically-configured checker on the same schema and formula
+//     (same shard-less fingerprint), else an error is returned.
+//   - An exact answer (witness found, or every targeted shard explored)
+//     comes back with Coverage 1 and Resumable false; the caller should
+//     drop any stored checkpoint for the key. The returned checkpoint is
+//     still non-nil so shard-sliced callers can keep the warm memo for
+//     sibling slices.
+//   - A deadline/cancel expiry that completed at least one targeted shard
+//     (this round or a previous one) returns a nil error and a resumable
+//     partial: Satisfiable false, Truncated true, Coverage < 1, and the
+//     checkpoint capturing the remaining frontier. Re-invoking with that
+//     checkpoint executes only the unfinished shards.
+//   - An expiry with no completed shard returns (nil, checkpoint, ctx
+//     error): no honest coverage to report, but the checkpoint's warm memo
+//     still accelerates a retry.
+//   - A search whose round hit the path cap (WithMaxPaths) is a final
+//     truncated answer, not a resumable one — the cap is a per-search
+//     budget whose exact semantics do not compose across rounds — and the
+//     returned checkpoint is nil.
+//   - Unshardable checks (the plan has fewer than two shards, or planning
+//     failed) fall back to plain Check: exact or error, nothing to resume.
+//
+// PathsExplored, Elapsed and ResponsesCapped accumulate across rounds;
+// Depth, the verdict and the witness are those of the (sub)search. The
+// checkpoint serializes its rounds: concurrent identical requests resume
+// one at a time.
+func (c *Checker) CheckAnytime(ctx context.Context, sch *Schema, f Formula, prev *Checkpoint) (*Result, *Checkpoint, error) {
+	if sch == nil {
+		return nil, nil, fmt.Errorf("accesscheck: CheckAnytime: nil schema")
+	}
+	if f == nil {
+		return nil, nil, fmt.Errorf("accesscheck: CheckAnytime: nil formula")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	engine := c.resolveEngine(f)
+	key := c.anytimeKey(sch, f)
+	if prev != nil {
+		if pk := prev.Key(); pk != key {
+			return nil, nil, fmt.Errorf("accesscheck: CheckAnytime: checkpoint belongs to a different check (key %q, want %q)", pk, key)
+		}
+	}
+
+	// Resolve the target shard set and the plan size. A shard-restricted
+	// checker targets its configured subset and can defer the plan size
+	// (its caller — the fabric worker — knows the plan already); a whole
+	// check targets the full canonical partition and needs the plan once.
+	var target []int
+	planSize := 0
+	if prev != nil {
+		planSize = prev.PlanSize()
+	}
+	if c.shards != nil {
+		target = dedupSortedShards(c.shards)
+	} else {
+		if planSize == 0 {
+			plan, _, err := c.ShardPlan(ctx, sch, f)
+			if err != nil || len(plan) < 2 {
+				// Unshardable (or planning failed): there is no frontier to
+				// slice, so anytime degenerates to the plain check.
+				res, cerr := c.Check(ctx, sch, f)
+				if cerr != nil {
+					return nil, nil, cerr
+				}
+				res.Coverage = 1
+				return res, nil, nil
+			}
+			planSize = len(plan)
+		}
+		target = make([]int, planSize)
+		for i := range target {
+			target[i] = i
+		}
+	}
+
+	cp := prev
+	if cp == nil {
+		cp = newCheckpoint(key, engine, planSize)
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.planSize == 0 {
+		cp.planSize = planSize
+	}
+
+	remaining := make([]int, 0, len(target))
+	for _, s := range target {
+		if !cp.completed[s] {
+			remaining = append(remaining, s)
+		}
+	}
+	if len(remaining) == 0 {
+		// Prior rounds already explored every targeted shard without a
+		// witness: synthesize the exact-for-target answer from the frontier.
+		return c.anytimeExact(f, engine, cp, target, nil), cp, nil
+	}
+	if err := ctx.Err(); err != nil {
+		// Budget already blown before this round could start.
+		return c.anytimeAfterExpiry(f, engine, cp, target, err)
+	}
+
+	attempt := remaining
+	if c.anytimeChunk > 0 && len(attempt) > c.anytimeChunk {
+		attempt = attempt[:c.anytimeChunk]
+	}
+
+	round := *c
+	round.shards = attempt
+	round.solverMemo = cp.solverMemo
+	round.emptinessMemo = cp.emptinessMemo
+
+	start := time.Now()
+	sr, automStates, err := round.runSolve(ctx, sch, f, engine)
+	cp.rounds++
+	cp.paths += sr.PathsExplored
+	cp.elapsed += time.Since(start)
+	cp.responsesCapped = cp.responsesCapped || sr.ResponsesCapped
+	if sr.Depth > 0 {
+		cp.depth = sr.Depth
+	}
+	if automStates > 0 {
+		cp.automStates = automStates
+	}
+	if err == nil && !sr.Satisfiable && !sr.Truncated {
+		// The round ran to completion: every attempted shard was fully
+		// explored, including the degenerate case where the root visit
+		// settled the space before the shard walk began (the engine then
+		// reports no per-shard completions at all).
+		for _, s := range attempt {
+			cp.completed[s] = true
+		}
+	} else {
+		for _, s := range sr.CompletedShards {
+			cp.completed[s] = true
+		}
+	}
+
+	switch {
+	case err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled):
+		// Real failure: nothing to answer, nothing worth resuming.
+		return nil, nil, err
+	case err != nil:
+		return c.anytimeAfterExpiry(f, engine, cp, target, err)
+	case sr.Satisfiable:
+		res := c.anytimeBase(f, engine, cp)
+		res.Satisfiable = true
+		res.Witness = sr.Witness
+		res.Depth = sr.Depth
+		res.Coverage = 1
+		c.tagShardSubset(res, cp, target)
+		return res, cp, nil
+	case sr.Truncated:
+		// Path-capped round: the cap's exact budget semantics do not
+		// compose across rounds, so this is a final truncated answer — and
+		// the checkpoint dies with it (its frontier would misrepresent a
+		// search the cap, not the shard set, cut short).
+		res := c.anytimeBase(f, engine, cp)
+		res.Truncated = true
+		res.Depth = sr.Depth
+		res.Coverage = 1
+		c.tagShardSubset(res, cp, target)
+		return res, nil, nil
+	default:
+		done := cp.completedWithinLocked(target)
+		if len(done) == len(target) {
+			return c.anytimeExact(f, engine, cp, target, &sr), cp, nil
+		}
+		// Chunked round: more frontier remains by construction.
+		return c.anytimePartial(f, engine, cp, target, len(done)), cp, nil
+	}
+}
+
+// anytimeAfterExpiry resolves a blown budget against the frontier: a
+// resumable partial when at least one targeted shard is covered, the bare
+// context error (plus the warm checkpoint) when none is. Called with cp.mu
+// held.
+func (c *Checker) anytimeAfterExpiry(f Formula, engine Engine, cp *Checkpoint, target []int, err error) (*Result, *Checkpoint, error) {
+	done := cp.completedWithinLocked(target)
+	if len(done) == 0 {
+		return nil, cp, err
+	}
+	if len(done) == len(target) {
+		// The expiry hit after the frontier was already complete (a resume
+		// whose prior rounds covered everything): still an exact answer.
+		return c.anytimeExact(f, engine, cp, target, nil), cp, nil
+	}
+	return c.anytimePartial(f, engine, cp, target, len(done)), cp, nil
+}
+
+// anytimeBase builds the classification scaffold of a Result with the
+// cumulative round statistics folded in. Called with cp.mu held.
+func (c *Checker) anytimeBase(f Formula, engine Engine, cp *Checkpoint) *Result {
+	info := accltl.Classify(f)
+	frag, inFragment := info.Fragment()
+	return &Result{
+		Info:            info,
+		Fragment:        frag,
+		InFragment:      inFragment,
+		Decidable:       inFragment && frag.Decidable(),
+		Engine:          engine,
+		PathsExplored:   cp.paths,
+		Depth:           cp.depth,
+		AutomatonStates: cp.automStates,
+		Elapsed:         cp.elapsed,
+	}
+}
+
+// anytimeExact is the exact-for-target unsatisfiable answer synthesized
+// from a complete frontier. sr, when non-nil, is the round that completed
+// the cover (its Depth is the freshest bound). Called with cp.mu held.
+func (c *Checker) anytimeExact(f Formula, engine Engine, cp *Checkpoint, target []int, sr *accltl.SolveResult) *Result {
+	res := c.anytimeBase(f, engine, cp)
+	if sr != nil && sr.Depth > 0 {
+		res.Depth = sr.Depth
+	}
+	res.Coverage = 1
+	res.ResponsesCapped = cp.responsesCapped
+	res.Truncated = cp.responsesCapped
+	c.tagShardSubset(res, cp, target)
+	return res
+}
+
+// anytimePartial is the resumable coverage-tagged partial answer: no
+// witness in the explored region, nothing claimed about the rest. Called
+// with cp.mu held.
+func (c *Checker) anytimePartial(f Formula, engine Engine, cp *Checkpoint, target []int, done int) *Result {
+	res := c.anytimeBase(f, engine, cp)
+	res.Truncated = true
+	res.ResponsesCapped = cp.responsesCapped
+	res.Resumable = true
+	res.Coverage = float64(done) / float64(len(target))
+	res.ShardsCompleted = done
+	res.ShardsTotal = cp.planSize
+	return res
+}
+
+// tagShardSubset mirrors Check's coverage tagging for shard-restricted
+// checkers on exact answers: a subset verdict names what it covers. Whole
+// checks keep zero tags, like Check. Called with cp.mu held.
+func (c *Checker) tagShardSubset(res *Result, cp *Checkpoint, target []int) {
+	if c.shards == nil {
+		return
+	}
+	res.ShardsCompleted = len(target)
+	res.ShardsTotal = cp.planSize
+}
+
+// dedupSortedShards collapses duplicates and sorts ascending, the engine's
+// own canonicalization of a shard subset.
+func dedupSortedShards(indexes []int) []int {
+	seen := make(map[int]bool, len(indexes))
+	out := make([]int, 0, len(indexes))
+	for _, i := range indexes {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

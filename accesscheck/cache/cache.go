@@ -1,28 +1,34 @@
-// Package cache is the result cache of the task server: a concurrency-safe
-// LRU keyed by Checker.FingerprintTask (task-kind-keyed, so results of
-// different kinds can never collide), with an admission rule that protects
-// correctness — only exact results enter. A truncated result (path cap,
-// depth interplay, response cap, cut unfolding, or exhausted chase budget —
-// see accesscheck.TaskResult.Truncated) is a verdict relative to a budget,
-// and a later caller with a different budget must not inherit it; cancelled
-// or failed tasks never produce a TaskResult at all. Admitting only
-// Truncated == false entries makes a cache hit semantically identical to
-// re-running the solve.
+// Package cache is the bounded LRU the task server builds its stores on: a
+// concurrency-safe generic LRU keyed by fingerprint strings, with a
+// caller-supplied admission rule that protects correctness. The server uses
+// two instantiations with opposite admission disciplines that must never
+// mix:
+//
+//   - the exact-result cache admits only Truncated == false TaskResults
+//     (a truncated result is a verdict relative to a budget, and a later
+//     caller with a different budget must not inherit it; cancelled or
+//     failed tasks never produce a TaskResult at all), so a cache hit is
+//     semantically identical to re-running the solve;
+//   - the checkpoint store holds exactly the opposite — suspended partial
+//     searches — and its entries are never served as answers, only resumed.
+//
+// Keeping the admission rule a constructor argument (instead of a baked-in
+// Truncated check) is what lets both live on one implementation without any
+// risk of a partial entering an exact cache: each store's rule is fixed at
+// construction.
 package cache
 
 import (
 	"container/list"
 	"sync"
-
-	"accltl/accesscheck"
 )
 
-// LRU is a fixed-capacity least-recently-used result cache. The zero value
-// is not usable; construct with New. All methods are safe for concurrent
-// use.
-type LRU struct {
+// LRU is a fixed-capacity least-recently-used store. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type LRU[V any] struct {
 	mu    sync.Mutex
 	cap   int
+	admit func(V) bool
 	ll    *list.List
 	items map[string]*list.Element
 
@@ -32,50 +38,52 @@ type LRU struct {
 	evictions uint64
 }
 
-type entry struct {
+type entry[V any] struct {
 	key string
-	res accesscheck.TaskResult
+	val V
 }
 
-// New builds an LRU holding at most capacity results; capacity < 1 is
-// treated as 1 so the cache is always well-formed.
-func New(capacity int) *LRU {
+// New builds an LRU holding at most capacity values; capacity < 1 is
+// treated as 1 so the cache is always well-formed. admit is the admission
+// rule applied by Add; nil admits everything.
+func New[V any](capacity int, admit func(V) bool) *LRU[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &LRU{
+	return &LRU[V]{
 		cap:   capacity,
+		admit: admit,
 		ll:    list.New(),
 		items: make(map[string]*list.Element, capacity),
 	}
 }
 
-// Get returns the cached result for the key, marking it most recently used.
-// The returned TaskResult is a copy of the cached value — callers may not
-// observe each other's mutations — but the embedded per-kind reports and
-// witnesses are shared and must be treated as immutable, which every caller
-// of Do already does.
-func (c *LRU) Get(key string) (*accesscheck.TaskResult, bool) {
+// Get returns the cached value for the key, marking it most recently used.
+// The value is returned by Go value semantics: for struct instantiations
+// callers get a copy and cannot observe each other's mutations, while any
+// pointers it embeds (per-kind reports, witnesses, checkpoint state) are
+// shared and must be treated per the owning store's contract.
+func (c *LRU[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	res := el.Value.(*entry).res
-	return &res, true
+	return el.Value.(*entry[V]).val, true
 }
 
-// Add admits the result under the key, evicting the least recently used
-// entry if the cache is full. It refuses — and reports false for — nil and
-// truncated results: a cap-relative verdict cached as exact would poison
-// every later identical request, which is precisely the failure mode the
-// server exists to avoid.
-func (c *LRU) Add(key string, res *accesscheck.TaskResult) bool {
-	if res == nil || res.Truncated {
+// Add admits the value under the key, evicting the least recently used
+// entry if the cache is full. It refuses — and reports false for — values
+// the admission rule rejects: for the exact-result instantiation that is
+// precisely the truncated results whose cap-relative verdicts would poison
+// every later identical request.
+func (c *LRU[V]) Add(key string, val V) bool {
+	if c.admit != nil && !c.admit(val) {
 		c.mu.Lock()
 		c.rejected++
 		c.mu.Unlock()
@@ -84,22 +92,38 @@ func (c *LRU) Add(key string, res *accesscheck.TaskResult) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).res = *res
+		el.Value.(*entry[V]).val = val
 		c.ll.MoveToFront(el)
 		return true
 	}
-	c.items[key] = c.ll.PushFront(&entry{key: key, res: *res})
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
+		delete(c.items, oldest.Value.(*entry[V]).key)
 		c.evictions++
 	}
 	return true
 }
 
-// Len reports the number of cached results.
-func (c *LRU) Len() int {
+// Remove deletes the key's entry, if present, and reports whether it did.
+// The checkpoint store needs it: once a check reaches an exact verdict its
+// suspended frontier is obsolete and must not be resumed by a later
+// identical request.
+func (c *LRU[V]) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// Len reports the number of cached values.
+func (c *LRU[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
@@ -111,15 +135,14 @@ type Stats struct {
 	Size, Capacity int
 	// Hits and Misses count Get outcomes.
 	Hits, Misses uint64
-	// Rejected counts Add calls refused by the admission rule (nil or
-	// truncated results).
+	// Rejected counts Add calls refused by the admission rule.
 	Rejected uint64
 	// Evictions counts entries displaced by capacity pressure.
 	Evictions uint64
 }
 
 // Stats snapshots the counters.
-func (c *LRU) Stats() Stats {
+func (c *LRU[V]) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{

@@ -1,25 +1,34 @@
 package cache
 
+// The tests use a local stand-in value type rather than accesscheck's
+// TaskResult: the accesscheck package itself instantiates this cache (the
+// checkpoint store), so importing it here would be a cycle. The admission
+// rule under test is the same exact-only discipline the server installs.
+
 import (
 	"fmt"
 	"sync"
 	"testing"
-
-	"accltl/accesscheck"
 )
 
-func exact(sat bool) *accesscheck.TaskResult {
-	return &accesscheck.TaskResult{Kind: accesscheck.TaskCheck, Verdict: sat,
-		Check: &accesscheck.Result{Satisfiable: sat}}
+type res struct {
+	verdict   bool
+	truncated bool
 }
 
+func newExactOnly(capacity int) *LRU[res] {
+	return New(capacity, func(r res) bool { return !r.truncated })
+}
+
+func exact(sat bool) res { return res{verdict: sat} }
+
 func TestAddGetRoundTrip(t *testing.T) {
-	c := New(4)
+	c := newExactOnly(4)
 	if !c.Add("k1", exact(true)) {
 		t.Fatal("exact result refused")
 	}
 	got, ok := c.Get("k1")
-	if !ok || !got.Verdict {
+	if !ok || !got.verdict {
 		t.Fatalf("Get(k1) = %+v, %v", got, ok)
 	}
 	if _, ok := c.Get("absent"); ok {
@@ -32,23 +41,30 @@ func TestAddGetRoundTrip(t *testing.T) {
 }
 
 func TestTruncatedResultsRefused(t *testing.T) {
-	c := New(4)
-	if c.Add("t", &accesscheck.TaskResult{Truncated: true}) {
+	c := newExactOnly(4)
+	if c.Add("t", res{truncated: true}) {
 		t.Fatal("truncated result admitted")
-	}
-	if c.Add("n", nil) {
-		t.Fatal("nil result admitted")
 	}
 	if _, ok := c.Get("t"); ok {
 		t.Error("truncated result served from cache")
 	}
-	if st := c.Stats(); st.Rejected != 2 || st.Size != 0 {
+	if st := c.Stats(); st.Rejected != 1 || st.Size != 0 {
 		t.Errorf("stats = %+v", st)
 	}
 }
 
+func TestNilAdmitAdmitsEverything(t *testing.T) {
+	c := New[res](2, nil)
+	if !c.Add("t", res{truncated: true}) {
+		t.Fatal("nil admission rule refused a value")
+	}
+	if got, ok := c.Get("t"); !ok || !got.truncated {
+		t.Fatalf("Get(t) = %+v, %v", got, ok)
+	}
+}
+
 func TestLRUEviction(t *testing.T) {
-	c := New(2)
+	c := newExactOnly(2)
 	c.Add("a", exact(true))
 	c.Add("b", exact(false))
 	c.Get("a") // a most recent; b is now the eviction candidate
@@ -68,18 +84,35 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestGetReturnsCopy(t *testing.T) {
-	c := New(2)
+	c := newExactOnly(2)
 	c.Add("k", exact(true))
 	r1, _ := c.Get("k")
-	r1.Verdict = false
+	r1.verdict = false
 	r2, _ := c.Get("k")
-	if !r2.Verdict {
+	if !r2.verdict {
 		t.Error("mutating a returned result leaked into the cache")
 	}
 }
 
+func TestRemove(t *testing.T) {
+	c := newExactOnly(4)
+	c.Add("k", exact(true))
+	if !c.Remove("k") {
+		t.Fatal("Remove reported no entry")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("removed entry still served")
+	}
+	if c.Remove("k") {
+		t.Error("second Remove reported an entry")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after Remove", c.Len())
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
-	c := New(16)
+	c := newExactOnly(16)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -89,6 +122,9 @@ func TestConcurrentAccess(t *testing.T) {
 				key := fmt.Sprintf("k%d", (g+i)%32)
 				c.Add(key, exact(i%2 == 0))
 				c.Get(key)
+				if i%7 == 0 {
+					c.Remove(key)
+				}
 				c.Len()
 				c.Stats()
 			}

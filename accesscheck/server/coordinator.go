@@ -13,9 +13,17 @@ package server
 // Fallbacks keep the surface total: a check whose plan fails or has fewer
 // than two slices, or a fabric with one healthy worker, forwards the whole
 // check to a single worker's /v1/check (still routed by fingerprint so its
-// whole-check cache stays hot). The coordinator holds no merged-result
-// cache of its own in this version — workers own all caching (see ROADMAP
-// follow-ons).
+// whole-check cache stays hot).
+//
+// The coordinator keeps two stores of its own, keyed by the shard-less
+// check fingerprint. The merged-result cache holds exact assembled
+// verdicts only (witness-settled or full-cover un-truncated), so a repeat
+// check answers without touching the fabric. The checkpoint store holds
+// the opposite — shard-group frontiers of checks whose dispatch came back
+// incomplete (worker budgets expired with partial progress, or shard
+// groups lost to degradable failures) — and a follow-up identical request
+// redispatches only the canonical indexes no stored part covers, merging
+// old and new parts into a monotonically growing cover.
 //
 // Non-check tasks (/v1/containment, /v1/relevance, /v1/chase, and the
 // matching mixed-batch items) are never fanned out — shard planning is a
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	"accltl/accesscheck"
+	"accltl/accesscheck/cache"
 	"accltl/accesscheck/fabric"
 )
 
@@ -82,6 +91,13 @@ type Coordinator struct {
 	// fingerprints are canonical in the payload alone, so a default checker
 	// agrees with every worker.
 	taskChk *accesscheck.Checker
+	// resCache holds exact merged verdicts (witness-settled, or full-cover
+	// and not cap-truncated) keyed by the shard-less fingerprint — the
+	// same key affinity routing uses. Partial merges never enter.
+	resCache *cache.LRU[fabric.ShardResult]
+	// ckpts holds shard-group frontiers of incomplete dispatches: the
+	// parts already collected plus the indexes they cover.
+	ckpts *cache.LRU[*coordCheckpoint]
 
 	checks        atomic.Uint64
 	fanouts       atomic.Uint64
@@ -89,8 +105,13 @@ type Coordinator struct {
 	dispatchErrs  atomic.Uint64
 	mergeFailures atomic.Uint64
 	partials      atomic.Uint64
+	resumes       atomic.Uint64
 	noWorkers     atomic.Uint64
-	failpoints    *fabric.Failpoints
+	// Cause-split context deaths, mirroring the worker-side counters: the
+	// request's own budget vs the client hanging up.
+	budgetExpiries atomic.Uint64
+	disconnects    atomic.Uint64
+	failpoints     *fabric.Failpoints
 	// taskForwards counts whole-task forwards per kind (check forwards are
 	// the plan/worker fallback counted in forwards).
 	taskForwards [numTaskKinds]atomic.Uint64
@@ -117,10 +138,18 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	scfg := cfg.Server.withDefaults()
 	c := &Coordinator{
-		cfg:    cfg.Server.withDefaults(),
+		cfg:    scfg,
 		client: client,
 		reg:    reg,
+		// Exact-only admission: a witness settles the check exactly however
+		// much coverage is missing; anything else must cover the full plan
+		// without cap truncation to answer a later identical request.
+		resCache: cache.New(scfg.CacheSize, func(r fabric.ShardResult) bool {
+			return r.Satisfiable || (!r.Truncated && r.ShardsTotal > 0 && r.ShardsCompleted == r.ShardsTotal)
+		}),
+		ckpts: cache.New(scfg.CacheSize, func(cc *coordCheckpoint) bool { return cc != nil }),
 		disp: &fabric.Dispatcher{
 			Client:     client,
 			Retries:    cfg.Retries,
@@ -186,14 +215,38 @@ func (c *Coordinator) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err, c.cfg.DefaultBudget)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	ctx, cancel := context.WithTimeoutCause(r.Context(), budget, errBudgetExhausted)
 	defer cancel()
 	res, err := c.doCheck(ctx, req)
 	if err != nil {
-		writeError(w, err, budget)
+		writeError(w, c.ctxErr(ctx, err), budget)
 		return
 	}
+	tagResumable(w, res, budget)
 	writeJSON(w, http.StatusOK, res)
+}
+
+// ctxErr attributes a context-death error to its cause, mirroring the
+// worker-side Server.ctxErr: the coordinator's own budget expiry answers
+// code "budget_exhausted" — including the fabric-internal form, where a
+// worker 504ed the wire budget derived from this request's budget — and a
+// vanished client answers 499 "client_disconnected". Non-context errors
+// pass through untouched.
+func (c *Coordinator) ctxErr(ctx context.Context, err error) error {
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, errBudgetExhausted), errors.Is(err, context.DeadlineExceeded):
+		c.budgetExpiries.Add(1)
+		return &httpError{status: http.StatusGatewayTimeout, code: "budget_exhausted",
+			err: fmt.Errorf("%w: request budget exhausted", context.DeadlineExceeded)}
+	default:
+		c.disconnects.Add(1)
+		return &httpError{status: statusClientClosedRequest, code: "client_disconnected",
+			err: fmt.Errorf("%w: client disconnected", context.Canceled)}
+	}
 }
 
 func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -205,39 +258,7 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if n < 0 {
 		return
 	}
-	out := BatchResponse{Results: make([]BatchItem, n)}
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			var itemBudget string
-			if req.Requests != nil {
-				itemBudget = req.Requests[i].Budget
-			} else {
-				itemBudget = req.Items[i].budget()
-			}
-			budget, err := c.resolveBudget(itemBudget, r)
-			if err != nil {
-				out.Results[i] = BatchItem{Error: err.Error()}
-				return
-			}
-			ctx, cancel := context.WithTimeout(r.Context(), budget)
-			defer cancel()
-			if req.Requests != nil {
-				res, err := c.doCheck(ctx, req.Requests[i])
-				if err != nil {
-					out.Results[i] = BatchItem{Error: err.Error()}
-					return
-				}
-				out.Results[i] = BatchItem{Result: res}
-				return
-			}
-			out.Results[i] = c.doTaskItem(ctx, &req.Items[i])
-		}(i)
-	}
-	wg.Wait()
-	writeJSON(w, http.StatusOK, out)
+	serveBatch(w, r, &req, n, c.resolveBudget, c.doCheck, c.doTaskItem)
 }
 
 // doTaskItem runs one mixed-batch item at the coordinator: check items go
@@ -325,6 +346,67 @@ func (c *Coordinator) doTaskItem(ctx context.Context, item *TaskRequest) BatchIt
 	return out
 }
 
+// coordCheckpoint is the coordinator's resume unit: the partial verdicts
+// already collected for one check plus the canonical indexes they cover. A
+// follow-up identical request redispatches only the uncovered indexes and
+// merges old and new parts — shard-group-granular anytime resume, the
+// distributed twin of the in-process checkpoint.
+type coordCheckpoint struct {
+	mu       sync.Mutex
+	planSize int
+	parts    []fabric.ShardResult
+	covered  map[int]bool
+}
+
+func newCoordCheckpoint(planSize int) *coordCheckpoint {
+	return &coordCheckpoint{planSize: planSize, covered: make(map[int]bool)}
+}
+
+// matches guards against plan drift: a frontier recorded against a
+// different partition size must not steer redispatch.
+func (cc *coordCheckpoint) matches(planSize int) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.planSize == planSize
+}
+
+// has reports whether a stored part already covers the index.
+func (cc *coordCheckpoint) has(idx int) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.covered[idx]
+}
+
+// absorb records a part's coverage. Parts overlapping what is already held
+// (a hedged duplicate, a concurrent identical request) are dropped whole —
+// Merge treats double coverage as an identity violation, so overlap
+// resolves here as first-wins.
+func (cc *coordCheckpoint) absorb(p fabric.ShardResult) {
+	if len(p.Shards) == 0 {
+		return
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for _, idx := range p.Shards {
+		if cc.covered[idx] {
+			return
+		}
+	}
+	for _, idx := range p.Shards {
+		cc.covered[idx] = true
+	}
+	cc.parts = append(cc.parts, p)
+}
+
+// snapshot copies the stored parts for merging.
+func (cc *coordCheckpoint) snapshot() []fabric.ShardResult {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	out := make([]fabric.ShardResult, len(cc.parts))
+	copy(out, cc.parts)
+	return out
+}
+
 // doCheck plans, fans out, and merges one check.
 func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse, error) {
 	if req.Formula == "" {
@@ -350,6 +432,15 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 	}
 	fp := chk.Fingerprint(sch, f)
 
+	// Merged-result cache: an exact verdict already assembled for this
+	// check answers without touching the fabric at all.
+	if hit, ok := c.resCache.Get(fp); ok {
+		c.checks.Add(1)
+		out := wireShardMerge(hit)
+		out.Cached = true
+		return out, nil
+	}
+
 	// The ring is built over every member — open breakers stay in it so
 	// affinity survives brief outages (the dispatcher's breaker gate skips
 	// them and fails over along the sequence) — but a request only
@@ -367,9 +458,20 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 	}
 	c.fanouts.Add(1)
 
-	// Group the plan's slices by their affinity owner, preserving canonical
-	// order inside each group; each group ships as one wire shard with the
-	// owner first in its hedge/failover candidate list.
+	// Resume: a stored frontier's covered indexes need no redispatch —
+	// only the shards no previous round completed go back on the wire.
+	var cc *coordCheckpoint
+	if v, ok := c.ckpts.Get(fp); ok && v.matches(len(plan)) {
+		cc = v
+		c.resumes.Add(1)
+	}
+	if cc == nil {
+		cc = newCoordCheckpoint(len(plan))
+	}
+
+	// Group the plan's not-yet-covered slices by their affinity owner,
+	// preserving canonical order inside each group; each group ships as one
+	// wire shard with the owner first in its hedge/failover candidate list.
 	type group struct {
 		refs []fabric.ShardRef
 		seq  []string
@@ -377,6 +479,9 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 	groups := make(map[string]*group)
 	var order []string
 	for _, sh := range plan {
+		if cc.has(sh.Index) {
+			continue
+		}
 		key := fabric.RouteKey(fp, sh.Key)
 		seq := router.Sequence(key, len(workers))
 		g, ok := groups[seq[0]]
@@ -396,6 +501,17 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 		err := context.DeadlineExceeded
 		return nil, err
 	}
+	// Reserve a merge window: the per-shard budget on the wire is shorter
+	// than the request's own remaining budget, so a worker whose slice ran
+	// out of time still answers its suspended partial BEFORE this request's
+	// deadline closes the connection. Shipping the full remainder instead
+	// would make both ends expire simultaneously and lose every partial to
+	// the dead connection — the request would 504 with zero collected
+	// coverage no matter how much the workers finished.
+	wireBudget := budget - budget/5
+	if wireBudget <= 0 {
+		wireBudget = budget
+	}
 
 	parts := make([]*fabric.ShardResult, len(order))
 	errs := make([]error, len(order))
@@ -408,7 +524,7 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 			Methods:   req.Methods,
 			Formula:   req.Formula,
 			Options:   fabricOptions(req.Options),
-			Budget:    budget.String(),
+			Budget:    wireBudget.String(),
 			PlanSize:  len(plan),
 			Shards:    g.refs,
 		}
@@ -421,7 +537,9 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 	}
 	wg.Wait()
 
-	merged := make([]fabric.ShardResult, 0, len(parts))
+	// Fold this round's successes into the frontier (overlap-safe), then
+	// merge the frontier as a whole: stored parts from suspended rounds and
+	// fresh parts participate identically.
 	var firstErr error
 	for i, err := range errs {
 		if err != nil {
@@ -430,8 +548,9 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 			}
 			continue
 		}
-		merged = append(merged, *parts[i])
+		cc.absorb(*parts[i])
 	}
+	merged := cc.snapshot()
 	if firstErr != nil {
 		// Graceful degradation: a shard group that exhausted its retries
 		// and failovers loses its slices, not the request. Whatever
@@ -441,16 +560,15 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 		// the answer is Unknown: Satisfiable=false, Truncated,
 		// ShardsCompleted < ShardsTotal. Partials are always Truncated, so
 		// the exact-only cache-admission rule keeps them out of every
-		// cache. Only infrastructure failures degrade: a 4xx means the
-		// request itself is wrong on every worker and fails outright.
+		// cache — instead their frontier is checkpointed, making the
+		// partial resumable: an identical request redispatches only the
+		// missing slices. Only infrastructure failures degrade: a 4xx
+		// means the request itself is wrong on every worker and fails
+		// outright.
 		if len(merged) > 0 && degradable(firstErr) {
 			res, err := fabric.MergeCover(merged, len(plan))
 			if err == nil {
-				c.checks.Add(1)
-				if res.ShardsCompleted < res.ShardsTotal {
-					c.partials.Add(1)
-				}
-				return wireShardMerge(res), nil
+				return c.finishMerge(fp, cc, res), nil
 			}
 			c.mergeFailures.Add(1)
 		}
@@ -459,6 +577,8 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 		// priority); unsat partials cannot stand in for the missing slices.
 		for _, p := range merged {
 			if p.Satisfiable {
+				c.resCache.Add(fp, p)
+				c.ckpts.Remove(fp)
 				return wireShardMerge(p), nil
 			}
 		}
@@ -470,8 +590,28 @@ func (c *Coordinator) doCheck(ctx context.Context, req CheckRequest) (*CheckResp
 		c.mergeFailures.Add(1)
 		return nil, &httpError{status: http.StatusBadGateway, err: err}
 	}
+	return c.finishMerge(fp, cc, res), nil
+}
+
+// finishMerge settles a successful merge against the two stores: exact
+// verdicts (witness, or full cover) enter the merged-result cache and
+// retire any checkpoint; incomplete covers — workers whose own budgets
+// expired with partial progress, or shard groups lost to degradable
+// failures — checkpoint their frontier so the next identical request
+// redispatches only what is missing.
+func (c *Coordinator) finishMerge(fp string, cc *coordCheckpoint, res fabric.ShardResult) *CheckResponse {
 	c.checks.Add(1)
-	return wireShardMerge(res), nil
+	if !res.Satisfiable && res.ShardsCompleted < res.ShardsTotal {
+		c.partials.Add(1)
+		c.ckpts.Add(fp, cc)
+	} else {
+		// Final answer. Admission still applies: a full-cover verdict
+		// truncated by path caps is cap-relative and stays out of the
+		// cache, but its checkpoint is spent either way.
+		c.resCache.Add(fp, res)
+		c.ckpts.Remove(fp)
+	}
+	return wireShardMerge(res)
 }
 
 // degradable reports whether a shard-group failure may be absorbed into a
@@ -682,7 +822,7 @@ func (c *Coordinator) serveForwardTask(w http.ResponseWriter, r *http.Request, i
 		writeError(w, err, c.cfg.DefaultBudget)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	ctx, cancel := context.WithTimeoutCause(r.Context(), budget, errBudgetExhausted)
 	defer cancel()
 	raw, err := c.forwardTask(ctx, path, req, t)
 	if err != nil {
@@ -775,8 +915,23 @@ func fabricOptions(o *CheckOptions) *fabric.CheckOptions {
 }
 
 // wireShardMerge renders a merged partial verdict as the public
-// CheckResponse.
+// CheckResponse. Coverage/Resumable follow the anytime contract: a witness
+// or a full cover is exact (Coverage 1); anything less is a resumable
+// partial — the coordinator checkpoints its frontier, so the identical
+// request redispatches only the missing shards.
 func wireShardMerge(res fabric.ShardResult) *CheckResponse {
+	out := wireShardMergeBase(res)
+	switch {
+	case res.Satisfiable || (res.ShardsTotal > 0 && res.ShardsCompleted == res.ShardsTotal):
+		out.Coverage = 1
+	case res.ShardsTotal > 0:
+		out.Coverage = float64(res.ShardsCompleted) / float64(res.ShardsTotal)
+		out.Resumable = true
+	}
+	return out
+}
+
+func wireShardMergeBase(res fabric.ShardResult) *CheckResponse {
 	return &CheckResponse{
 		Satisfiable:     res.Satisfiable,
 		Fragment:        res.Fragment,
@@ -870,7 +1025,18 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "accserve_coordinator_dispatch_errors_total %d\n", c.dispatchErrs.Load())
 	fmt.Fprintf(w, "accserve_coordinator_merge_failures_total %d\n", c.mergeFailures.Load())
 	fmt.Fprintf(w, "accserve_coordinator_partial_answers_total %d\n", c.partials.Load())
+	fmt.Fprintf(w, "accserve_coordinator_resumes_total %d\n", c.resumes.Load())
 	fmt.Fprintf(w, "accserve_coordinator_no_workers_total %d\n", c.noWorkers.Load())
+	fmt.Fprintf(w, "accserve_coordinator_budget_exhausted_total %d\n", c.budgetExpiries.Load())
+	fmt.Fprintf(w, "accserve_coordinator_client_disconnected_total %d\n", c.disconnects.Load())
+	rcs := c.resCache.Stats()
+	fmt.Fprintf(w, "accserve_coordinator_cache_hits_total %d\n", rcs.Hits)
+	fmt.Fprintf(w, "accserve_coordinator_cache_misses_total %d\n", rcs.Misses)
+	fmt.Fprintf(w, "accserve_coordinator_cache_size %d\n", rcs.Size)
+	fmt.Fprintf(w, "accserve_coordinator_cache_evictions_total %d\n", rcs.Evictions)
+	ccs := c.ckpts.Stats()
+	fmt.Fprintf(w, "accserve_coordinator_checkpoints_size %d\n", ccs.Size)
+	fmt.Fprintf(w, "accserve_coordinator_checkpoints_evictions_total %d\n", ccs.Evictions)
 	for _, k := range taskKinds {
 		if k == accesscheck.TaskCheck {
 			continue // whole-check forwards are accserve_coordinator_forwards_total

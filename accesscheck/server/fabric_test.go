@@ -506,8 +506,8 @@ func TestDeadlineCarriesRetryAfter(t *testing.T) {
 	if err := json.Unmarshal(body, &e); err != nil {
 		t.Fatal(err)
 	}
-	if e.Code != "deadline_exceeded" {
-		t.Errorf("error code = %q, want \"deadline_exceeded\"", e.Code)
+	if e.Code != "budget_exhausted" {
+		t.Errorf("error code = %q, want \"budget_exhausted\" (own-budget expiry names its cause)", e.Code)
 	}
 	if e.RetryAfter != 1 {
 		t.Errorf("retry_after_seconds = %d, want 1", e.RetryAfter)

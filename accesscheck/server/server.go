@@ -49,6 +49,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -124,7 +125,11 @@ func (c Config) withDefaults() Config {
 // usable.
 type Server struct {
 	cfg   Config
-	cache *cache.LRU
+	cache *cache.LRU[accesscheck.TaskResult]
+	// ckpts holds suspended anytime frontiers keyed by the shard-less check
+	// fingerprint: the opposite admission discipline of cache (partials
+	// only, never served as answers — see accesscheck.CheckpointStore).
+	ckpts *accesscheck.CheckpointStore
 	sem   chan struct{}
 	mux   *http.ServeMux
 	// taskChk runs the non-check tasks. Their verdicts and fingerprints are
@@ -132,16 +137,27 @@ type Server struct {
 	// one default-configured checker serves every such request.
 	taskChk *accesscheck.Checker
 
-	inFlight      atomic.Int64
-	checks        atomic.Uint64
-	truncations   atomic.Uint64
-	deadlines     atomic.Uint64
-	cancels       atomic.Uint64
-	errs          atomic.Uint64
-	parSum        atomic.Uint64
-	parCount      atomic.Uint64
-	shardChecks   atomic.Uint64
-	shardMismatch atomic.Uint64
+	inFlight    atomic.Int64
+	checks      atomic.Uint64
+	truncations atomic.Uint64
+	deadlines   atomic.Uint64
+	cancels     atomic.Uint64
+	// Cause-split expiry counters: deadlines/cancels keep the legacy
+	// totals, while these three attribute each context death to what
+	// actually killed it (see ctxErr).
+	budgetExpiries atomic.Uint64
+	shardExpiries  atomic.Uint64
+	disconnects    atomic.Uint64
+	// anytimePartials counts resumable coverage-tagged answers served;
+	// anytimeResumes counts requests that found a stored frontier to
+	// resume from.
+	anytimePartials atomic.Uint64
+	anytimeResumes  atomic.Uint64
+	errs            atomic.Uint64
+	parSum          atomic.Uint64
+	parCount        atomic.Uint64
+	shardChecks     atomic.Uint64
+	shardMismatch   atomic.Uint64
 
 	// Per-task-kind counters, indexed by accesscheck.TaskKind: requests
 	// received, truncated results served, and cache probe outcomes.
@@ -170,8 +186,11 @@ func New(cfg Config) *Server {
 		panic(err)
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   cache.New(cfg.CacheSize),
+		cfg: cfg,
+		// Exact results only: a truncated result is relative to this
+		// request's caps and must never answer a later identical request.
+		cache:   cache.New(cfg.CacheSize, func(tr accesscheck.TaskResult) bool { return !tr.Truncated }),
+		ckpts:   accesscheck.NewCheckpointStore(cfg.CacheSize),
 		sem:     make(chan struct{}, cfg.Workers),
 		mux:     http.NewServeMux(),
 		taskChk: taskChk,
@@ -241,6 +260,14 @@ type CheckResponse struct {
 	// region, nothing claimed about the rest.
 	ShardsCompleted int `json:"shards_completed,omitempty"`
 	ShardsTotal     int `json:"shards_total,omitempty"`
+	// Coverage / Resumable tag anytime answers (see accesscheck.Result):
+	// a Resumable response is a suspended partial whose frontier the
+	// server checkpointed — re-issuing the identical request resumes it,
+	// and RetryAfter suggests when (mirrored in a Retry-After header on
+	// single checks). Exact answers carry Coverage 1.
+	Coverage   float64 `json:"coverage,omitempty"`
+	Resumable  bool    `json:"resumable,omitempty"`
+	RetryAfter int     `json:"retry_after_seconds,omitempty"`
 }
 
 // BatchRequest carries many tasks; items are independent and answered in
@@ -280,39 +307,76 @@ type BatchResponse struct {
 
 // errorResponse is the structured error body every non-2xx JSON endpoint
 // answers with. Budget expiries additionally carry a machine-readable
-// backoff: Code "deadline_exceeded" and RetryAfter seconds, mirrored in a
-// Retry-After header, so coordinator retry logic and real clients can back
-// off programmatically instead of parsing prose.
+// backoff: a Code naming what killed the context ("budget_exhausted",
+// "shard_budget_exhausted", the legacy "deadline_exceeded" for externally
+// imposed deadlines, "client_disconnected") and RetryAfter seconds,
+// mirrored in a Retry-After header, so coordinator retry logic and real
+// clients can back off programmatically instead of parsing prose.
 type errorResponse struct {
 	Error      string `json:"error"`
 	Code       string `json:"code,omitempty"`
 	RetryAfter int    `json:"retry_after_seconds,omitempty"`
 }
 
-// writeError renders err with its mapped status. budget is the request's
-// resolved budget, used to suggest a retry horizon on 504: a check that
-// exhausted this budget needs at least a comparable budget again, so the
-// header names the budget in whole seconds (minimum 1).
+// Context causes: every deadline the server imposes is armed with one of
+// these via context.WithTimeoutCause, so an expired context can say whether
+// the request's own budget died, a coordinator-imposed per-shard budget
+// died, or the client went away — three conditions that demand different
+// operator responses (raise budgets / retune shard fan-out / nothing).
+//
+// The causes leak beyond our own handlers: net/http surfaces the context
+// CAUSE (not context.DeadlineExceeded) in the errors of requests whose
+// context expired, so a coordinator whose budget dies mid-dispatch sees
+// `Post ...: request budget exhausted` from the transport. Every deadline
+// classifier in the fabric (BreakerFailure, retryable, recordForward) asks
+// errors.Is(err, context.DeadlineExceeded) — so the sentinels answer yes
+// to that question via a custom Is, keeping them deadline errors wherever
+// they travel while staying distinct identities for cause mapping.
+type budgetCause struct{ msg string }
+
+func (e *budgetCause) Error() string { return e.msg }
+
+// Is makes the sentinel interchangeable with context.DeadlineExceeded for
+// classification while remaining its own identity for cause switches.
+func (e *budgetCause) Is(target error) bool { return target == context.DeadlineExceeded }
+
+var (
+	errBudgetExhausted      error = &budgetCause{msg: "request budget exhausted"}
+	errShardBudgetExhausted error = &budgetCause{msg: "shard budget exhausted"}
+)
+
+// retrySecs rounds a budget up to whole seconds (minimum 1): a check that
+// exhausted this budget needs at least a comparable budget again.
+func retrySecs(budget time.Duration) int {
+	secs := int((budget + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// writeError renders err with its mapped status; budget suggests the retry
+// horizon on 504s that do not carry their own.
 func writeError(w http.ResponseWriter, err error, budget time.Duration) {
 	status := statusOf(err)
 	body := errorResponse{Error: err.Error()}
 	var he *httpError
 	if errors.As(err, &he) && he.code != "" {
-		// An error carrying its own machine-readable code and backoff
-		// (e.g. the coordinator's no_healthy_workers 503) renders them.
+		// An error carrying its own machine-readable code (a cause-tagged
+		// expiry, the coordinator's no_healthy_workers 503) renders it.
 		body.Code = he.code
-		if he.retryAfter > 0 {
-			body.RetryAfter = he.retryAfter
-			w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+		body.RetryAfter = he.retryAfter
+	}
+	if status == http.StatusGatewayTimeout {
+		if body.Code == "" {
+			body.Code = "deadline_exceeded"
 		}
-	} else if status == http.StatusGatewayTimeout {
-		secs := int((budget + time.Second - 1) / time.Second)
-		if secs < 1 {
-			secs = 1
+		if body.RetryAfter == 0 {
+			body.RetryAfter = retrySecs(budget)
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		body.Code = "deadline_exceeded"
-		body.RetryAfter = secs
+	}
+	if body.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfter))
 	}
 	writeJSON(w, status, body)
 }
@@ -426,13 +490,19 @@ func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse,
 	}
 	s.taskCacheMisses[accesscheck.TaskCheck].Add(1)
 
+	// Anytime frontier: an identical request that blew its budget earlier
+	// left a suspended checkpoint under this fingerprint; resume it instead
+	// of restarting from scratch.
+	prev, _ := s.ckpts.Get(fp)
+	if prev != nil {
+		s.anytimeResumes.Add(1)
+	}
+
 	// Acquire a worker slot without outliving the budget.
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		err := ctx.Err()
-		s.countCtxErr(err)
-		return nil, err
+		return nil, s.ctxErr(ctx, ctx.Err())
 	}
 	s.inFlight.Add(1)
 	// Per-request parallelism telemetry: sum/count expose the average
@@ -443,25 +513,39 @@ func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse,
 	// explored.
 	s.parSum.Add(uint64(par))
 	s.parCount.Add(1)
-	res, err := chk.Check(ctx, sch, f)
+	res, cp, err := chk.CheckAnytime(ctx, sch, f, prev)
 	s.inFlight.Add(-1)
 	<-s.sem
 
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.countCtxErr(err)
-			return nil, err
+			// Expired with no completed shard: no honest coverage to
+			// answer with, but the checkpoint's warm memo tables still
+			// accelerate a retry.
+			s.ckpts.Put(cp)
+			return nil, s.ctxErr(ctx, err)
 		}
 		s.errs.Add(1)
 		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
 	}
 	s.checks.Add(1)
+	if res.Resumable {
+		// Budget blown with progress made: a coverage-tagged partial, and
+		// the frontier checkpointed so the next identical request resumes.
+		// Resumable answers are always Truncated — never cache-admissible.
+		s.anytimePartials.Add(1)
+		s.truncations.Add(1)
+		s.taskTruncations[accesscheck.TaskCheck].Add(1)
+		s.ckpts.Put(cp)
+		return wireResult(res, false), nil
+	}
+	s.ckpts.Remove(fp)
 	if res.Truncated {
 		// Cap-relative verdict: served, counted, never cached.
 		s.truncations.Add(1)
 		s.taskTruncations[accesscheck.TaskCheck].Add(1)
 	} else {
-		s.cache.Add(fp, checkTaskResult(res))
+		s.cache.Add(fp, *checkTaskResult(res))
 	}
 	return wireResult(res, false), nil
 }
@@ -496,6 +580,8 @@ func wireResult(res *accesscheck.Result, cached bool) *CheckResponse {
 		Cached:          cached,
 		ShardsCompleted: res.ShardsCompleted,
 		ShardsTotal:     res.ShardsTotal,
+		Coverage:        res.Coverage,
+		Resumable:       res.Resumable,
 	}
 	if res.Witness != nil {
 		out.Witness = res.Witness.String()
@@ -503,14 +589,39 @@ func wireResult(res *accesscheck.Result, cached bool) *CheckResponse {
 	return out
 }
 
-// countCtxErr keeps the headline metric meaningful: deadline expiries mean
-// "budgets too tight", cancellations mean "client went away" — conflating
-// them would let ordinary disconnects inflate the budget alarm.
-func (s *Server) countCtxErr(err error) {
-	if errors.Is(err, context.DeadlineExceeded) {
+// ctxErr converts a context death into the error the route answers with,
+// attributing it to its cause. The legacy deadlines/cancels totals keep
+// their meaning ("budgets too tight" vs "client went away"); the
+// cause-split counters and the returned code distinguish the server's own
+// request budget from a coordinator-imposed per-shard budget from a client
+// disconnect — conflating them would let ordinary disconnects inflate the
+// budget alarm, and budget expiry is the one retrying helps.
+func (s *Server) ctxErr(ctx context.Context, err error) error {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = err
+	}
+	switch {
+	case errors.Is(cause, errBudgetExhausted):
 		s.deadlines.Add(1)
-	} else {
+		s.budgetExpiries.Add(1)
+		return &httpError{status: http.StatusGatewayTimeout, code: "budget_exhausted",
+			err: fmt.Errorf("%w: %v", context.DeadlineExceeded, cause)}
+	case errors.Is(cause, errShardBudgetExhausted):
+		s.deadlines.Add(1)
+		s.shardExpiries.Add(1)
+		return &httpError{status: http.StatusGatewayTimeout, code: "shard_budget_exhausted",
+			err: fmt.Errorf("%w: %v", context.DeadlineExceeded, cause)}
+	case errors.Is(err, context.DeadlineExceeded):
+		// An externally imposed deadline (a caller-supplied context): the
+		// legacy code, no cause to blame.
+		s.deadlines.Add(1)
+		return err
+	default:
 		s.cancels.Add(1)
+		s.disconnects.Add(1)
+		return &httpError{status: statusClientClosedRequest, code: "client_disconnected",
+			err: fmt.Errorf("%w: client disconnected", context.Canceled)}
 	}
 }
 
@@ -569,14 +680,29 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err, s.cfg.DefaultBudget)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	ctx, cancel := context.WithTimeoutCause(r.Context(), budget, errBudgetExhausted)
 	defer cancel()
 	res, err := s.doCheck(ctx, req)
 	if err != nil {
 		writeError(w, err, budget)
 		return
 	}
+	tagResumable(w, res, budget)
 	writeJSON(w, http.StatusOK, res)
+}
+
+// tagResumable stamps the retry horizon on a resumable 200: the identical
+// request, re-issued after roughly the same budget, resumes the stored
+// frontier. The header rides only on single-check responses; batch items
+// carry the field alone.
+func tagResumable(w http.ResponseWriter, res *CheckResponse, budget time.Duration) {
+	if !res.Resumable {
+		return
+	}
+	res.RetryAfter = retrySecs(budget)
+	if w != nil {
+		w.Header().Set("Retry-After", strconv.Itoa(res.RetryAfter))
+	}
 }
 
 // checkBatchSize validates the two batch forms share one size policy;
@@ -624,42 +750,102 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if n < 0 {
 		return
 	}
-	out := BatchResponse{Results: make([]BatchItem, n)}
+	serveBatch(w, r, &req, n, s.resolveBudget, s.doCheck, s.doTaskItem)
+}
+
+// BatchStreamItem is one NDJSON line of a streamed /v1/batch response: the
+// item's index in the request plus its outcome. Lines arrive in completion
+// order, not request order — the index is the correlation.
+type BatchStreamItem struct {
+	Index int `json:"index"`
+	BatchItem
+}
+
+// wantsNDJSON reports whether the client asked for a streamed batch.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// serveBatch is the batch engine the standalone server and the coordinator
+// share: per-item budgets anchored at arrival, bounded by whoever runs the
+// items, and two response shapes. The default buffers everything into one
+// BatchResponse; with "Accept: application/x-ndjson" each item streams as
+// its own line the moment it completes, so slow items do not delay fast
+// ones reaching the client.
+func serveBatch(w http.ResponseWriter, r *http.Request, req *BatchRequest, n int,
+	resolveBudget func(string, *http.Request) (time.Duration, error),
+	doCheck func(context.Context, CheckRequest) (*CheckResponse, error),
+	doTaskItem func(context.Context, *TaskRequest) BatchItem,
+) {
+	stream := wantsNDJSON(r)
+	results := make([]BatchItem, n)
+	var done chan int
+	if stream {
+		done = make(chan int, n)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if stream {
+				defer func() { done <- i }()
+			}
 			var itemBudget string
 			if req.Requests != nil {
 				itemBudget = req.Requests[i].Budget
 			} else {
 				itemBudget = req.Items[i].budget()
 			}
-			budget, err := s.resolveBudget(itemBudget, r)
+			budget, err := resolveBudget(itemBudget, r)
 			if err != nil {
-				out.Results[i] = BatchItem{Error: err.Error()}
+				results[i] = BatchItem{Error: err.Error()}
 				return
 			}
 			// Deadlines are per item, all anchored at arrival: the worker
 			// pool bounds actual parallelism, and an item whose budget
 			// expires while queued fails fast instead of hogging a slot.
-			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			ctx, cancel := context.WithTimeoutCause(r.Context(), budget, errBudgetExhausted)
 			defer cancel()
 			if req.Requests != nil {
-				res, err := s.doCheck(ctx, req.Requests[i])
+				res, err := doCheck(ctx, req.Requests[i])
 				if err != nil {
-					out.Results[i] = BatchItem{Error: err.Error()}
+					results[i] = BatchItem{Error: err.Error()}
 					return
 				}
-				out.Results[i] = BatchItem{Result: res}
+				tagResumable(nil, res, budget)
+				results[i] = BatchItem{Result: res}
 				return
 			}
-			out.Results[i] = s.doTaskItem(ctx, &req.Items[i])
+			item := doTaskItem(ctx, &req.Items[i])
+			if item.Result != nil {
+				tagResumable(nil, item.Result, budget)
+			}
+			results[i] = item
 		}(i)
 	}
-	wg.Wait()
-	writeJSON(w, http.StatusOK, out)
+	if !stream {
+		wg.Wait()
+		writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+		return
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// Single writer: item goroutines publish completion via the channel
+	// (which orders their writes to results[i] before our read), and only
+	// this loop touches the ResponseWriter.
+	for i := range done {
+		_ = enc.Encode(BatchStreamItem{Index: i, BatchItem: results[i]})
+		if fl != nil {
+			fl.Flush()
+		}
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -682,6 +868,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "accserve_truncations_total %d\n", s.truncations.Load())
 	fmt.Fprintf(w, "accserve_deadline_exceeded_total %d\n", s.deadlines.Load())
 	fmt.Fprintf(w, "accserve_client_cancelled_total %d\n", s.cancels.Load())
+	fmt.Fprintf(w, "accserve_budget_exhausted_total %d\n", s.budgetExpiries.Load())
+	fmt.Fprintf(w, "accserve_shard_budget_exhausted_total %d\n", s.shardExpiries.Load())
+	fmt.Fprintf(w, "accserve_client_disconnected_total %d\n", s.disconnects.Load())
+	fmt.Fprintf(w, "accserve_anytime_partials_total %d\n", s.anytimePartials.Load())
+	fmt.Fprintf(w, "accserve_anytime_resumes_total %d\n", s.anytimeResumes.Load())
+	ks := s.ckpts.Stats()
+	fmt.Fprintf(w, "accserve_checkpoints_size %d\n", ks.Size)
+	fmt.Fprintf(w, "accserve_checkpoints_capacity %d\n", ks.Capacity)
+	fmt.Fprintf(w, "accserve_checkpoints_evictions_total %d\n", ks.Evictions)
 	fmt.Fprintf(w, "accserve_check_errors_total %d\n", s.errs.Load())
 	fmt.Fprintf(w, "accserve_shard_checks_total %d\n", s.shardChecks.Load())
 	fmt.Fprintf(w, "accserve_shard_plan_mismatches_total %d\n", s.shardMismatch.Load())

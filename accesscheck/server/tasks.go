@@ -296,16 +296,14 @@ func (s *Server) doTask(ctx context.Context, t *accesscheck.Task) (*accesscheck.
 	}
 	if tr, ok := s.cache.Get(fp); ok && tr.Kind == kind {
 		s.taskCacheHits[kind].Add(1)
-		return tr, true, nil
+		return &tr, true, nil
 	}
 	s.taskCacheMisses[kind].Add(1)
 
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		err := ctx.Err()
-		s.countCtxErr(err)
-		return nil, false, err
+		return nil, false, s.ctxErr(ctx, ctx.Err())
 	}
 	s.inFlight.Add(1)
 	res, err := s.taskChk.Do(ctx, t)
@@ -314,8 +312,7 @@ func (s *Server) doTask(ctx context.Context, t *accesscheck.Task) (*accesscheck.
 
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.countCtxErr(err)
-			return nil, false, err
+			return nil, false, s.ctxErr(ctx, err)
 		}
 		s.errs.Add(1)
 		return nil, false, &httpError{status: http.StatusUnprocessableEntity, err: err}
@@ -324,7 +321,7 @@ func (s *Server) doTask(ctx context.Context, t *accesscheck.Task) (*accesscheck.
 		s.truncations.Add(1)
 		s.taskTruncations[kind].Add(1)
 	} else {
-		s.cache.Add(fp, res)
+		s.cache.Add(fp, *res)
 	}
 	return res, false, nil
 }
@@ -338,7 +335,7 @@ func (s *Server) serveTask(w http.ResponseWriter, r *http.Request, itemBudget st
 		writeError(w, err, s.cfg.DefaultBudget)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	ctx, cancel := context.WithTimeoutCause(r.Context(), budget, errBudgetExhausted)
 	defer cancel()
 	tr, cached, err := s.doTask(ctx, t)
 	if err != nil {

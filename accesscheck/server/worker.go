@@ -85,7 +85,10 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err, s.cfg.DefaultBudget)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	// The shard budget is coordinator-imposed (shipped in the wire shard),
+	// not this request's own: its expiry gets its own cause so worker
+	// metrics and error bodies can tell the two apart.
+	ctx, cancel := context.WithTimeoutCause(r.Context(), budget, errShardBudgetExhausted)
 	defer cancel()
 	res, err := s.doShard(ctx, sh)
 	if err != nil {
@@ -120,8 +123,7 @@ func (s *Server) doShard(ctx context.Context, sh *fabric.Shard) (*fabric.ShardRe
 	plan, _, err := planChk.ShardPlan(ctx, sch, f)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.countCtxErr(err)
-			return nil, err
+			return nil, s.ctxErr(ctx, err)
 		}
 		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
 	}
@@ -148,33 +150,63 @@ func (s *Server) doShard(ctx context.Context, sh *fabric.Shard) (*fabric.ShardRe
 		return shardResult(sh, tr.Check, true), nil
 	}
 
+	// Anytime frontier, keyed by the shard-keyed fingerprint: each shard
+	// group of a check owns its own checkpoint, so a redispatch of the
+	// identical group (retry, hedge, or a resume round) picks up where the
+	// blown budget left off, while sibling groups of the same check can
+	// never fold each other's cumulative statistics into a partial report —
+	// a group's paths must cover exactly its own slices for the
+	// coordinator's merge arithmetic to stay honest.
+	prev, _ := s.ckpts.Get(fp)
+	if prev != nil {
+		s.anytimeResumes.Add(1)
+	}
+
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		err := ctx.Err()
-		s.countCtxErr(err)
-		return nil, err
+		return nil, s.ctxErr(ctx, ctx.Err())
 	}
 	s.inFlight.Add(1)
 	s.parSum.Add(uint64(par))
 	s.parCount.Add(1)
-	res, err := chk.Check(ctx, sch, f)
+	res, cp, err := chk.CheckAnytime(ctx, sch, f, prev)
 	s.inFlight.Add(-1)
 	<-s.sem
 
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.countCtxErr(err)
-			return nil, err
+			// Zero-progress expiry: no coverage to report, but the frontier's
+			// warm memo tables still accelerate a redispatch of this group.
+			s.ckpts.PutAs(fp, cp)
+			return nil, s.ctxErr(ctx, err)
 		}
 		s.errs.Add(1)
 		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
 	}
 	s.shardChecks.Add(1)
+	if res.Resumable {
+		// Partial coverage of the assigned group: keep the frontier for the
+		// redispatch, and report exactly the slices that finished so the
+		// coordinator's merge counts honest coverage and redispatches only
+		// the remainder. Resumable implies at least one completed slice (a
+		// zero-progress expiry errors above).
+		s.ckpts.PutAs(fp, cp)
+		s.truncations.Add(1)
+		s.anytimePartials.Add(1)
+		out := shardResult(sh, res, false)
+		out.Shards = cp.CompletedWithin(sh.Indexes())
+		out.ShardsCompleted = len(out.Shards)
+		return out, nil
+	}
+	// Settled (exact or final path-capped): the frontier is spent; drop it
+	// so a later identical group starts clean rather than resuming stale
+	// cumulative statistics.
+	s.ckpts.Remove(fp)
 	if res.Truncated {
 		s.truncations.Add(1)
 	} else {
-		s.cache.Add(fp, checkTaskResult(res))
+		s.cache.Add(fp, *checkTaskResult(res))
 	}
 	return shardResult(sh, res, false), nil
 }

@@ -11,13 +11,26 @@
 // Endpoints (see accltl/accesscheck/server for the wire format):
 //
 //	POST /v1/check?budget=250ms   one check
-//	POST /v1/batch                many checks, answered in order
+//	POST /v1/batch                many checks, answered in order; with
+//	                              `Accept: application/x-ndjson` items
+//	                              stream as NDJSON lines on completion
 //	POST /v1/shard                one fabric shard (partial check)
 //	POST /v1/join                 coordinator: worker membership join/renew
 //	GET  /v1/workers              coordinator: membership table admin view
 //	GET  /healthz                 liveness
 //	GET  /metrics                 counters: cache hits/misses, truncations,
-//	                              in-flight solves, deadline expiries
+//	                              in-flight solves, cause-split expiries
+//	                              (budget / shard budget / disconnect),
+//	                              anytime partials/resumes, checkpoints
+//
+// Anytime answers: a budget that expires mid-search with progress answers
+// 200 with `coverage` < 1, `resumable: true` and a Retry-After header; the
+// suspended frontier is checkpointed (bounded LRU, fingerprint-keyed) and
+// an identical follow-up request resumes it, executing only unfinished
+// shards. Repeat under a doubling budget to converge on the exact verdict.
+// Zero-progress expiry 504s with code "budget_exhausted" (or
+// "shard_budget_exhausted" for a coordinator-imposed per-shard deadline);
+// a vanished client is 499 "client_disconnected".
 //
 // Distributed roles: `-worker` names the default standalone role (every
 // server accepts /v1/shard); `-coordinator` runs the fan-out role instead,

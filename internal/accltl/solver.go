@@ -64,6 +64,16 @@ type SolveOptions struct {
 	// on. Setting Shards routes through the sharded engine even at
 	// Parallelism ≤ 1.
 	Shards []int
+	// Memo, when non-nil, carries the solver's shared tables (obligation
+	// interner, progression cache, dominance memo) across calls so a
+	// resumed search starts warm instead of cold (progressive deepening).
+	// Only the sharded engine consults it. The tables are only valid for
+	// repeat searches of the *same* formula under the same options — reuse
+	// across different checks is unsound and unchecked. A search that ends
+	// early (witness, cap, error) scrubs the commitments of its unfinished
+	// shard walks before returning, so the surviving entries are safe to
+	// prune against in a later round; see NewSolverMemo.
+	Memo *SolverMemo
 }
 
 // SolveResult reports a satisfiability verdict.
@@ -89,6 +99,14 @@ type SolveResult struct {
 	// were never examined: like Truncated, it demotes an unsatisfiable
 	// verdict from exact to cap-relative.
 	ResponsesCapped bool
+	// CompletedShards lists, ascending, the canonical root shards whose
+	// walk ran to completion; TotalShards is the partition size the indexes
+	// refer to. Populated only by the sharded engine (Parallelism > 1 or
+	// Shards set), and meaningful even when an error is returned alongside
+	// the result — checkpoint/resume reads them off a deadline-expired
+	// search to decide what not to redo.
+	CompletedShards []int
+	TotalShards     int
 }
 
 // SolveZeroAcc decides satisfiability of an AccLTL(FO∃+_0-Acc) or

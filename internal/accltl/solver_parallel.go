@@ -118,10 +118,49 @@ type solverMemoKey struct {
 }
 
 // obState mirrors the serial solver's per-prefix obligation bookkeeping.
+// key/recorded remember the dominance-memo entry the push committed, so a
+// persistent-memo search can scrub the commitments of a walk that was cut
+// short (see SolverMemo).
 type obState struct {
-	ob  ltl.Formula
-	id  int
-	len int
+	ob       ltl.Formula
+	id       int
+	len      int
+	key      solverMemoKey
+	recorded bool
+}
+
+// solverSpine is one shard walk's live obligation stack, registered so the
+// post-search sweep can reach it. The stack mirrors the DFS prefix chain:
+// when a walk is aborted (deadline, cap, early-cancel), the frames still on
+// the stack are exactly the subtrees that were entered but not finished —
+// their memo commitments must not survive into a resumed round. Frames of
+// already-completed sibling subtrees may linger on the stack too (pops are
+// lazy); scrubbing those as well is sound, it only costs pruning.
+type solverSpine struct {
+	shard int
+	stack []obState
+}
+
+// SolverMemo carries the sharded solver's shared tables across calls, so a
+// budget-sliced search resumes warm: the obligation interner and progression
+// cache are pure (always reusable), and the dominance memo is kept sound
+// across rounds by scrubbing unfinished walks' commitments after every
+// search (an entry that survives means some round finished that subtree
+// without finding a witness, so pruning against it later is sound). A memo
+// is tied to one (formula, options) pair; callers key it accordingly.
+type SolverMemo struct {
+	in   *obInterner
+	prog *progTable
+	memo *lts.DominanceMemo[solverMemoKey]
+}
+
+// NewSolverMemo builds an empty reusable table set.
+func NewSolverMemo() *SolverMemo {
+	return &SolverMemo{
+		in:   newObInterner(),
+		prog: newProgTable(),
+		memo: lts.NewDominanceMemo[solverMemoKey](func(k solverMemoKey) uint64 { return k.conf.A }),
+	}
 }
 
 // parallelBoundedSearch runs the sharded search. skeleton is already in
@@ -130,11 +169,21 @@ type obState struct {
 func parallelBoundedSearch(f Formula, opts SolveOptions, voc Vocabulary, skeleton ltl.Formula, letters []letterEntry, ltsOpts lts.Options, depth int) (SolveResult, error) {
 	res := SolveResult{Depth: depth}
 	useMask := len(letters) <= 64
-	in := newObInterner()
-	prog := newProgTable()
-	memo := lts.NewDominanceMemo[solverMemoKey](func(k solverMemoKey) uint64 { return k.conf.A })
+	tables := opts.Memo
+	persist := tables != nil
+	if tables == nil {
+		tables = NewSolverMemo()
+	}
+	in, prog, memo := tables.in, tables.prog, tables.memo
 	wit := &lts.WitnessBox[*access.Path]{}
 	skelID, skeleton := in.intern(skeleton)
+
+	// Spine registry for persistent memos: every shard walk's stack is kept
+	// reachable so unfinished walks can be scrubbed after the search joins.
+	var (
+		spineMu sync.Mutex
+		spines  []*solverSpine
+	)
 
 	factory := func(shard int) lts.Visitor {
 		// Per-shard obligation stack: the shard's DFS starts at depth 1, so
@@ -148,8 +197,15 @@ func parallelBoundedSearch(f Formula, opts SolveOptions, voc Vocabulary, skeleto
 		// progression / accept / prune / memo sequence in solver.go must be
 		// mirrored here, and vice versa; the W-grid equivalence tests are
 		// the tripwire.
-		stack := []obState{{ob: skeleton, id: skelID, len: 0}}
+		sp := &solverSpine{shard: shard, stack: []obState{{ob: skeleton, id: skelID, len: 0}}}
+		if persist {
+			spineMu.Lock()
+			spines = append(spines, sp)
+			spineMu.Unlock()
+		}
 		return func(p *access.Path, pre, conf *instance.Instance) (bool, error) {
+			stack := sp.stack
+			defer func() { sp.stack = stack }()
 			for len(stack) > 0 && stack[len(stack)-1].len >= p.Len() {
 				stack = stack[:len(stack)-1]
 			}
@@ -213,12 +269,16 @@ func parallelBoundedSearch(f Formula, opts SolveOptions, voc Vocabulary, skeleto
 			// Under idempotence the future also depends on the responses seen
 			// so far, so (config, obligation) memoization would be unsound —
 			// exactly as in the serial engine.
+			var mk solverMemoKey
+			recorded := false
 			if !opts.IdempotentOnly {
-				if memo.DominatedOrRecord(solverMemoKey{conf: conf.Hash(), ob: nextID}, depth-p.Len()) {
+				mk = solverMemoKey{conf: conf.Hash(), ob: nextID}
+				if memo.DominatedOrRecord(mk, depth-p.Len()) {
 					return false, nil
 				}
+				recorded = true
 			}
-			stack = append(stack, obState{ob: next, id: nextID, len: p.Len()})
+			stack = append(stack, obState{ob: next, id: nextID, len: p.Len(), key: mk, recorded: recorded})
 			return true, nil
 		}
 	}
@@ -226,6 +286,29 @@ func parallelBoundedSearch(f Formula, opts SolveOptions, voc Vocabulary, skeleto
 
 	rep, searchErr := lts.ExploreSharded(opts.Schema, ltsOpts, root, factory)
 	res.PathsExplored = rep.Paths
+	res.CompletedShards = rep.CompletedShards
+	res.TotalShards = rep.TotalShards
+	if persist {
+		// Scrub the persistent memo before anything is returned: frames
+		// still on the stack of a shard walk that did not complete are
+		// subtrees that were entered but never finished, and their pre-order
+		// commitments must not prune a resumed round. ExploreSharded has
+		// joined all walkers, so the stacks are quiescent.
+		done := make(map[int]bool, len(rep.CompletedShards))
+		for _, s := range rep.CompletedShards {
+			done[s] = true
+		}
+		for _, sp := range spines {
+			if done[sp.shard] {
+				continue
+			}
+			for i := range sp.stack {
+				if sp.stack[i].recorded {
+					memo.Remove(sp.stack[i].key)
+				}
+			}
+		}
+	}
 	if w, found := wit.Take(); found {
 		// A found witness settles the question even when another walker
 		// errored in the race window before the early-cancel broadcast

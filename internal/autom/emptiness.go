@@ -54,6 +54,13 @@ type EmptinessOptions struct {
 	// and must be merged across a full cover). Setting Shards routes through
 	// the sharded engine even at Parallelism ≤ 1.
 	Shards []int
+	// Memo, when non-nil, carries the product search's dominance memo
+	// across calls so a resumed search starts warm (progressive deepening).
+	// Only the sharded engine consults it, it is only valid for repeat
+	// searches of the same automaton under the same options, and searches
+	// that end early scrub their unfinished walks' commitments before
+	// returning; see NewEmptinessMemo.
+	Memo *EmptinessMemo
 }
 
 // EmptinessResult reports an emptiness verdict.
@@ -75,6 +82,13 @@ type EmptinessResult struct {
 	// ResponsesCapped reports that some subset-response fan-out was cut to
 	// MaxResponseChoices, so an "empty" verdict may have missed worlds.
 	ResponsesCapped bool
+	// CompletedShards lists, ascending, the canonical root shards whose
+	// walk ran to completion; TotalShards is the partition size the indexes
+	// refer to. Populated only by the sharded engine, and meaningful even
+	// when an error is returned alongside the result (checkpoint/resume
+	// reads them off a deadline-expired search).
+	CompletedShards []int
+	TotalShards     int
 }
 
 // IsEmpty decides language emptiness with the direct bounded product

@@ -11,6 +11,7 @@ package autom
 
 import (
 	"fmt"
+	"sync"
 
 	"accltl/internal/access"
 	"accltl/internal/instance"
@@ -24,18 +25,54 @@ type emptinessMemoKey struct {
 	states string
 }
 
+// EmptinessMemo carries the product search's dominance memo across calls so
+// a budget-sliced emptiness check resumes warm. The cross-round soundness
+// argument is the solver's (see accltl.SolverMemo): commitments of walks
+// that were cut short are scrubbed before every search returns, so a
+// surviving entry means some round finished that subtree without reaching
+// an accepting state. A memo is tied to one (automaton, options) pair.
+type EmptinessMemo struct {
+	memo *lts.DominanceMemo[emptinessMemoKey]
+}
+
+// NewEmptinessMemo builds an empty reusable memo.
+func NewEmptinessMemo() *EmptinessMemo {
+	return &EmptinessMemo{
+		memo: lts.NewDominanceMemo[emptinessMemoKey](func(k emptinessMemoKey) uint64 { return k.conf.A }),
+	}
+}
+
+// emptinessSpine is one shard walk's live simulation stack, registered so
+// the post-search sweep can scrub unfinished walks from a persistent memo.
+type emptinessSpine struct {
+	shard int
+	stack []emptinessFrame
+}
+
+type emptinessFrame struct {
+	states   map[int]bool
+	length   int
+	key      emptinessMemoKey
+	recorded bool
+}
+
 // isEmptyParallel runs the sharded product search; ltsOpts carries the
 // exploration options including Parallelism > 1, and the automaton is
 // already validated with the empty-path acceptance handled by the caller.
 func (a *Automaton) isEmptyParallel(opts EmptinessOptions, ltsOpts lts.Options, depth int) (EmptinessResult, error) {
 	res := EmptinessResult{Empty: true, Depth: depth}
-	memo := lts.NewDominanceMemo[emptinessMemoKey](func(k emptinessMemoKey) uint64 { return k.conf.A })
+	tables := opts.Memo
+	persist := tables != nil
+	if tables == nil {
+		tables = NewEmptinessMemo()
+	}
+	memo := tables.memo
 	wit := &lts.WitnessBox[*access.Path]{}
 
-	type frame struct {
-		states map[int]bool
-		length int
-	}
+	var (
+		spineMu sync.Mutex
+		spines  []*emptinessSpine
+	)
 	factory := func(shard int) lts.Visitor {
 		// Per-shard simulation stack, seeded with the initial state at the
 		// root (the shard's DFS starts at depth 1).
@@ -45,8 +82,15 @@ func (a *Automaton) isEmptyParallel(opts EmptinessOptions, ltsOpts lts.Options, 
 		// (bit-for-bit engine, no table indirection), so changes to the
 		// step / accept / prune / memo sequence must be mirrored between the
 		// two — the W-grid equivalence tests are the tripwire.
-		stack := []frame{{states: map[int]bool{a.Init: true}, length: 0}}
+		sp := &emptinessSpine{shard: shard, stack: []emptinessFrame{{states: map[int]bool{a.Init: true}, length: 0}}}
+		if persist {
+			spineMu.Lock()
+			spines = append(spines, sp)
+			spineMu.Unlock()
+		}
 		return func(p *access.Path, pre, conf *instance.Instance) (bool, error) {
+			stack := sp.stack
+			defer func() { sp.stack = stack }()
 			for len(stack) > 0 && stack[len(stack)-1].length >= p.Len() {
 				stack = stack[:len(stack)-1]
 			}
@@ -70,13 +114,16 @@ func (a *Automaton) isEmptyParallel(opts EmptinessOptions, ltsOpts lts.Options, 
 			}
 			// Under idempotence the future also depends on the responses
 			// seen so far; skip memoization there (see the serial twin).
+			var mk emptinessMemoKey
+			recorded := false
 			if !opts.IdempotentOnly {
-				k := emptinessMemoKey{conf: conf.Hash(), states: stateSetKey(next)}
-				if memo.DominatedOrRecord(k, depth-p.Len()) {
+				mk = emptinessMemoKey{conf: conf.Hash(), states: stateSetKey(next)}
+				if memo.DominatedOrRecord(mk, depth-p.Len()) {
 					return false, nil
 				}
+				recorded = true
 			}
-			stack = append(stack, frame{states: next, length: p.Len()})
+			stack = append(stack, emptinessFrame{states: next, length: p.Len(), key: mk, recorded: recorded})
 			return true, nil
 		}
 	}
@@ -84,6 +131,28 @@ func (a *Automaton) isEmptyParallel(opts EmptinessOptions, ltsOpts lts.Options, 
 
 	rep, err := lts.ExploreSharded(a.Schema, ltsOpts, root, factory)
 	res.PathsExplored = rep.Paths
+	res.CompletedShards = rep.CompletedShards
+	res.TotalShards = rep.TotalShards
+	if persist {
+		// Scrub unfinished walks' commitments from the persistent memo (the
+		// solver twin's rule): frames still stacked in a shard that did not
+		// complete are entered-but-unfinished subtrees, and their pre-order
+		// entries must not prune a resumed round.
+		done := make(map[int]bool, len(rep.CompletedShards))
+		for _, s := range rep.CompletedShards {
+			done[s] = true
+		}
+		for _, sp := range spines {
+			if done[sp.shard] {
+				continue
+			}
+			for i := range sp.stack {
+				if sp.stack[i].recorded {
+					memo.Remove(sp.stack[i].key)
+				}
+			}
+		}
+	}
 	if w, found := wit.Take(); found {
 		// A found witness settles non-emptiness even when another walker
 		// errored before the early-cancel broadcast landed (the solver's

@@ -142,6 +142,16 @@ type Report struct {
 	// truncated to MaxResponseChoices, so some well-formed responses were
 	// never considered.
 	ResponsesCapped bool
+	// CompletedShards lists, in ascending canonical order, the root shards
+	// whose subtree walk ran to completion. Populated only by the sharded
+	// engine (ExploreSharded); a shard aborted by the early-cancel broadcast,
+	// a budget denial or a context kill is not listed, so on an error return
+	// the listed shards are exactly the ones a resumed run may skip.
+	CompletedShards []int
+	// TotalShards is the size of the canonical root partition the indexes in
+	// CompletedShards refer to (zero when the exploration never reached the
+	// root fan-out, e.g. the root visitor declined to expand).
+	TotalShards int
 }
 
 // Explore enumerates access paths of the schema against opts.Universe in

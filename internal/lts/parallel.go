@@ -173,6 +173,7 @@ func exploreSharded(sch *schema.Schema, o Options, root Visitor, factory func(sh
 		}
 	}
 	if len(order) == 0 {
+		rep.TotalShards = len(shards)
 		return rep, nil
 	}
 
@@ -191,6 +192,7 @@ func exploreSharded(sch *schema.Schema, o Options, root Visitor, factory func(sh
 		errShard     = -1
 		firstErr     error
 		respCap      = rootRespCapped
+		completed    []int
 		wg           sync.WaitGroup
 	)
 	for i := 0; i < w; i++ {
@@ -223,6 +225,16 @@ func exploreSharded(sch *schema.Schema, o Options, root Visitor, factory func(sh
 					err = e.stepWholeAccess(&sh.ba)
 				} else {
 					err = e.step(0, e.frame(0), &sh.ba, sh.resp, sh.keys)
+				}
+				if err == nil {
+					// The shard's whole subtree was walked: a stop broadcast, a
+					// budget denial or a context kill all surface as a non-nil
+					// error from step, so nil really means "explored to the
+					// bound". Checkpoint/resume skips exactly these shards.
+					mu.Lock()
+					completed = append(completed, si)
+					mu.Unlock()
+					continue
 				}
 				if err == ErrStop {
 					// Visitor abort (the witness signal): broadcast the early
@@ -262,7 +274,14 @@ func exploreSharded(sch *schema.Schema, o Options, root Visitor, factory func(sh
 
 	// Every claim that did not become a visit (budget denial, context kill)
 	// was refunded, so the joined counter is the exact global visit count.
-	rep = Report{Paths: int(coord.paths.Load()), PathsCapped: coord.capped.Load(), ResponsesCapped: respCap}
+	sort.Ints(completed)
+	rep = Report{
+		Paths:           int(coord.paths.Load()),
+		PathsCapped:     coord.capped.Load(),
+		ResponsesCapped: respCap,
+		CompletedShards: completed,
+		TotalShards:     len(shards),
+	}
 	return rep, firstErr
 }
 

@@ -121,8 +121,15 @@ func TestParallelExploreVisitSetMatchesSerial(t *testing.T) {
 				if err != nil {
 					t.Fatalf("parallel: %v", err)
 				}
-				if wantRep != gotRep {
+				if !sameReportCore(wantRep, gotRep) {
 					t.Fatalf("report mismatch: serial %+v, parallel %+v", wantRep, gotRep)
+				}
+				// Exhaustive uncapped run: every root shard's subtree walk
+				// ran to completion, and the report must say so — the
+				// invariant checkpoint/resume skips shards by.
+				if len(gotRep.CompletedShards) != gotRep.TotalShards {
+					t.Fatalf("completed %v of %d shards on an exhaustive run",
+						gotRep.CompletedShards, gotRep.TotalShards)
 				}
 				sort.Strings(want)
 				sort.Strings(got)

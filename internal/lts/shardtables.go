@@ -60,6 +60,19 @@ func (t *DominanceMemo[K]) DominatedOrRecord(k K, remaining int) bool {
 	return false
 }
 
+// Remove deletes k's entry, if any. Checkpoint/resume uses it to invalidate
+// commitments left by walks that were cut short: DominatedOrRecord records
+// pre-order, so a killed walker leaves entries whose subtrees were never
+// finished — sound within one run (the kill surfaces as an error or
+// truncation), but not for a later run resuming against the same memo.
+// Removing a live entry is always sound; it only costs pruning.
+func (t *DominanceMemo[K]) Remove(k K) {
+	st := &t.stripes[t.stripeOf(k)&(shardTableStripes-1)]
+	st.mu.Lock()
+	delete(st.m, k)
+	st.mu.Unlock()
+}
+
 // WitnessBox collects candidate witnesses from concurrent walkers,
 // preferring the lowest shard index: ExploreSharded's shards are sorted
 // canonically, so the preference keeps the reported witness stable whenever

@@ -10,6 +10,15 @@
 # replacement join — asserting every answer is either exact or an honest
 # coverage-tagged partial, and that the killed worker's lease evicts it.
 #
+# fabric_smoke.sh --budget-storm runs the anytime scenario: a coordinator
+# over two workers takes the SAME check again and again under tiny doubling
+# budgets, asserting every answer is exact or an honest resumable partial
+# (coverage declared, truncated, Retry-After on 200-partials), coverage
+# never regresses across rounds, and the storm converges to the exact
+# verdict a direct single-worker check gives. A machine fast enough to
+# answer the first round exactly passes trivially — the assertions hold
+# either way.
+#
 # Exits non-zero on any non-200 answer or verdict mismatch. Requires only
 # the go toolchain and python3 (for JSON comparison); picks free ports
 # itself.
@@ -18,6 +27,7 @@ cd "$(dirname "$0")/.."
 
 MODE=default
 if [[ "${1:-}" == "--chaos" ]]; then MODE=chaos; fi
+if [[ "${1:-}" == "--budget-storm" ]]; then MODE=budget-storm; fi
 
 workdir=$(mktemp -d)
 pids=()
@@ -179,6 +189,102 @@ EOF
   curl -fsS "$C/metrics" | grep -q '^accserve_registry_joins_total [1-9]' || {
     echo "joins not counted" >&2; exit 1; }
   echo "fabric smoke (chaos): OK"
+  exit 0
+fi
+
+if [[ $MODE == budget-storm ]]; then
+  W1_PORT=$(pick_port); W2_PORT=$(pick_port); C_PORT=$(pick_port)
+  W1="http://127.0.0.1:$W1_PORT"; W2="http://127.0.0.1:$W2_PORT"; C="http://127.0.0.1:$C_PORT"
+
+  echo "== budget-storm: workers on $W1 $W2, coordinator on $C"
+  "$workdir/accserve" -worker -addr "127.0.0.1:$W1_PORT" &
+  pids+=($!)
+  "$workdir/accserve" -worker -addr "127.0.0.1:$W2_PORT" &
+  pids+=($!)
+  "$workdir/accserve" -coordinator -fabric-workers "$W1,$W2" -addr "127.0.0.1:$C_PORT" &
+  pids+=($!)
+  wait_up "$W1"; wait_up "$W2"; wait_up "$C"
+
+  echo "== budget-storm: identical check under tiny doubling budgets"
+  python3 - "$C" "$W1" <<'EOF'
+import json, sys, urllib.request, urllib.error
+
+coord, worker = sys.argv[1], sys.argv[2]
+# A deliberately wide unsat check (many root shards, several hundred
+# paths) so µs-to-ms budgets actually interrupt the search somewhere.
+req = {
+    "relations": ["Mobile#:string,string,string,int", "Address:string,string,string,int",
+                  "Email:string,string", "Phone:string,string",
+                  "Fax:string,string", "Pager:string,string"],
+    "methods": ["AcM1:Mobile#:0", "AcM2:Address:0,1", "AcM3:Email:0", "AcM4:Phone:0",
+                "AcM5:Email:1", "AcM6:Phone:1", "AcM7:Fax:0", "AcM8:Fax:1",
+                "AcM9:Pager:0", "AcM10:Pager:1"],
+    "formula": ("[exists n,p,s,ph. pre Mobile#(n,p,s,ph)]"
+                " & (![exists n,p,s,ph. pre Mobile#(n,p,s,ph)])"
+                " & [exists a,b. pre Email(a,b)] & [exists a2,b2. pre Email(a2,b2)]"
+                " & [exists c,d. pre Phone(c,d)] & [exists c2,d2. pre Phone(c2,d2)]"
+                " & [exists e1,e2. pre Fax(e1,e2)] & [exists g1,g2. pre Pager(g1,g2)]"),
+    "options": {"max_depth": 4, "engine": "bounded"},
+}
+
+def post(base, body, budget=None):
+    url = base + "/v1/check" + (f"?budget={budget}" if budget else "")
+    data = json.dumps(body).encode()
+    r = urllib.request.Request(url, data=data, headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(r, timeout=30) as resp:
+            return resp.status, dict(resp.headers), json.load(resp)
+    except urllib.error.HTTPError as e:
+        return e.code, dict(e.headers), json.loads(e.read() or b"{}")
+
+_, _, direct = post(worker, req, "30s")
+
+budget_us = 500  # 500µs: almost certainly too small for the first rounds
+prev_cov = 0.0
+partials = 0
+final = None
+for rnd in range(40):
+    status, headers, body = post(coord, req, f"{budget_us}us")
+    budget_us *= 2
+    if status != 200:
+        # An honest refusal must be machine-readable: a cause-coded 504
+        # (zero-progress expiry) or a Retry-After'd 503.
+        code = body.get("code", "")
+        if status == 504 and code in ("budget_exhausted", "deadline_exceeded"):
+            continue
+        if status == 503 and code == "no_healthy_workers":
+            continue
+        sys.exit(f"round {rnd}: unexpected refusal {status} {body}")
+    cov = body.get("coverage", 0)
+    if cov < prev_cov:
+        sys.exit(f"round {rnd}: coverage regressed {prev_cov} -> {cov}")
+    prev_cov = cov
+    if body.get("resumable"):
+        partials += 1
+        if not body.get("truncated"):
+            sys.exit(f"round {rnd}: resumable partial not marked truncated: {body}")
+        if not (0 < cov < 1):
+            sys.exit(f"round {rnd}: resumable partial coverage {cov} not in (0,1)")
+        if "Retry-After" not in headers:
+            sys.exit(f"round {rnd}: 200-partial carries no Retry-After header")
+        continue
+    final = body
+    break
+if final is None:
+    sys.exit("storm never settled in 40 doubling rounds")
+if final.get("coverage") != 1:
+    sys.exit(f"settled answer has coverage {final.get('coverage')}, want 1")
+for k in ("satisfiable", "truncated", "fragment", "engine"):
+    if final.get(k) != direct.get(k):
+        sys.exit(f"settled {k} = {final.get(k)!r}, direct worker says {direct.get(k)!r}")
+print(f"budget storm: settled exactly after {partials} honest partial(s)")
+EOF
+
+  # A storm that saw partials must have resumed at least once; on a machine
+  # fast enough to answer round one exactly there is nothing to resume.
+  curl -fsS "$C/metrics" | grep -q '^accserve_coordinator_checks_total [1-9]' || {
+    echo "coordinator answered no checks" >&2; exit 1; }
+  echo "fabric smoke (budget-storm): OK"
   exit 0
 fi
 

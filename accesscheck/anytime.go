@@ -68,7 +68,11 @@ type Checkpoint struct {
 	emptinessMemo *autom.EmptinessMemo
 }
 
-func newCheckpoint(key string, engine Engine, planSize int) *Checkpoint {
+// newCheckpoint builds the suspended-search state for one fingerprint,
+// with the warm memo armed by the checker's negative caches (nil-safe):
+// resumed rounds then share the same process-wide Bloom filters as fresh
+// searches.
+func (c *Checker) newCheckpoint(key string, engine Engine, planSize int) *Checkpoint {
 	cp := &Checkpoint{
 		key:       key,
 		engine:    engine,
@@ -76,9 +80,9 @@ func newCheckpoint(key string, engine Engine, planSize int) *Checkpoint {
 		completed: make(map[int]bool),
 	}
 	if engine == EngineAutomaton {
-		cp.emptinessMemo = autom.NewEmptinessMemo()
+		cp.emptinessMemo = autom.NewEmptinessMemoNeg(c.negative.emptinessFilter())
 	} else {
-		cp.solverMemo = accltl.NewSolverMemo()
+		cp.solverMemo = accltl.NewSolverMemoNeg(c.negative.solverFilter())
 	}
 	return cp
 }
@@ -305,7 +309,7 @@ func (c *Checker) CheckAnytime(ctx context.Context, sch *Schema, f Formula, prev
 
 	cp := prev
 	if cp == nil {
-		cp = newCheckpoint(key, engine, planSize)
+		cp = c.newCheckpoint(key, engine, planSize)
 	}
 	cp.mu.Lock()
 	defer cp.mu.Unlock()

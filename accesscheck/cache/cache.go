@@ -36,6 +36,8 @@ type LRU[V any] struct {
 	misses    uint64
 	rejected  uint64
 	evictions uint64
+
+	onEvict func(key string, val V)
 }
 
 type entry[V any] struct {
@@ -90,20 +92,58 @@ func (c *LRU[V]) Add(key string, val V) bool {
 		return false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		el.Value.(*entry[V]).val = val
 		c.ll.MoveToFront(el)
+		c.mu.Unlock()
 		return true
 	}
 	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
+	var evicted *entry[V]
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry[V]).key)
+		e := oldest.Value.(*entry[V])
+		delete(c.items, e.key)
 		c.evictions++
+		if c.onEvict != nil {
+			evicted = e
+		}
+	}
+	fn := c.onEvict
+	c.mu.Unlock()
+	if evicted != nil {
+		fn(evicted.key, evicted.val)
 	}
 	return true
+}
+
+// OnEvict installs fn as the observer of capacity evictions: it runs
+// after the lock is released with the displaced entry, so a slower
+// tier (the disk log's write-behind) can absorb what the LRU sheds
+// without holding up concurrent cache traffic. Explicit Remove is not
+// an eviction and is not observed.
+func (c *LRU[V]) OnEvict(fn func(key string, val V)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
+}
+
+// Each visits every resident entry, least recently used first. The
+// entries are snapshotted under the lock and fn runs outside it, so fn
+// may call back into the cache; what it sees is the membership at call
+// time. Shutdown flushing iterates with it.
+func (c *LRU[V]) Each(fn func(key string, val V)) {
+	c.mu.Lock()
+	snap := make([]entry[V], 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry[V])
+		snap = append(snap, entry[V]{key: e.key, val: e.val})
+	}
+	c.mu.Unlock()
+	for i := range snap {
+		fn(snap[i].key, snap[i].val)
+	}
 }
 
 // Remove deletes the key's entry, if present, and reports whether it did.

@@ -1,0 +1,40 @@
+package cachetier
+
+// Verdict is the admission-relevant shape of a finished check, however
+// it was produced: a local solve (server result cache), a shard-keyed
+// partial solve (worker shard path), or a coordinator-assembled merge
+// (merged-result cache). The three stores used to restate the
+// exact-only rule independently; they now all ask Admissible so the
+// rule cannot drift.
+type Verdict struct {
+	// WitnessSettled marks a satisfiable verdict carried by a concrete
+	// verified witness: such a verdict is exact regardless of how much
+	// of the shard plan completed, because one witness settles an
+	// existential check.
+	WitnessSettled bool
+	// Truncated marks a verdict relative to a budget or cap (paths,
+	// responses, time). Budget-relative verdicts must never be served
+	// to a later caller whose budget may differ.
+	Truncated bool
+	// Covered and Planned describe shard coverage *relative to the
+	// cache key's scope*: a coordinator's shard-less key spans the
+	// whole plan, so Covered must reach Planned; a worker's shard-keyed
+	// entry spans only its own slices, which its Truncated flag already
+	// accounts for — such callers leave both zero. Planned == 0 means
+	// coverage does not apply to this key.
+	Covered, Planned int
+}
+
+// Admissible is the one exact-only admission rule of every result
+// store: a verdict enters a cache only if a later identical request
+// could have recomputed it bit-for-bit — settled by a witness, or
+// untruncated with its key's whole scope covered.
+func Admissible(v Verdict) bool {
+	if v.WitnessSettled {
+		return true
+	}
+	if v.Truncated {
+		return false
+	}
+	return v.Planned == 0 || v.Covered == v.Planned
+}

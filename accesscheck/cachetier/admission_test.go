@@ -1,0 +1,26 @@
+package cachetier
+
+import "testing"
+
+func TestAdmissible(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Verdict
+		want bool
+	}{
+		{"exact unsharded", Verdict{}, true},
+		{"truncated", Verdict{Truncated: true}, false},
+		{"witness settles regardless of coverage", Verdict{WitnessSettled: true, Covered: 1, Planned: 4}, true},
+		{"witness settles even truncated-satisfiable merges", Verdict{WitnessSettled: true, Truncated: true}, true},
+		{"full plan covered", Verdict{Covered: 4, Planned: 4}, true},
+		{"partial cover", Verdict{Covered: 3, Planned: 4}, false},
+		{"partial cover and truncated", Verdict{Truncated: true, Covered: 3, Planned: 4}, false},
+		{"coverage not applicable (shard-keyed entry)", Verdict{Covered: 0, Planned: 0}, true},
+		{"truncated shard-keyed entry", Verdict{Truncated: true, Planned: 0}, false},
+	}
+	for _, c := range cases {
+		if got := Admissible(c.v); got != c.want {
+			t.Errorf("%s: Admissible(%+v) = %v, want %v", c.name, c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package cachetier
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// negHashes is the Bloom probe count k. Four probes from two 64-bit
+// lanes via double hashing is the classic sweet spot: at ~10 bits per
+// key the false-positive rate sits near 1%, and below ~5 bits per key
+// the filter degrades gracefully toward always-maybe rather than ever
+// lying in the dangerous direction.
+const negHashes = 4
+
+// NegativeCache is the Bloom layer of the tier: a filter per memo
+// segment plus a Bloofi-style root that is the bitwise union of every
+// leaf. Dominance memos consult it before their mutex-protected
+// critical section: a definite "never seen" answers lock-free, a
+// "maybe" falls through to the authoritative memo. The filter can
+// therefore only cost time (one extra lock acquisition on a false
+// positive), never correctness — bits are set, never cleared, and no
+// verdict depends on them.
+//
+// The root serves whole-cache misses in one probe while the leaves
+// keep per-segment density low; under heavy load the root saturates
+// first and degrades to always-maybe, at which point the leaves are
+// still the binding filter (a key passes only if its own segment's
+// leaf also says maybe).
+//
+// All operations are lock-free and safe for concurrent use.
+type NegativeCache struct {
+	mask    uint64 // bit-index mask per filter (bits-1, bits a power of two)
+	segMask uint64 // segment-index mask (len(leaves)-1)
+	root    []atomic.Uint64
+	leaves  [][]atomic.Uint64
+
+	inserts  atomic.Uint64
+	tests    atomic.Uint64
+	definite atomic.Uint64 // tests answered "definitely never seen"
+	rootWins atomic.Uint64 // definite answers settled at the root alone
+}
+
+// NegativeStats is a point-in-time view of a NegativeCache.
+type NegativeStats struct {
+	Bits     uint64  // total leaf bits across all segments
+	SetBits  uint64  // leaf bits currently set
+	Segments int     // leaf filter count
+	Inserts  uint64  // keys inserted
+	Tests    uint64  // MayContain calls
+	Definite uint64  // tests answered "definitely never seen" (the fast-path wins)
+	RootWins uint64  // definite answers settled by the root filter alone
+	EstFP    float64 // estimated false-positive rate of the densest leaf
+}
+
+// NewNegativeCache builds a filter set of roughly totalBits leaf bits
+// spread over segments leaves (both rounded up to powers of two; each
+// leaf gets at least 64 bits, so tiny budgets round up rather than
+// collapse). The segment of a key is chosen by the caller — memos pass
+// their stripe index, so one leaf covers one memo stripe.
+func NewNegativeCache(totalBits, segments int) *NegativeCache {
+	if segments < 1 {
+		segments = 1
+	}
+	segs := 1
+	for segs < segments {
+		segs <<= 1
+	}
+	perLeaf := totalBits / segs
+	if perLeaf < 64 {
+		perLeaf = 64
+	}
+	bitsPow := 64
+	for bitsPow < perLeaf {
+		bitsPow <<= 1
+	}
+	words := bitsPow / 64
+	n := &NegativeCache{
+		mask:    uint64(bitsPow - 1),
+		segMask: uint64(segs - 1),
+		root:    make([]atomic.Uint64, words),
+		leaves:  make([][]atomic.Uint64, segs),
+	}
+	for i := range n.leaves {
+		n.leaves[i] = make([]atomic.Uint64, words)
+	}
+	return n
+}
+
+// probes expands the two hash lanes into negHashes bit indexes by
+// double hashing g_i = h1 + i·h2; h2 is forced odd so the probe walk
+// cycles the whole (power-of-two-sized) bit space.
+func (n *NegativeCache) probes(h1, h2 uint64) [negHashes]uint64 {
+	h2 |= 1
+	var p [negHashes]uint64
+	for i := range p {
+		p[i] = (h1 + uint64(i)*h2) & n.mask
+	}
+	return p
+}
+
+// MayContain reports whether (seg, h1, h2) may have been inserted.
+// false is definitive — the key was never inserted into this cache;
+// true only means "ask the authoritative store".
+func (n *NegativeCache) MayContain(seg, h1, h2 uint64) bool {
+	n.tests.Add(1)
+	p := n.probes(h1, h2)
+	for _, idx := range p {
+		if n.root[idx>>6].Load()&(1<<(idx&63)) == 0 {
+			n.definite.Add(1)
+			n.rootWins.Add(1)
+			return false
+		}
+	}
+	leaf := n.leaves[seg&n.segMask]
+	for _, idx := range p {
+		if leaf[idx>>6].Load()&(1<<(idx&63)) == 0 {
+			n.definite.Add(1)
+			return false
+		}
+	}
+	return true
+}
+
+// Insert records (seg, h1, h2) in the segment's leaf and in the root.
+// The root is maintained as the running union of the leaves by setting
+// the same bit positions in both, so leaf ⊆ root holds by construction.
+func (n *NegativeCache) Insert(seg, h1, h2 uint64) {
+	n.inserts.Add(1)
+	leaf := n.leaves[seg&n.segMask]
+	for _, idx := range n.probes(h1, h2) {
+		orBit(&leaf[idx>>6], 1<<(idx&63))
+		orBit(&n.root[idx>>6], 1<<(idx&63))
+	}
+}
+
+// orBit sets bit in w; the CAS loop keeps it portable across toolchain
+// versions that lack atomic Or.
+func orBit(w *atomic.Uint64, bit uint64) {
+	for {
+		old := w.Load()
+		if old&bit != 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+// Stats counts the set bits (a scan, not free — metrics-path use only)
+// and estimates the false-positive rate of the densest leaf as
+// fill^k, the standard Bloom estimate with the fill ratio standing in
+// for 1-e^{-kn/m}.
+func (n *NegativeCache) Stats() NegativeStats {
+	s := NegativeStats{
+		Segments: len(n.leaves),
+		Inserts:  n.inserts.Load(),
+		Tests:    n.tests.Load(),
+		Definite: n.definite.Load(),
+		RootWins: n.rootWins.Load(),
+	}
+	perLeaf := n.mask + 1
+	var worst float64
+	for _, leaf := range n.leaves {
+		var ones uint64
+		for i := range leaf {
+			ones += uint64(bits.OnesCount64(leaf[i].Load()))
+		}
+		s.SetBits += ones
+		if fill := float64(ones) / float64(perLeaf); fill > worst {
+			worst = fill
+		}
+	}
+	s.Bits = perLeaf * uint64(len(n.leaves))
+	s.EstFP = math.Pow(worst, negHashes)
+	return s
+}

@@ -1,0 +1,105 @@
+package cachetier
+
+import "testing"
+
+// splitmix64 generates deterministic, well-spread pseudo-random 64-bit
+// values for filter keys without math/rand.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func TestNegativeCacheDefiniteAbsent(t *testing.T) {
+	n := NewNegativeCache(1<<12, 4)
+	if n.MayContain(0, 1, 2) {
+		t.Fatal("fresh filter claims maybe-contains")
+	}
+	n.Insert(0, 1, 2)
+	if !n.MayContain(0, 1, 2) {
+		t.Fatal("inserted key reported definitely absent — unsound")
+	}
+	// Same key, different segment: the root says maybe but the other
+	// segment's leaf has no bits, so the answer is still definite-absent.
+	if n.MayContain(1, 1, 2) {
+		t.Fatal("other segment's leaf should still filter the key")
+	}
+}
+
+func TestNegativeCacheNeverForgets(t *testing.T) {
+	// Soundness is "inserted ⇒ MayContain forever": insert many keys and
+	// verify none ever reads back absent.
+	n := NewNegativeCache(1<<14, 8)
+	for i := uint64(0); i < 2000; i++ {
+		h1, h2 := splitmix64(i), splitmix64(i^0xdead)
+		n.Insert(i, h1, h2)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		h1, h2 := splitmix64(i), splitmix64(i^0xdead)
+		if !n.MayContain(i, h1, h2) {
+			t.Fatalf("key %d inserted but reported definitely absent", i)
+		}
+	}
+}
+
+// TestNegativeCacheFalsePositiveRate pins the advertised bound: at ~10
+// bits per key the measured FP rate of a leaf stays under 5% (the
+// theoretical rate for k=4 is ~1.2%), and the Stats estimate agrees to
+// the same order.
+func TestNegativeCacheFalsePositiveRate(t *testing.T) {
+	const (
+		segments = 64
+		perSeg   = 100
+		bound    = 0.05
+	)
+	n := NewNegativeCache(segments*1024, segments) // 1024 bits per leaf, ~10.2 bits/key
+	var k uint64
+	for seg := uint64(0); seg < segments; seg++ {
+		for i := 0; i < perSeg; i++ {
+			k++
+			n.Insert(seg, splitmix64(k), splitmix64(k^0xbeef))
+		}
+	}
+	probes, fps := 0, 0
+	for i := uint64(0); i < 20000; i++ {
+		k++
+		probes++
+		if n.MayContain(i%segments, splitmix64(k), splitmix64(k^0xbeef)) {
+			fps++
+		}
+	}
+	rate := float64(fps) / float64(probes)
+	if rate > bound {
+		t.Fatalf("false-positive rate %.4f exceeds configured bound %.2f", rate, bound)
+	}
+	st := n.Stats()
+	if st.EstFP > 4*bound {
+		t.Fatalf("Stats EstFP %.4f wildly off the %.2f bound", st.EstFP, bound)
+	}
+	if st.Inserts != segments*perSeg {
+		t.Fatalf("Inserts = %d, want %d", st.Inserts, segments*perSeg)
+	}
+	if st.Tests == 0 || st.Definite == 0 {
+		t.Fatalf("stats did not count tests/definites: %+v", st)
+	}
+}
+
+func TestNegativeCacheSizing(t *testing.T) {
+	// Tiny budgets round up to a well-formed filter instead of collapsing.
+	n := NewNegativeCache(1, 3)
+	if got := len(n.leaves); got != 4 {
+		t.Fatalf("segments = %d, want next power of two 4", got)
+	}
+	if n.mask+1 < 64 {
+		t.Fatalf("leaf bits = %d, want >= 64", n.mask+1)
+	}
+	// Segment indexes beyond the count wrap via the mask.
+	n.Insert(1023, 7, 9)
+	if !n.MayContain(1023, 7, 9) {
+		t.Fatal("wrapped segment index lost the insert")
+	}
+}

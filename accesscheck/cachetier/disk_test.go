@@ -1,0 +1,146 @@
+package cachetier
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTier(t *testing.T, dir, scheme string) *DiskTier {
+	t.Helper()
+	dt, err := OpenDiskTier(DiskConfig{Dir: dir, Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dt
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dt := openTier(t, dir, "fp-v1")
+	pairs := map[string]string{
+		"alpha": "first value",
+		"beta":  "second",
+		"gamma": "",
+	}
+	for k, v := range pairs {
+		if !dt.Put(k, []byte(v)) {
+			t.Fatalf("Put(%q) refused", k)
+		}
+	}
+	if !dt.Put("alpha", []byte("rewritten")) {
+		t.Fatal("overwrite refused")
+	}
+	pairs["alpha"] = "rewritten"
+	if !dt.Delete("beta") {
+		t.Fatal("Delete refused")
+	}
+	delete(pairs, "beta")
+	check := func(dt *DiskTier, when string) {
+		t.Helper()
+		if dt.Len() != len(pairs) {
+			t.Fatalf("%s: Len = %d, want %d", when, dt.Len(), len(pairs))
+		}
+		for k, v := range pairs {
+			got, ok := dt.Get(k)
+			if !ok || string(got) != v {
+				t.Fatalf("%s: Get(%q) = %q,%v want %q", when, k, got, ok, v)
+			}
+		}
+		if _, ok := dt.Get("beta"); ok {
+			t.Fatalf("%s: tombstoned key resurrected", when)
+		}
+	}
+	check(dt, "live")
+	if err := dt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: a fresh open rebuilds last-write-wins index from the log.
+	dt2 := openTier(t, dir, "fp-v1")
+	defer dt2.Close()
+	check(dt2, "recovered")
+	if st := dt2.Stats(); st.CorruptTails != 0 || st.SchemeDiscards != 0 {
+		t.Fatalf("clean recovery flagged damage: %+v", st)
+	}
+}
+
+func TestDiskTierCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	dt := openTier(t, dir, "fp-v1")
+	dt.Put("keep", []byte("survives"))
+	st := dt.Stats()
+	goodEnd := st.Bytes
+	dt.Put("torn", []byte("this record gets a flipped byte"))
+	dt.Close()
+
+	// Flip one byte inside the last record's value.
+	path := filepath.Join(dir, diskLogName)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, goodEnd+recHeaderLen+int64(len("torn"))+3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	dt2 := openTier(t, dir, "fp-v1")
+	defer dt2.Close()
+	if _, ok := dt2.Get("keep"); !ok {
+		t.Fatal("record before the corrupt tail was lost")
+	}
+	if _, ok := dt2.Get("torn"); ok {
+		t.Fatal("corrupt record served")
+	}
+	st2 := dt2.Stats()
+	if st2.CorruptTails != 1 {
+		t.Fatalf("CorruptTails = %d, want 1", st2.CorruptTails)
+	}
+	if st2.Bytes != goodEnd {
+		t.Fatalf("log not truncated at the corruption: %d bytes, want %d", st2.Bytes, goodEnd)
+	}
+	// The truncated tail is writable again.
+	if !dt2.Put("fresh", []byte("post-recovery")) {
+		t.Fatal("post-recovery Put refused")
+	}
+}
+
+func TestDiskTierSchemeMismatchDiscards(t *testing.T) {
+	dir := t.TempDir()
+	dt := openTier(t, dir, "fp-v1")
+	dt.Put("old", []byte("minted under fp-v1"))
+	dt.Close()
+
+	dt2 := openTier(t, dir, "fp-v2")
+	defer dt2.Close()
+	if _, ok := dt2.Get("old"); ok {
+		t.Fatal("entry from a stale fingerprint scheme served — silent corruption")
+	}
+	st := dt2.Stats()
+	if st.SchemeDiscards != 1 {
+		t.Fatalf("SchemeDiscards = %d, want 1", st.SchemeDiscards)
+	}
+	if st.Records != 0 {
+		t.Fatalf("stale log not emptied: %d records", st.Records)
+	}
+	dt2.Put("new", []byte("fp-v2 native"))
+	if got, ok := dt2.Get("new"); !ok || string(got) != "fp-v2 native" {
+		t.Fatal("reinitialized log not writable")
+	}
+}
+
+func TestDiskTierStats(t *testing.T) {
+	dt := openTier(t, t.TempDir(), "s")
+	defer dt.Close()
+	dt.Put("a", []byte("x"))
+	dt.Get("a")
+	dt.Get("missing")
+	st := dt.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Records != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes <= int64(len(headerBytes("s"))) {
+		t.Fatalf("Bytes = %d does not cover the record", st.Bytes)
+	}
+}

@@ -2,8 +2,9 @@ package fabric
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
+
+	"accltl/accesscheck/cachetier"
 )
 
 // ringReplicas is the virtual-node count per worker on the hash ring.
@@ -87,18 +88,11 @@ func RouteKey(checkFingerprint, shardKey string) string {
 	return checkFingerprint + "\x1e" + shardKey
 }
 
-func hash64(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	x := h.Sum64()
-	// FNV of near-identical strings (one worker's "#0".."#63" vnode labels)
-	// differs only in the low bits, which would cluster each worker's
-	// vnodes into one arc and defeat the ring. A murmur-style avalanche
-	// finalizer spreads them uniformly.
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x
-}
+// hash64 is cachetier.Hash64 (FNV-1a + avalanche finalizer): the ring and
+// the in-memory cache shards route by the same hash, so a fingerprint's
+// position on the ring and its shard in a worker's sharded LRU are computed
+// identically — changing one reshuffles both. The avalanche matters here
+// because FNV of near-identical strings (one worker's "#0".."#63" vnode
+// labels) differs only in the low bits, which would cluster each worker's
+// vnodes into one arc and defeat the ring.
+func hash64(s string) uint64 { return cachetier.Hash64(s) }

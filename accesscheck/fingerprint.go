@@ -9,6 +9,14 @@ import (
 	"sort"
 )
 
+// FingerprintSchemeVersion names the fingerprint scheme currently in
+// force. Bump it whenever Fingerprint or FingerprintTask change what they
+// hash or how they frame it: persistent cache tiers stamp their logs with
+// the scheme they were minted under and discard — loudly — any log carrying
+// another stamp, because serving old entries under new keys (or vice
+// versa) would be silent corruption rather than a mere miss.
+const FingerprintSchemeVersion = "fp-v1"
+
 // Fingerprint returns a canonical key identifying what a Check on (sch, f)
 // under this checker's configuration computes: the schema's declaration
 // text, the formula's rendering, and every option that can change the
@@ -27,7 +35,8 @@ import (
 // any cached witness was verified against the direct semantics — so a
 // result computed at one parallelism is a correct answer for the same check
 // at any other, and splitting the cache by walker count would only lower
-// its hit rate.
+// its hit rate. WithNegativeCache/WithNegativeCacheStore are excluded for
+// the same reason: the Bloom filter is verdict-neutral by construction.
 //
 // WithShards, by contrast, is included (canonicalized: sorted, deduplicated)
 // when set: a shard-restricted check computes a partial answer over a

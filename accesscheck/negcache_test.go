@@ -1,0 +1,159 @@
+package accesscheck_test
+
+import (
+	"context"
+	"testing"
+
+	"accltl/accesscheck"
+)
+
+// negDeepUnsat is unsatisfiable only by exhausting the bounded space
+// ("eventually bind AcM1, yet never bind AcM1"), so its search visits
+// enough dominated revisits to drive the Bloom filter's fast path.
+const negDeepUnsat = `(F [exists n. bind AcM1(n)]) & (G ![exists n. bind AcM1(n)])`
+
+// TestNegativeCacheParallelEquivalence is the negative-cache soundness
+// golden test: across an option grid and W ∈ {1, 4}, verdicts with
+// WithNegativeCache on and off must be bit-for-bit identical — the Bloom
+// filter is an accelerator of the dominance memo's fast path, never a
+// pruner. (The name matches the CI parallel-equivalence race step, so
+// live walker interleavings exercise the lock-free path on every push.)
+func TestNegativeCacheParallelEquivalence(t *testing.T) {
+	sch, err := accesscheck.ParseSchema(parRelations, parMethods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []struct {
+		name string
+		opts []accesscheck.Option
+	}{
+		{"plain", nil},
+		{"grounded", []accesscheck.Option{accesscheck.WithGrounded()}},
+		{"idempotent", []accesscheck.Option{accesscheck.WithIdempotentOnly()}},
+		{"automaton", []accesscheck.Option{accesscheck.WithEngine(accesscheck.EngineAutomaton)}},
+		{"depth2", []accesscheck.Option{accesscheck.WithMaxDepth(2)}},
+	}
+	// negDeepUnsat forces exhaustion of the whole bounded space — the two
+	// easy fixtures settle in a couple of steps, before the dominance memo
+	// (and so the filter) is ever consulted.
+	for name, src := range map[string]string{"sat": parSatFormula, "unsat": parUnsatFormula, "deep": negDeepUnsat} {
+		f, err := accesscheck.ParseFormula(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range grid {
+			for _, w := range []int{1, 4} {
+				base := append([]accesscheck.Option{accesscheck.WithParallelism(w)}, g.opts...)
+				if name == "deep" && g.name != "depth2" {
+					// Keep the exhaustive search affordable under -race; the
+					// equivalence claim is per-depth anyway.
+					base = append(base, accesscheck.WithMaxDepth(4))
+				}
+				off, offErr := accesscheck.Check(context.Background(), sch, f, base...)
+				on, onErr := accesscheck.Check(context.Background(), sch, f,
+					append(append([]accesscheck.Option{}, base...), accesscheck.WithNegativeCache(1<<16))...)
+				if offErr != nil || onErr != nil {
+					// Fragment rejections (e.g. the automaton engine on a
+					// non-binding-positive formula) must not depend on the
+					// filter either.
+					if (offErr == nil) != (onErr == nil) {
+						t.Errorf("%s/%s w=%d: error parity broken: off=%v on=%v", name, g.name, w, offErr, onErr)
+					}
+					continue
+				}
+				if on.Satisfiable != off.Satisfiable || on.Truncated != off.Truncated ||
+					on.Fragment != off.Fragment || on.InFragment != off.InFragment ||
+					on.Decidable != off.Decidable || on.Engine != off.Engine || on.Depth != off.Depth {
+					t.Errorf("%s/%s w=%d: verdicts diverge with the negative cache on:\n on=%+v\noff=%+v",
+						name, g.name, w, on, off)
+				}
+				if on.Satisfiable {
+					ok, err := accesscheck.Holds(f, on.Witness)
+					if err != nil || !ok {
+						t.Errorf("%s/%s w=%d: witness rejected by direct semantics: %v %v", name, g.name, w, ok, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNegativeCacheSharedStoreEquivalence shares ONE process-wide filter
+// set across many different checks (the server's usage): cross-request
+// filter bits are only false positives, so verdicts must still match
+// per-check fresh-filter runs.
+func TestNegativeCacheSharedStoreEquivalence(t *testing.T) {
+	sch, err := accesscheck.ParseSchema(parRelations, parMethods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := accesscheck.NewNegativeCaches(1 << 14) // small: collisions likely
+	for round := 0; round < 3; round++ {
+		for name, src := range map[string]string{"sat": parSatFormula, "unsat": parUnsatFormula, "deep": negDeepUnsat} {
+			f, err := accesscheck.ParseFormula(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := accesscheck.Check(context.Background(), sch, f,
+				accesscheck.WithParallelism(4), accesscheck.WithMaxDepth(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := accesscheck.Check(context.Background(), sch, f,
+				accesscheck.WithParallelism(4), accesscheck.WithMaxDepth(4),
+				accesscheck.WithNegativeCacheStore(shared))
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, name, err)
+			}
+			if got.Satisfiable != want.Satisfiable || got.Truncated != want.Truncated {
+				t.Errorf("round %d %s: shared-filter verdict %v/%v, fresh %v/%v",
+					round, name, got.Satisfiable, got.Truncated, want.Satisfiable, want.Truncated)
+			}
+		}
+	}
+	if shared.Solver == nil || shared.Emptiness == nil {
+		t.Fatal("NewNegativeCaches left a filter nil")
+	}
+	if st := shared.Solver.Stats(); st.Inserts == 0 {
+		t.Error("shared solver filter was never consulted")
+	}
+}
+
+func TestWithNegativeCacheValidation(t *testing.T) {
+	if _, err := accesscheck.NewChecker(accesscheck.WithNegativeCache(-1)); err == nil {
+		t.Error("negative bit budget accepted")
+	}
+	for _, n := range []int{0, 1, 1 << 20} {
+		if _, err := accesscheck.NewChecker(accesscheck.WithNegativeCache(n)); err != nil {
+			t.Errorf("WithNegativeCache(%d) rejected: %v", n, err)
+		}
+	}
+	if accesscheck.NewNegativeCaches(0) != nil {
+		t.Error("NewNegativeCaches(0) should disable, not allocate")
+	}
+}
+
+// TestFingerprintIgnoresNegativeCache pins the cache-identity rule: the
+// filter is verdict-neutral, so checkers differing only in it collapse
+// onto one cache entry.
+func TestFingerprintIgnoresNegativeCache(t *testing.T) {
+	sch, err := accesscheck.ParseSchema(parRelations, parMethods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := accesscheck.ParseFormula(parSatFormula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := accesscheck.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed, err := accesscheck.NewChecker(accesscheck.WithNegativeCache(1 << 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Fingerprint(sch, f) != armed.Fingerprint(sch, f) {
+		t.Error("Fingerprint differs across negative-cache arming")
+	}
+}

@@ -47,6 +47,7 @@ import (
 
 	"accltl/accesscheck"
 	"accltl/accesscheck/cache"
+	"accltl/accesscheck/cachetier"
 	"accltl/accesscheck/fabric"
 )
 
@@ -145,9 +146,17 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		reg:    reg,
 		// Exact-only admission: a witness settles the check exactly however
 		// much coverage is missing; anything else must cover the full plan
-		// without cap truncation to answer a later identical request.
+		// without cap truncation to answer a later identical request. The
+		// rule is cachetier.Admissible, shared with the worker stores —
+		// merged results always carry ShardsTotal = len(plan) ≥ 2, so the
+		// Planned == 0 whole-space clause never fires here.
 		resCache: cache.New(scfg.CacheSize, func(r fabric.ShardResult) bool {
-			return r.Satisfiable || (!r.Truncated && r.ShardsTotal > 0 && r.ShardsCompleted == r.ShardsTotal)
+			return cachetier.Admissible(cachetier.Verdict{
+				WitnessSettled: r.Satisfiable,
+				Truncated:      r.Truncated,
+				Covered:        r.ShardsCompleted,
+				Planned:        r.ShardsTotal,
+			})
 		}),
 		ckpts: cache.New(scfg.CacheSize, func(cc *coordCheckpoint) bool { return cc != nil }),
 		disp: &fabric.Dispatcher{
@@ -1037,6 +1046,17 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ccs := c.ckpts.Stats()
 	fmt.Fprintf(w, "accserve_coordinator_checkpoints_size %d\n", ccs.Size)
 	fmt.Fprintf(w, "accserve_coordinator_checkpoints_evictions_total %d\n", ccs.Evictions)
+	// Unified tier-labeled view, same scheme as the worker's /metrics: the
+	// coordinator's stores are its merged-result cache and its shard-group
+	// checkpoint frontier.
+	fmt.Fprintf(w, "accserve_cache_tier_hits_total{tier=\"merged\"} %d\n", rcs.Hits)
+	fmt.Fprintf(w, "accserve_cache_tier_misses_total{tier=\"merged\"} %d\n", rcs.Misses)
+	fmt.Fprintf(w, "accserve_cache_tier_evictions_total{tier=\"merged\"} %d\n", rcs.Evictions)
+	fmt.Fprintf(w, "accserve_cache_hit_ratio{tier=\"merged\"} %g\n", ratio(rcs.Hits, rcs.Misses))
+	fmt.Fprintf(w, "accserve_cache_tier_hits_total{tier=\"checkpoint\"} %d\n", ccs.Hits)
+	fmt.Fprintf(w, "accserve_cache_tier_misses_total{tier=\"checkpoint\"} %d\n", ccs.Misses)
+	fmt.Fprintf(w, "accserve_cache_tier_evictions_total{tier=\"checkpoint\"} %d\n", ccs.Evictions)
+	fmt.Fprintf(w, "accserve_cache_hit_ratio{tier=\"checkpoint\"} %g\n", ratio(ccs.Hits, ccs.Misses))
 	for _, k := range taskKinds {
 		if k == accesscheck.TaskCheck {
 			continue // whole-check forwards are accserve_coordinator_forwards_total

@@ -57,7 +57,7 @@ import (
 	"context"
 
 	"accltl/accesscheck"
-	"accltl/accesscheck/cache"
+	"accltl/accesscheck/cachetier"
 	"accltl/accesscheck/fabric"
 )
 
@@ -77,8 +77,31 @@ type Config struct {
 	// "parallelism" options can lower the value for their own check but
 	// never raise it above this limit.
 	Parallelism int
-	// CacheSize is the LRU capacity in results (default 1024).
+	// CacheSize is the LRU capacity in results (default 1024), split evenly
+	// across CacheShards fingerprint-sharded segments.
 	CacheSize int
+	// CacheShards splits the in-memory result cache into this many
+	// independently locked shards, selected by the same FNV+avalanche hash
+	// the fabric's affinity ring uses (default 8, rounded up to a power of
+	// two). More shards lower lock contention on hot mixed workloads; the
+	// per-shard LRU discipline and the exact-only admission rule are
+	// unchanged.
+	CacheShards int
+	// CacheDir, when non-empty, backs the result cache with an append-only
+	// disk tier in this directory: entries evicted from memory (and the
+	// residents at graceful shutdown, via Close) are written behind as wire
+	// responses, and a restarted server answers previously seen exact
+	// checks from disk without re-solving. The log is stamped with the
+	// fingerprint scheme version; a log minted under another scheme is
+	// discarded loudly at boot. Empty means memory-only (the previous
+	// behavior).
+	CacheDir string
+	// NegativeCacheBits, when positive, arms a process-wide Bloom negative
+	// cache of this many total bits (split across the solver and emptiness
+	// engines) shared by every check's dominance memo: keys definitely
+	// never seen skip the memo's striped locks entirely. Verdict-neutral by
+	// construction — see accesscheck.WithNegativeCache. Zero disables.
+	NegativeCacheBits int
 	// DefaultBudget applies when neither the request body nor the query
 	// string names one (default 5s). It must be positive: a server without
 	// deadlines cannot promise bounded response times.
@@ -109,6 +132,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 1024
 	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 8
+	}
 	if c.DefaultBudget <= 0 {
 		c.DefaultBudget = 5 * time.Second
 	}
@@ -124,8 +150,16 @@ func (c Config) withDefaults() Config {
 // Server is the HTTP handler. Construct with New; the zero value is not
 // usable.
 type Server struct {
-	cfg   Config
-	cache *cache.LRU[accesscheck.TaskResult]
+	cfg Config
+	// cache is the tiered result store: a fingerprint-sharded in-memory
+	// LRU (exact results only), optionally written behind to an append-only
+	// disk tier when Config.CacheDir is set. Only exact check results are
+	// wire round-trippable, so only they persist; non-check task results
+	// stay memory-resident.
+	cache *cachetier.Tiered[accesscheck.TaskResult]
+	// neg is the process-wide Bloom negative-cache set shared by every
+	// check's dominance memo (nil when Config.NegativeCacheBits is 0).
+	neg *accesscheck.NegativeCaches
 	// ckpts holds suspended anytime frontiers keyed by the shard-less check
 	// fingerprint: the opposite admission discipline of cache (partials
 	// only, never served as answers — see accesscheck.CheckpointStore).
@@ -176,7 +210,9 @@ var taskKinds = [numTaskKinds]accesscheck.TaskKind{
 	accesscheck.TaskRelevance, accesscheck.TaskChase,
 }
 
-// New builds a Server from the config.
+// New builds a Server from the config. A CacheDir that cannot be opened
+// (or recovered) panics: a server told to persist must not silently run
+// memory-only.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	taskChk, err := accesscheck.NewChecker()
@@ -185,11 +221,27 @@ func New(cfg Config) *Server {
 		// fail must be caught loudly, not served as nil panics.
 		panic(err)
 	}
+	// Exact results only: a truncated result is relative to this request's
+	// caps and must never answer a later identical request. The rule lives
+	// in cachetier.Admissible so every store in the fabric shares it.
+	mem := cachetier.NewSharded(cfg.CacheSize, cfg.CacheShards, func(tr accesscheck.TaskResult) bool {
+		return cachetier.Admissible(cachetier.Verdict{Truncated: tr.Truncated})
+	})
+	var back cachetier.Store
+	if cfg.CacheDir != "" {
+		dt, err := cachetier.OpenDiskTier(cachetier.DiskConfig{
+			Dir:    cfg.CacheDir,
+			Scheme: accesscheck.FingerprintSchemeVersion,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("server: cache dir %s: %v", cfg.CacheDir, err))
+		}
+		back = dt
+	}
 	s := &Server{
-		cfg: cfg,
-		// Exact results only: a truncated result is relative to this
-		// request's caps and must never answer a later identical request.
-		cache:   cache.New(cfg.CacheSize, func(tr accesscheck.TaskResult) bool { return !tr.Truncated }),
+		cfg:     cfg,
+		cache:   cachetier.NewTiered(mem, back, encodeDiskCheck),
+		neg:     accesscheck.NewNegativeCaches(cfg.NegativeCacheBits),
 		ckpts:   accesscheck.NewCheckpointStore(cfg.CacheSize),
 		sem:     make(chan struct{}, cfg.Workers),
 		mux:     http.NewServeMux(),
@@ -208,6 +260,47 @@ func New(cfg Config) *Server {
 
 // ServeHTTP dispatches to the server's routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close flushes the resident exact check results through to the disk tier
+// and closes it — the graceful-shutdown half of the write-behind contract.
+// Call after the HTTP listener has drained (http.Server.Shutdown); safe on
+// a memory-only server.
+func (s *Server) Close() error { return s.cache.Close() }
+
+// checkerExtras are the server-owned options appended to every check's
+// wire-derived checker: process-wide stores that accelerate execution
+// without entering the fingerprint.
+func (s *Server) checkerExtras() []accesscheck.Option {
+	if s.neg == nil {
+		return nil
+	}
+	return []accesscheck.Option{accesscheck.WithNegativeCacheStore(s.neg)}
+}
+
+// encodeDiskCheck is the disk tier's admission-and-serialization gate:
+// only exact whole check results are wire round-trippable (a TaskResult's
+// engine reports are not), so only they persist — as the JSON of the
+// CheckResponse they would answer with, which a restarted server can
+// serve verbatim.
+func encodeDiskCheck(_ string, tr accesscheck.TaskResult) ([]byte, bool) {
+	if tr.Kind != accesscheck.TaskCheck || tr.Check == nil || tr.Truncated {
+		return nil, false
+	}
+	b, err := json.Marshal(wireResult(tr.Check, false))
+	return b, err == nil
+}
+
+// decodeDiskCheck decodes a persisted check entry; nil on damage (served
+// as a miss — the record's CRC already screens torn writes, so this only
+// guards scheme drift the version stamp missed).
+func decodeDiskCheck(data []byte) *CheckResponse {
+	out := new(CheckResponse)
+	if err := json.Unmarshal(data, out); err != nil {
+		return nil
+	}
+	out.Cached = true
+	return out
+}
 
 // CheckRequest is the wire form of one check: a schema as textual
 // declarations (accesscheck.ParseSchema syntax), a formula
@@ -470,7 +563,7 @@ func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse,
 		return nil, badRequest("missing relations")
 	}
 	par := s.parallelismFor(req.Options)
-	chk, err := checkerFor(req.Options, par)
+	chk, err := checkerFor(req.Options, par, s.checkerExtras()...)
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
@@ -487,6 +580,14 @@ func (s *Server) doCheck(ctx context.Context, req CheckRequest) (*CheckResponse,
 	if tr, ok := s.cache.Get(fp); ok && tr.Check != nil {
 		s.taskCacheHits[accesscheck.TaskCheck].Add(1)
 		return wireResult(tr.Check, true), nil
+	}
+	// Disk tier: a previous process's exact verdict for this fingerprint
+	// survives restarts; serve it verbatim without re-solving.
+	if data, ok := s.cache.Persisted(fp); ok {
+		if out := decodeDiskCheck(data); out != nil {
+			s.taskCacheHits[accesscheck.TaskCheck].Add(1)
+			return out, nil
+		}
 	}
 	s.taskCacheMisses[accesscheck.TaskCheck].Add(1)
 
@@ -855,8 +956,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics renders the counters in Prometheus exposition style: plain
 // text, one "name value" per line, scrape-friendly without pulling in a
 // client library.
+// ratio renders h/(h+m) as a gauge value, 0 when nothing was probed.
+func ratio(h, m uint64) float64 {
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	cs := s.cache.Stats()
+	cs := s.cache.MemStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "accserve_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(w, "accserve_cache_misses_total %d\n", cs.Misses)
@@ -864,6 +973,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "accserve_cache_evictions_total %d\n", cs.Evictions)
 	fmt.Fprintf(w, "accserve_cache_size %d\n", cs.Size)
 	fmt.Fprintf(w, "accserve_cache_capacity %d\n", cs.Capacity)
+	fmt.Fprintf(w, "accserve_cache_shards %d\n", s.cache.Shards())
 	fmt.Fprintf(w, "accserve_checks_total %d\n", s.checks.Load())
 	fmt.Fprintf(w, "accserve_truncations_total %d\n", s.truncations.Load())
 	fmt.Fprintf(w, "accserve_deadline_exceeded_total %d\n", s.deadlines.Load())
@@ -886,6 +996,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "accserve_task_truncations_total{task=%q} %d\n", k.String(), s.taskTruncations[k].Load())
 		fmt.Fprintf(w, "accserve_task_cache_hits_total{task=%q} %d\n", k.String(), s.taskCacheHits[k].Load())
 		fmt.Fprintf(w, "accserve_task_cache_misses_total{task=%q} %d\n", k.String(), s.taskCacheMisses[k].Load())
+	}
+	// Tiered-cache view: one unified tier-labeled family over every store,
+	// plus hit-ratio gauges, so dashboards compare tiers without knowing
+	// each store's legacy metric names.
+	ts := s.cache.Stats()
+	fmt.Fprintf(w, "accserve_cache_tier_hits_total{tier=\"memory\"} %d\n", cs.Hits)
+	fmt.Fprintf(w, "accserve_cache_tier_misses_total{tier=\"memory\"} %d\n", cs.Misses)
+	fmt.Fprintf(w, "accserve_cache_tier_evictions_total{tier=\"memory\"} %d\n", cs.Evictions)
+	fmt.Fprintf(w, "accserve_cache_hit_ratio{tier=\"memory\"} %g\n", ratio(cs.Hits, cs.Misses))
+	fmt.Fprintf(w, "accserve_cache_tier_hits_total{tier=\"disk\"} %d\n", ts.DiskHits)
+	fmt.Fprintf(w, "accserve_cache_tier_misses_total{tier=\"disk\"} %d\n", ts.DiskMisses)
+	fmt.Fprintf(w, "accserve_cache_hit_ratio{tier=\"disk\"} %g\n", ratio(ts.DiskHits, ts.DiskMisses))
+	fmt.Fprintf(w, "accserve_cache_tier_hits_total{tier=\"checkpoint\"} %d\n", ks.Hits)
+	fmt.Fprintf(w, "accserve_cache_tier_misses_total{tier=\"checkpoint\"} %d\n", ks.Misses)
+	fmt.Fprintf(w, "accserve_cache_tier_evictions_total{tier=\"checkpoint\"} %d\n", ks.Evictions)
+	fmt.Fprintf(w, "accserve_cache_hit_ratio{tier=\"checkpoint\"} %g\n", ratio(ks.Hits, ks.Misses))
+	fmt.Fprintf(w, "accserve_cache_disk_flushed_total %d\n", ts.Flushed)
+	if ds, ok := s.cache.DiskStats(); ok {
+		fmt.Fprintf(w, "accserve_cache_disk_records %d\n", ds.Records)
+		fmt.Fprintf(w, "accserve_cache_disk_bytes %d\n", ds.Bytes)
+		fmt.Fprintf(w, "accserve_cache_disk_writes_total %d\n", ds.Writes)
+		fmt.Fprintf(w, "accserve_cache_disk_deletes_total %d\n", ds.Deletes)
+		fmt.Fprintf(w, "accserve_cache_disk_corrupt_tails_total %d\n", ds.CorruptTails)
+		fmt.Fprintf(w, "accserve_cache_disk_scheme_discards_total %d\n", ds.SchemeDiscards)
+	}
+	if s.neg != nil {
+		// The negative cache's "hit" is a definite-absence answer: the test
+		// that skipped the memo's lock. Misses are tests that fell through.
+		for _, e := range []struct {
+			name string
+			nc   *cachetier.NegativeCache
+		}{{"solver", s.neg.Solver}, {"emptiness", s.neg.Emptiness}} {
+			engine, ns := e.name, e.nc.Stats()
+			fmt.Fprintf(w, "accserve_cache_tier_hits_total{tier=\"negative\",engine=%q} %d\n", engine, ns.Definite)
+			fmt.Fprintf(w, "accserve_cache_tier_misses_total{tier=\"negative\",engine=%q} %d\n", engine, ns.Tests-ns.Definite)
+			fmt.Fprintf(w, "accserve_cache_hit_ratio{tier=\"negative\",engine=%q} %g\n", engine, ratio(ns.Definite, ns.Tests-ns.Definite))
+			fmt.Fprintf(w, "accserve_negative_cache_bits{engine=%q} %d\n", engine, ns.Bits)
+			fmt.Fprintf(w, "accserve_negative_cache_set_bits{engine=%q} %d\n", engine, ns.SetBits)
+			fmt.Fprintf(w, "accserve_negative_cache_inserts_total{engine=%q} %d\n", engine, ns.Inserts)
+			fmt.Fprintf(w, "accserve_negative_cache_fp_estimate{engine=%q} %g\n", engine, ns.EstFP)
+		}
 	}
 	fmt.Fprintf(w, "accserve_in_flight %d\n", s.inFlight.Load())
 	fmt.Fprintf(w, "accserve_workers %d\n", s.cfg.Workers)

@@ -152,7 +152,13 @@ func metrics(t *testing.T, ts *httptest.Server) map[string]int {
 		}
 		n, err := strconv.Atoi(fields[1])
 		if err != nil {
-			t.Fatalf("bad metric line %q", line)
+			// Ratio and estimate gauges are floats; keep the integer map
+			// shape and floor them (assertions only read counters).
+			f, ferr := strconv.ParseFloat(fields[1], 64)
+			if ferr != nil {
+				t.Fatalf("bad metric line %q", line)
+			}
+			n = int(f)
 		}
 		out[fields[0]] = n
 	}

@@ -8,6 +8,16 @@
 // exploration out over that many walker goroutines (0 = auto, keeping
 // workers × parallelism ≤ GOMAXPROCS).
 //
+// Caching tiers: -cache-shards splits the in-memory result LRU into
+// independently locked fingerprint-routed shards; -cache-dir backs it
+// with an append-only disk tier so exact check results survive restarts
+// (evicted and shutdown-resident entries are written behind, and a
+// restarted process with the same directory serves them without
+// re-solving); -negative-cache-bits arms a process-wide Bloom negative
+// cache that lets the parallel engines skip dominance-memo locks for
+// never-seen states. All three are observable under /metrics
+// (accserve_cache_tier_*, accserve_cache_hit_ratio{tier=...}).
+//
 // Endpoints (see accltl/accesscheck/server for the wire format):
 //
 //	POST /v1/check?budget=250ms   one check
@@ -80,6 +90,9 @@ func main() {
 	parallelism := flag.Int("parallelism", 0,
 		"exploration walkers per solve; peak exploration concurrency is workers x parallelism (0 = auto: capped so the product stays <= GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 1024, "LRU result cache capacity (entries)")
+	cacheShards := flag.Int("cache-shards", 8, "in-memory result cache shard count (rounded to a power of two, capped at -cache-size)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent result-cache tier; exact check results survive restarts (empty = memory-only)")
+	negativeCacheBits := flag.Int("negative-cache-bits", 0, "total bits for the process-wide Bloom negative cache fronting the dominance memos (0 = off)")
 	defaultBudget := flag.Duration("default-budget", 5*time.Second, "per-request deadline when the request names none")
 	worker := flag.Bool("worker", false, "run as a fabric worker (the default standalone role; the flag only names it)")
 	coordinator := flag.Bool("coordinator", false, "run as a fabric coordinator: dispatch shards to the membership table instead of solving locally")
@@ -116,6 +129,7 @@ func main() {
 	}
 
 	var handler http.Handler
+	var workerSrv *server.Server
 	var workerList []string
 	switch role {
 	case "coordinator":
@@ -150,13 +164,17 @@ func main() {
 		}
 		handler = coord
 	default:
-		handler = server.New(server.Config{
-			Workers:       *workers,
-			Parallelism:   *parallelism,
-			CacheSize:     *cacheSize,
-			DefaultBudget: *defaultBudget,
-			Failpoints:    failpoints,
+		workerSrv = server.New(server.Config{
+			Workers:           *workers,
+			Parallelism:       *parallelism,
+			CacheSize:         *cacheSize,
+			CacheShards:       *cacheShards,
+			CacheDir:          *cacheDir,
+			NegativeCacheBits: *negativeCacheBits,
+			DefaultBudget:     *defaultBudget,
+			Failpoints:        failpoints,
 		})
+		handler = workerSrv
 	}
 
 	srv := &http.Server{
@@ -219,6 +237,14 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("accserve: shutdown: %v", err)
+		}
+		// After the listener drains: flush the resident exact results
+		// through to the disk tier so a restart with the same -cache-dir
+		// answers them without re-solving.
+		if workerSrv != nil {
+			if err := workerSrv.Close(); err != nil {
+				log.Printf("accserve: cache close: %v", err)
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"accltl/accesscheck/cachetier"
 	"accltl/internal/access"
 	"accltl/internal/fo"
 	"accltl/internal/instance"
@@ -74,6 +75,19 @@ type SolveOptions struct {
 	// shard walks before returning, so the surviving entries are safe to
 	// prune against in a later round; see NewSolverMemo.
 	Memo *SolverMemo
+	// Negative, when non-nil, fronts the sharded engine's dominance memo
+	// with a shared Bloom negative cache: a key the filter has definitely
+	// never seen skips the memo's critical section lock-free. Strictly an
+	// execution accelerator — a filter positive only routes to the
+	// authoritative memo, so verdicts are bit-for-bit identical with the
+	// filter on or off. Unlike Memo, the filter is safe to share across
+	// different formulas and requests (collisions cost lock acquisitions,
+	// never correctness), which is how the server keeps it warm
+	// process-wide. Ignored when Memo is set — a persistent memo carries
+	// its own arming from construction (see NewSolverMemoNeg). The serial
+	// engine (Parallelism ≤ 1, no Shards) has no shared memo and ignores
+	// it entirely.
+	Negative *cachetier.NegativeCache
 }
 
 // SolveResult reports a satisfiability verdict.

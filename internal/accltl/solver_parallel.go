@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 
+	"accltl/accesscheck/cachetier"
 	"accltl/internal/access"
 	"accltl/internal/instance"
 	"accltl/internal/ltl"
@@ -163,6 +164,28 @@ func NewSolverMemo() *SolverMemo {
 	}
 }
 
+// NewSolverMemoNeg is NewSolverMemo with the dominance memo fronted by a
+// shared Bloom negative cache (nil = plain memo). The filter is typically
+// process-wide and long-lived while the memo is per search or per
+// checkpoint: filter bits from other searches are only false positives,
+// which route to the authoritative memo and never change a verdict.
+func NewSolverMemoNeg(neg *cachetier.NegativeCache) *SolverMemo {
+	m := NewSolverMemo()
+	if neg != nil {
+		m.memo.WithNegativeCache(neg, solverNegHash)
+	}
+	return m
+}
+
+// solverNegHash derives the negative cache's two 64-bit probe lanes from
+// a memo key: the configuration's incremental instance hash, each lane
+// mixed with the interned obligation id so distinct obligations of one
+// configuration probe distinct bits.
+func solverNegHash(k solverMemoKey) (uint64, uint64) {
+	ob := (uint64(k.ob) + 1) * 0x9e3779b97f4a7c15
+	return k.conf.A ^ ob, k.conf.B ^ (ob<<32 | ob>>32)
+}
+
 // parallelBoundedSearch runs the sharded search. skeleton is already in
 // NNF; letters is the sentence→proposition table; ltsOpts carries the
 // exploration options including Parallelism > 1.
@@ -172,7 +195,7 @@ func parallelBoundedSearch(f Formula, opts SolveOptions, voc Vocabulary, skeleto
 	tables := opts.Memo
 	persist := tables != nil
 	if tables == nil {
-		tables = NewSolverMemo()
+		tables = NewSolverMemoNeg(opts.Negative)
 	}
 	in, prog, memo := tables.in, tables.prog, tables.memo
 	wit := &lts.WitnessBox[*access.Path]{}

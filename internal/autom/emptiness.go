@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"accltl/accesscheck/cachetier"
 	"accltl/internal/access"
 	"accltl/internal/accltl"
 	"accltl/internal/fo"
@@ -61,6 +62,12 @@ type EmptinessOptions struct {
 	// that end early scrub their unfinished walks' commitments before
 	// returning; see NewEmptinessMemo.
 	Memo *EmptinessMemo
+	// Negative, when non-nil, fronts the sharded engine's dominance memo
+	// with a shared Bloom negative cache — the accltl.SolveOptions.Negative
+	// contract: verdict-neutral, safe to share across automata and
+	// requests, ignored when Memo is set (a persistent memo carries its
+	// own arming; see NewEmptinessMemoNeg) and by the serial engine.
+	Negative *cachetier.NegativeCache
 }
 
 // EmptinessResult reports an emptiness verdict.

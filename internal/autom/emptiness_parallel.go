@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"accltl/accesscheck/cachetier"
 	"accltl/internal/access"
 	"accltl/internal/instance"
 	"accltl/internal/lts"
@@ -42,6 +43,25 @@ func NewEmptinessMemo() *EmptinessMemo {
 	}
 }
 
+// NewEmptinessMemoNeg is NewEmptinessMemo with the dominance memo fronted
+// by a shared Bloom negative cache (nil = plain memo); the sharing
+// contract is the solver twin's (accltl.NewSolverMemoNeg).
+func NewEmptinessMemoNeg(neg *cachetier.NegativeCache) *EmptinessMemo {
+	m := NewEmptinessMemo()
+	if neg != nil {
+		m.memo.WithNegativeCache(neg, emptinessNegHash)
+	}
+	return m
+}
+
+// emptinessNegHash derives the negative cache's two probe lanes from a
+// memo key: the configuration's incremental instance hash, each lane
+// mixed with a hash of the canonical state-set string.
+func emptinessNegHash(k emptinessMemoKey) (uint64, uint64) {
+	sh := cachetier.Hash64(k.states)
+	return k.conf.A ^ sh, k.conf.B ^ (sh<<32 | sh>>32)
+}
+
 // emptinessSpine is one shard walk's live simulation stack, registered so
 // the post-search sweep can scrub unfinished walks from a persistent memo.
 type emptinessSpine struct {
@@ -64,7 +84,7 @@ func (a *Automaton) isEmptyParallel(opts EmptinessOptions, ltsOpts lts.Options, 
 	tables := opts.Memo
 	persist := tables != nil
 	if tables == nil {
-		tables = NewEmptinessMemo()
+		tables = NewEmptinessMemoNeg(opts.Negative)
 	}
 	memo := tables.memo
 	wit := &lts.WitnessBox[*access.Path]{}

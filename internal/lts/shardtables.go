@@ -6,7 +6,11 @@ package lts
 // two structures (their keys differ, their semantics do not), so they live
 // here once instead of as twins in each engine.
 
-import "sync"
+import (
+	"sync"
+
+	"accltl/accesscheck/cachetier"
+)
 
 const shardTableStripes = 64
 
@@ -27,6 +31,13 @@ const shardTableStripes = 64
 type DominanceMemo[K comparable] struct {
 	stripeOf func(K) uint64
 	stripes  [shardTableStripes]dominanceStripe[K]
+
+	// neg, when armed via WithNegativeCache, is a Bloom filter over every
+	// key ever offered to DominatedOrRecord (possibly shared with other
+	// memos). A definite "never seen" answers the first sight of a key
+	// lock-free; negKey derives the filter's two hash lanes from a key.
+	neg    *cachetier.NegativeCache
+	negKey func(K) (uint64, uint64)
 }
 
 type dominanceStripe[K comparable] struct {
@@ -43,12 +54,43 @@ func NewDominanceMemo[K comparable](stripeOf func(K) uint64) *DominanceMemo[K] {
 	return t
 }
 
+// WithNegativeCache arms the memo with a shared Bloom negative cache:
+// before taking a stripe lock, DominatedOrRecord asks the filter whether
+// the key was ever seen, and a definite "no" short-circuits lock-free.
+// key derives the filter's two 64-bit hash lanes from a memo key. The
+// filter may be shared across memos (the server shares one per engine
+// across all requests); sharing only adds false positives, which cost a
+// lock acquisition and never a verdict. Returns the memo for chaining.
+func (t *DominanceMemo[K]) WithNegativeCache(neg *cachetier.NegativeCache, key func(K) (uint64, uint64)) *DominanceMemo[K] {
+	t.neg, t.negKey = neg, key
+	return t
+}
+
 // DominatedOrRecord reports whether k was already committed with at least
 // remaining budget; if not, it records the new budget. The check and the
 // update are one critical section, so two walkers racing on the same key
 // cannot both conclude "dominated".
+//
+// With a negative cache armed, a key the filter has definitely never
+// seen skips the critical section: the filter bits are set and the
+// walker proceeds as not-dominated WITHOUT recording in the map. This is
+// sound — "not dominated" only means the walker explores, exactly what
+// an empty memo would answer — and keeps the fast path lock-free; the
+// map-backed pruning then engages from a key's second sight onward. A
+// filter false positive (or a bit left by another memo sharing the
+// filter) merely falls through to the authoritative critical section.
+// Remove cannot clear filter bits, which is equally harmless: a stale
+// bit routes to the map, which no longer holds the key and re-records.
 func (t *DominanceMemo[K]) DominatedOrRecord(k K, remaining int) bool {
-	st := &t.stripes[t.stripeOf(k)&(shardTableStripes-1)]
+	h := t.stripeOf(k)
+	if t.neg != nil {
+		h1, h2 := t.negKey(k)
+		if !t.neg.MayContain(h, h1, h2) {
+			t.neg.Insert(h, h1, h2)
+			return false
+		}
+	}
+	st := &t.stripes[h&(shardTableStripes-1)]
 	st.mu.Lock()
 	prev, ok := st.m[k]
 	if ok && prev >= remaining {

@@ -19,6 +19,13 @@
 # answer the first round exactly passes trivially — the assertions hold
 # either way.
 #
+# fabric_smoke.sh --warm-restart runs the persistent-cache scenario: two
+# workers each with their own -cache-dir under a coordinator, a warming
+# batch, then a SIGTERM of one worker (graceful drain flushes its exact
+# results to the disk tier) and a restart over the SAME directory —
+# asserting the restarted process answers the repeat batch with identical
+# verdicts, zero solves, and counted disk-tier hits.
+#
 # Exits non-zero on any non-200 answer or verdict mismatch. Requires only
 # the go toolchain and python3 (for JSON comparison); picks free ports
 # itself.
@@ -28,6 +35,7 @@ cd "$(dirname "$0")/.."
 MODE=default
 if [[ "${1:-}" == "--chaos" ]]; then MODE=chaos; fi
 if [[ "${1:-}" == "--budget-storm" ]]; then MODE=budget-storm; fi
+if [[ "${1:-}" == "--warm-restart" ]]; then MODE=warm-restart; fi
 
 workdir=$(mktemp -d)
 pids=()
@@ -285,6 +293,76 @@ EOF
   curl -fsS "$C/metrics" | grep -q '^accserve_coordinator_checks_total [1-9]' || {
     echo "coordinator answered no checks" >&2; exit 1; }
   echo "fabric smoke (budget-storm): OK"
+  exit 0
+fi
+
+if [[ $MODE == warm-restart ]]; then
+  W1_PORT=$(pick_port); W2_PORT=$(pick_port); C_PORT=$(pick_port)
+  W1="http://127.0.0.1:$W1_PORT"; W2="http://127.0.0.1:$W2_PORT"; C="http://127.0.0.1:$C_PORT"
+  mkdir -p "$workdir/cache1" "$workdir/cache2"
+
+  echo "== warm-restart: workers on $W1 $W2 with persistent cache dirs"
+  "$workdir/accserve" -worker -addr "127.0.0.1:$W1_PORT" -cache-dir "$workdir/cache1" &
+  W1_PID=$!; pids+=("$W1_PID")
+  "$workdir/accserve" -worker -addr "127.0.0.1:$W2_PORT" -cache-dir "$workdir/cache2" &
+  pids+=($!)
+  "$workdir/accserve" -coordinator -fabric-workers "$W1,$W2" -addr "127.0.0.1:$C_PORT" &
+  pids+=($!)
+  wait_up "$W1"; wait_up "$W2"; wait_up "$C"
+
+  echo "== warm-restart: warming batch (direct to worker 1 and through the coordinator)"
+  curl -fsS -X POST "$W1/v1/batch" -H 'Content-Type: application/json' \
+    -d "$batch" > "$workdir/warm.json"
+  curl -fsS -X POST "$C/v1/batch" -H 'Content-Type: application/json' \
+    -d "$batch" > /dev/null
+
+  echo "== warm-restart: SIGTERM worker 1 (graceful drain flushes the disk tier)"
+  kill -TERM "$W1_PID"
+  wait "$W1_PID" 2>/dev/null || true
+  if ! ls "$workdir/cache1"/* >/dev/null 2>&1; then
+    echo "worker 1 left no disk-tier segments in its cache dir" >&2; exit 1
+  fi
+
+  echo "== warm-restart: restarting worker 1 over the same -cache-dir"
+  "$workdir/accserve" -worker -addr "127.0.0.1:$W1_PORT" -cache-dir "$workdir/cache1" &
+  pids+=($!)
+  wait_up "$W1"
+
+  curl -fsS -X POST "$W1/v1/batch" -H 'Content-Type: application/json' \
+    -d "$batch" > "$workdir/restarted.json"
+
+  python3 - "$workdir/warm.json" "$workdir/restarted.json" <<'EOF'
+import json, sys
+warm = json.load(open(sys.argv[1]))["results"]
+restarted = json.load(open(sys.argv[2]))["results"]
+if len(warm) != len(restarted):
+    sys.exit(f"item counts differ: {len(warm)} vs {len(restarted)}")
+fields = ["satisfiable", "fragment", "in_fragment", "decidable",
+          "engine", "truncated", "depth", "witness"]
+served = 0
+for i, (w, r) in enumerate(zip(warm, restarted)):
+    if "error" in w or "error" in r:
+        sys.exit(f"item {i} errored: warm {w} restarted {r}")
+    wr, rr = w["result"], r["result"]
+    for k in fields:
+        if wr.get(k) != rr.get(k):
+            sys.exit(f"item {i}: {k} = {rr.get(k)!r} after restart, {wr.get(k)!r} before")
+    if rr.get("cached"):
+        served += 1
+if served != len(restarted):
+    sys.exit(f"only {served}/{len(restarted)} repeat answers were served cached after restart")
+print(f"restart: all {len(restarted)} repeat verdicts identical and cache-served")
+EOF
+
+  echo "== warm-restart: restarted worker's metrics show disk hits and zero solves"
+  metrics=$(curl -fsS "$W1/metrics")
+  grep -q '^accserve_cache_tier_hits_total{tier="disk"} [1-9]' <<<"$metrics" || {
+    echo "restarted worker counted no disk-tier hits" >&2; exit 1; }
+  grep -q '^accserve_cache_disk_records [1-9]' <<<"$metrics" || {
+    echo "restarted worker recovered no disk records" >&2; exit 1; }
+  grep -q '^accserve_checks_total 0' <<<"$metrics" || {
+    echo "restarted worker re-solved instead of serving the disk tier" >&2; exit 1; }
+  echo "fabric smoke (warm-restart): OK"
   exit 0
 fi
 
